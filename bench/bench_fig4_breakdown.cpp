@@ -1,0 +1,50 @@
+// Figure 4 reproduction: single-node runtime breakdown.
+//
+// Paper: on one KNL node over 225,000 Outer Rim galaxies (R_max = 200),
+// ~55 % of time in multipole accumulation, with the remainder split between
+// k-d tree construction (incl. partitioning/halo), tree query, and the
+// rest; §5.4 cross-checks 58-61 % per-node kernel fractions at full scale.
+//
+// Here: same density, laptop-scaled N and R_max, full-thread single "node".
+// The phase shares are printed exactly like the figure's legend.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/argparse.hpp"
+
+using namespace galactos;
+using namespace galactos::bench;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::size_t n = args.get<std::size_t>("n", 120000);
+  const double rmax = args.get<double>("rmax", 24.0);
+  const int threads = args.get<int>("threads", 0);
+  args.finish();
+
+  print_header("Fig. 4 analog — single-node runtime breakdown");
+  print_kv("galaxies", fmt(static_cast<double>(n), "%.0f"));
+  print_kv("number density (Mpc/h)^-3", fmt(sim::kOuterRimDensity, "%.4f"));
+  print_kv("R_max (Mpc/h)", fmt(rmax, "%.1f"));
+  print_kv("expected pairs/primary", fmt(pairs_per_primary(rmax), "%.0f"));
+  print_kv("lmax", "10 (286 power sums)");
+
+  const sim::Catalog cat = outer_rim_scaled(n, 1234);
+  core::EngineConfig cfg = paper_engine_config(rmax, 10, threads);
+  core::EngineStats stats;
+  const core::ZetaResult res = core::Engine(cfg).run(cat, nullptr, &stats);
+
+  std::printf("\nPhase breakdown (wall-equivalent shares):\n%s\n",
+              stats.phases.report().c_str());
+
+  const double kern = stats.phases.get("multipole kernel");
+  const double frac = kern / stats.phases.total();
+  print_kv("multipole kernel share", fmt(100.0 * frac, "%.1f%%"));
+  print_kv("paper single-node share", "55% (Fig. 4); 58-61% at full scale");
+  print_kv("pairs processed", fmt(static_cast<double>(stats.pairs), "%.3e"));
+  print_kv("kernel GFLOP/s (paper acct.)",
+           fmt(stats.kernel_flop_count / kern / 1e9, "%.2f"));
+  print_kv("wall time (s)", fmt(stats.wall_seconds, "%.3f"));
+  print_kv("primaries", fmt(static_cast<double>(res.n_primaries), "%.0f"));
+  return 0;
+}

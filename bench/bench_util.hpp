@@ -1,0 +1,94 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures (see DESIGN.md §4 for the experiment index).
+//
+// Every bench binary runs standalone with no arguments (modest laptop-scale
+// defaults) and accepts --scale=<f> to grow/shrink the workload, plus
+// bench-specific flags. Output is aligned text tables mirroring the paper's
+// rows, so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/generators.hpp"
+#include "util/timer.hpp"
+
+namespace galactos::bench {
+
+// Paper-like dataset scaled to laptop size: uniform random galaxies at the
+// Outer Rim number density (Table 1), so pairs-per-primary depends only on
+// rmax exactly as in the paper.
+inline sim::Catalog outer_rim_scaled(std::size_t n, std::uint64_t seed) {
+  const double side = sim::outer_rim_box_side(n);
+  return sim::uniform_box(n, sim::Aabb::cube(side), seed);
+}
+
+// Expected secondaries per primary at Outer Rim density within rmax.
+inline double pairs_per_primary(double rmax) {
+  return sim::kOuterRimDensity * 4.0 / 3.0 * M_PI * rmax * rmax * rmax;
+}
+
+// The engine configuration used by the scaling benches: lmax = 10 (the
+// paper's choice: 286 power sums) with an R_max scaled down so that
+// per-primary work is laptop-sized; all other knobs at paper defaults.
+inline core::EngineConfig paper_engine_config(double rmax, int nbins = 10,
+                                              int threads = 0) {
+  core::EngineConfig cfg;
+  cfg.bins = core::RadialBins(rmax / nbins, rmax, nbins);
+  cfg.lmax = 10;
+  cfg.threads = threads;
+  cfg.precision = core::TreePrecision::kMixed;  // paper's fast mode
+  return cfg;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_kv(const char* key, const std::string& value) {
+  std::printf("  %-34s %s\n", key, value.c_str());
+}
+
+inline std::string fmt(double v, const char* f = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+// Simple aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    auto line = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c)
+        std::printf("%-*s  ", static_cast<int>(width[c]), r[c].c_str());
+      std::printf("\n");
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace galactos::bench

@@ -1,0 +1,87 @@
+// BAO in the 3PCF — the science of the paper's Fig. 1 (right panel).
+//
+// Generates a lognormal mock with a BAO feature at r_bao ~ 105 Mpc/h,
+// measures the isotropic 3PCF multipoles zeta_l(r1, r2) with Galactos, and
+// writes the (r1, r2) coefficient map that the paper's Fig. 1 colors by
+// triangle excess. Also prints xi(r) around the BAO scale, where the bump
+// is visible directly.
+//
+//   ./bao_detection [--n-grid 64] [--box 1200] [--nbar 2e-4] [--seed 7]
+//
+// Runtime ~1 min at defaults. The map lands in bao_zeta_map_l{0,1,2}.csv
+// (columns b1,b2,r1,r2,value) — plot as a heatmap to reproduce the figure.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "io/zeta_io.hpp"
+#include "mocks/lognormal.hpp"
+#include "sim/generators.hpp"
+#include "util/argparse.hpp"
+#include "util/timer.hpp"
+
+using namespace galactos;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  mocks::LognormalParams lp;
+  lp.grid_n = args.get<std::size_t>("n-grid", 64);
+  lp.box_side = args.get<double>("box", 1200.0);
+  lp.nbar = args.get<double>("nbar", 2e-4);
+  lp.seed = args.get<std::uint64_t>("seed", 7);
+  const int lmax = args.get<int>("lmax", 4);
+  args.finish();
+
+  std::printf("generating lognormal mock with BAO (grid %zu^3, box %.0f)\n",
+              lp.grid_n, lp.box_side);
+  const mocks::BaoPowerSpectrum power;  // r_bao = 105 Mpc/h by default
+  const mocks::LognormalMock mock = mocks::lognormal_catalog(lp, power);
+  std::printf("mock: %zu galaxies (nbar %.2e)\n", mock.galaxies.size(),
+              static_cast<double>(mock.galaxies.size()) /
+                  (lp.box_side * lp.box_side * lp.box_side));
+
+  // Bins spanning the BAO scale: the bump sits near 105 Mpc/h.
+  core::EngineConfig cfg;
+  cfg.bins = core::RadialBins(40.0, 140.0, 10);
+  cfg.lmax = lmax;
+  cfg.precision = core::TreePrecision::kMixed;
+
+  // Interior primaries: complete R_max spheres, so xi and zeta carry no
+  // box-edge bias (all galaxies still act as secondaries).
+  const auto primaries = sim::interior_indices(
+      mock.galaxies, sim::Aabb::cube(lp.box_side), cfg.bins.rmax());
+  std::printf("interior primaries: %zu of %zu\n", primaries.size(),
+              mock.galaxies.size());
+
+  Timer timer;
+  core::EngineStats stats;
+  const core::ZetaResult res =
+      core::Engine(cfg).run(mock.galaxies, &primaries, &stats);
+  std::printf("3PCF of %zu galaxies: %.1f s, %.3e pairs\n",
+              mock.galaxies.size(), timer.seconds(),
+              static_cast<double>(stats.pairs));
+
+  // xi(r) across the BAO scale: expect the bump near bin centers ~105.
+  const double nbar = static_cast<double>(mock.galaxies.size()) /
+                      (lp.box_side * lp.box_side * lp.box_side);
+  std::printf("\n  r (Mpc/h)    xi(r)      r^2 xi(r)\n");
+  for (int b = 0; b < cfg.bins.count(); ++b) {
+    const double r = res.bins.center(b);
+    const double xi = res.xi_l(0, b, nbar);
+    std::printf("  %8.1f  %+.5f   %+8.2f\n", r, xi, r * r * xi);
+  }
+  std::printf(
+      "  (the BAO feature is the local MAXIMUM of xi(r) near r ~ 105 —\n"
+      "   an O(1e-3) excess over the smooth decline. Its subtlety is the\n"
+      "   paper's motivation: resolving it demands billion-galaxy surveys\n"
+      "   and hence HPC-scale correlation codes.)\n");
+
+  // The Fig. 1 style maps: isotropic multipole coefficient vs (r1, r2).
+  for (int l = 0; l <= std::min(2, lmax); ++l) {
+    const std::string path = "bao_zeta_map_l" + std::to_string(l) + ".csv";
+    io::write_isotropic_map_csv(res, l, path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  io::write_zeta_csv(res, "bao_zeta_full.csv");
+  std::printf("wrote bao_zeta_full.csv (all anisotropic coefficients)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: compute the anisotropic 3PCF of a small random catalog.
+//
+//   ./quickstart [--n 20000] [--rmax 20] [--nbins 5] [--lmax 4]
+//
+// Walks through the whole public API surface in ~40 lines: generate (or
+// load) a catalog, configure the engine, run it, read coefficients out,
+// and write the results to CSV.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "io/zeta_io.hpp"
+#include "sim/generators.hpp"
+#include "util/argparse.hpp"
+
+using namespace galactos;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::size_t n = args.get<std::size_t>("n", 20000);
+  const double rmax = args.get<double>("rmax", 20.0);
+  const int nbins = args.get<int>("nbins", 5);
+  const int lmax = args.get<int>("lmax", 4);
+  args.finish();
+
+  // 1. A catalog: x/y/z positions (Mpc/h) + optional weights. Here random
+  //    points in a cube; io::read_catalog_text loads real data.
+  const double side = sim::outer_rim_box_side(n);
+  const sim::Catalog catalog =
+      sim::uniform_box(n, sim::Aabb::cube(side), /*seed=*/42);
+  std::printf("catalog: %zu galaxies in a %.1f Mpc/h box\n", catalog.size(),
+              side);
+
+  // 2. Engine configuration: radial bins (triangle side lengths), maximum
+  //    multipole, line of sight. Plane-parallel +z is right for a box.
+  core::EngineConfig cfg;
+  cfg.bins = core::RadialBins(rmax / nbins, rmax, nbins);
+  cfg.lmax = lmax;
+  cfg.los = core::LineOfSight::kPlaneParallelZ;
+
+  // 3. Run. Stats are optional; they carry timings and pair counts.
+  core::EngineStats stats;
+  const core::ZetaResult result =
+      core::Engine(cfg).run(catalog, nullptr, &stats);
+  std::printf("processed %.3e pairs in %.2f s (%.1f%% in the multipole kernel)\n",
+              static_cast<double>(stats.pairs), stats.wall_seconds,
+              100.0 * stats.phases.get("multipole kernel") /
+                  stats.phases.total());
+
+  // 4. Read out coefficients: zeta^m_{l l'}(r1, r2), averaged per primary.
+  std::printf("\nsample coefficients (per-primary average):\n");
+  for (int l = 0; l <= std::min(2, lmax); ++l) {
+    const auto z = result.zeta_m_mean(0, nbins - 1, l, l, 0);
+    std::printf("  zeta^0_{%d%d}(r1=%.1f, r2=%.1f) = %+.4e %+.4ei\n", l, l,
+                result.bins.center(0), result.bins.center(nbins - 1),
+                z.real(), z.imag());
+  }
+  // Isotropic multipoles (the Slepian-Eisenstein zeta_l) are projections:
+  std::printf("  isotropic zeta_2(r1, r2)        = %+.4e\n",
+              result.isotropic(2, 0, nbins - 1) / result.sum_primary_weight);
+  // The anisotropic 2PCF multipoles come along for free. For an
+  // *uncorrected* non-periodic box, primaries near faces lose neighbors, so
+  // a random catalog measures xi ~ -(3/2) r/L instead of 0; the
+  // survey_analysis example shows the random-catalog correction that
+  // removes this (paper Sec. 6.1).
+  const double nbar = static_cast<double>(n) / (side * side * side);
+  const double r1 = result.bins.center(1);
+  std::printf("  xi_0(r=%.1f)                    = %+.4f"
+              " (edge bias ~ %+.4f for a random box)\n",
+              r1, result.xi_l(0, 1, nbar), -1.5 * r1 / side);
+
+  // 5. Persist everything.
+  io::write_zeta_csv(result, "quickstart_zeta.csv");
+  io::write_xi_csv(result, "quickstart_xi.csv");
+  std::printf("\nwrote quickstart_zeta.csv, quickstart_xi.csv\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Redshift-space distortions and the anisotropic 3PCF — the paper's core
+// science motivation (§1.1-1.2): RSD imprint a line-of-sight anisotropy
+// that the isotropic 3PCF cannot see, and the anisotropic coefficients
+// zeta^m_{ll'} (m tracking the LOS spin) capture it.
+//
+// This example measures the same lognormal mock twice — in real space and
+// in redshift space (linear displacements, plane-parallel) — and compares:
+//   * the 2PCF multipoles xi_0, xi_2 (the classic Kaiser signature), and
+//   * the m-structure of zeta^m_{22}(r1, r2).
+//
+//   ./rsd_anisotropy [--n-grid 64] [--box 800] [--nbar 4e-4] [--f 1.0]
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "mocks/lognormal.hpp"
+#include "mocks/rsd.hpp"
+#include "sim/generators.hpp"
+#include "util/argparse.hpp"
+
+using namespace galactos;
+
+namespace {
+
+void report(const char* label, const core::ZetaResult& res, double nbar) {
+  std::printf("\n%s\n", label);
+  std::printf("  r (Mpc/h)     xi_0      xi_2\n");
+  for (int b = 0; b < res.bins.count(); ++b)
+    std::printf("  %8.1f   %+.4f   %+.4f\n", res.bins.center(b),
+                res.xi_l(0, b, nbar), res.xi_l(2, b, nbar));
+  std::printf("  zeta^m_22(b0,b%d) by m:  ", res.bins.count() - 1);
+  for (int m = 0; m <= 2; ++m) {
+    const auto z = res.zeta_m_mean(0, res.bins.count() - 1, 2, 2, m);
+    std::printf("m=%d: %+.3e  ", m, z.real());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  mocks::LognormalParams lp;
+  lp.grid_n = args.get<std::size_t>("n-grid", 64);
+  lp.box_side = args.get<double>("box", 800.0);
+  lp.nbar = args.get<double>("nbar", 4e-4);
+  lp.seed = args.get<std::uint64_t>("seed", 99);
+  const double f = args.get<double>("f", 1.0);  // growth rate
+  args.finish();
+
+  std::printf("lognormal mock + linear RSD (f = %.2f)\n", f);
+  const mocks::LognormalMock mock =
+      mocks::lognormal_catalog(lp, mocks::BaoPowerSpectrum{});
+  std::printf("mock: %zu galaxies\n", mock.galaxies.size());
+  const double nbar = static_cast<double>(mock.galaxies.size()) /
+                      (lp.box_side * lp.box_side * lp.box_side);
+
+  core::EngineConfig cfg;
+  cfg.bins = core::RadialBins(15.0, 65.0, 5);
+  cfg.lmax = 4;
+  cfg.precision = core::TreePrecision::kMixed;
+
+  // Interior primaries remove the uncorrected-box edge bias from xi.
+  const sim::Aabb box = sim::Aabb::cube(lp.box_side);
+  const auto prim =
+      sim::interior_indices(mock.galaxies, box, cfg.bins.rmax());
+
+  // Real space.
+  const core::ZetaResult real_space =
+      core::Engine(cfg).run(mock.galaxies, &prim);
+  report("REAL SPACE (isotropic: xi_2 ~ 0, zeta m-structure flat)",
+         real_space, nbar);
+
+  // Redshift space: shift along +z by f * psi_z, periodic wrap.
+  sim::Catalog zcat = mock.galaxies;
+  mocks::apply_plane_parallel_rsd(zcat, mock.psi_z, f, lp.box_side);
+  const auto prim_z = sim::interior_indices(zcat, box, cfg.bins.rmax());
+  const core::ZetaResult red_space = core::Engine(cfg).run(zcat, &prim_z);
+  report("REDSHIFT SPACE (Kaiser: xi_0 boosted, xi_2 < 0, m-structure)",
+         red_space, nbar);
+
+  // Quantify the anisotropy gain.
+  double quad_real = 0, quad_red = 0;
+  for (int b = 0; b < cfg.bins.count(); ++b) {
+    quad_real += std::abs(real_space.xi_l(2, b, nbar));
+    quad_red += std::abs(red_space.xi_l(2, b, nbar));
+  }
+  std::printf("\nsummary: sum_b |xi_2|  real %.4f -> redshift %.4f (x%.1f)\n",
+              quad_real, quad_red, quad_red / std::max(quad_real, 1e-12));
+  std::printf(
+      "the isotropic 3PCF is blind to this by construction — the\n"
+      "anisotropic coefficients (m > 0, and l+l' odd terms) are where the\n"
+      "growth-rate information lives (paper Sec. 1.2).\n");
+  return 0;
+}

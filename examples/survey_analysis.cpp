@@ -1,0 +1,111 @@
+// Survey-geometry analysis (paper §6.1): real surveys have masks, holes
+// and radial selection. The standard correction measures the clustering of
+// the *density contrast* by combining the data catalog (weight +1) with a
+// random catalog Monte-Carlo sampling the same geometry (weight scaled to
+// -N_D/N_R), so the 3PCF of the combination removes the geometric signal.
+// The spatial partitioning also provides jackknife samples for covariance
+// estimation — the paper's "per-node results double as jackknife regions".
+//
+//   ./survey_analysis [--n 40000] [--randoms-per-data 3] [--regions 8]
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "math/stats.hpp"
+#include "mocks/lognormal.hpp"
+#include "sim/generators.hpp"
+#include "sim/mask.hpp"
+#include "util/argparse.hpp"
+
+using namespace galactos;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const double box = args.get<double>("box", 800.0);
+  const double nbar = args.get<double>("nbar", 4e-4);
+  const int randoms_per_data = args.get<int>("randoms-per-data", 3);
+  const int regions = args.get<int>("regions", 8);
+  args.finish();
+
+  // --- build a "survey" from a clustered mock ---
+  mocks::LognormalParams lp;
+  lp.grid_n = 64;
+  lp.box_side = box;
+  lp.nbar = nbar;
+  lp.seed = 4;
+  const mocks::LognormalMock mock =
+      mocks::lognormal_catalog(lp, mocks::BaoPowerSpectrum{});
+
+  // Observer at a corner; shell footprint with a cap and two star holes.
+  const sim::Vec3 observer{-0.2 * box, -0.2 * box, -0.2 * box};
+  sim::ShellSectorMask mask(observer, 0.45 * box, 1.35 * box,
+                            /*cap_angle=*/1.1);
+  mask.add_hole(sim::Vec3{0.3, 0.25, 1.0}.normalized(), 0.05);
+  mask.add_hole(sim::Vec3{0.5, 0.6, 1.0}.normalized(), 0.04);
+
+  const sim::Catalog data = sim::apply_mask(mock.galaxies, mask);
+  std::printf("survey: %zu of %zu mock galaxies pass the mask\n", data.size(),
+              mock.galaxies.size());
+
+  // --- random catalog with the same geometry ---
+  const sim::Catalog randoms = sim::random_in_mask(
+      data.size() * static_cast<std::size_t>(randoms_per_data),
+      sim::Aabb::cube(box).expanded(0.6 * box), mask, 12345);
+  std::printf("randoms: %zu points (%dx data)\n", randoms.size(),
+              randoms_per_data);
+
+  // --- density-contrast combination: data(+1) + randoms(-N_D/N_R) ---
+  const sim::Catalog combined = sim::data_minus_randoms(data, randoms);
+
+  core::EngineConfig cfg;
+  cfg.bins = core::RadialBins(15.0, 60.0, 3);
+  cfg.lmax = 2;
+  cfg.los = core::LineOfSight::kRadial;  // survey mode: per-primary LOS
+  cfg.observer = observer;
+  cfg.precision = core::TreePrecision::kMixed;
+
+  core::EngineStats stats;
+  const core::ZetaResult corrected =
+      core::Engine(cfg).run(combined, nullptr, &stats);
+  // For contrast: the uncorrected data-only measurement (geometry signal
+  // dominated).
+  const core::ZetaResult uncorrected = core::Engine(cfg).run(data);
+
+  std::printf("\nzeta^0_11(b0, b2) per primary weight:\n");
+  std::printf("  uncorrected (data only) : %+.4e  <- mask geometry signal\n",
+              uncorrected.zeta_m(0, 2, 1, 1, 0).real() /
+                  uncorrected.sum_primary_weight);
+  std::printf("  corrected (D - R)       : %+.4e  <- cosmological signal\n",
+              corrected.zeta_m(0, 2, 1, 1, 0).real() /
+                  std::abs(corrected.sum_primary_weight));
+
+  // --- jackknife covariance from spatial regions (paper Sec. 6.1) ---
+  // Partition the combined catalog into z-slabs; measure zeta_l(b0,b2) for
+  // l = 0..2 in each region; jackknife the covariance.
+  const auto slabs = sim::spatial_slabs(combined, regions, 2);
+  std::vector<std::vector<double>> samples;
+  for (const auto& region : slabs) {
+    if (region.size() < 500) continue;
+    const core::ZetaResult r = core::Engine(cfg).run(region);
+    if (r.sum_primary_weight == 0.0) continue;
+    std::vector<double> stat;
+    for (int l = 0; l <= 2; ++l)
+      stat.push_back(r.isotropic(l, 0, 2) / std::abs(r.sum_primary_weight));
+    samples.push_back(std::move(stat));
+  }
+  std::printf("\njackknife over %zu spatial regions:\n", samples.size());
+  const std::vector<double> cov = math::jackknife_covariance(samples);
+  const std::size_t d = samples[0].size();
+  std::printf("  zeta_l covariance (l = 0, 1, 2):\n");
+  for (std::size_t i = 0; i < d; ++i) {
+    std::printf("   ");
+    for (std::size_t j = 0; j < d; ++j)
+      std::printf(" %+.3e", cov[i * d + j]);
+    std::printf("\n");
+  }
+  std::printf("  sigma(zeta_0) = %.3e\n", std::sqrt(cov[0]));
+  std::printf(
+      "\nThis is the paper's Sec. 6.1 workflow end to end: mask -> randoms\n"
+      "-> contrast combination -> radial-LOS anisotropic 3PCF -> jackknife\n"
+      "covariance from spatial partitions.\n");
+  return 0;
+}

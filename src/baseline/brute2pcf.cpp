@@ -1,0 +1,47 @@
+#include "baseline/brute2pcf.hpp"
+
+#include <cmath>
+
+#include "math/legendre.hpp"
+
+namespace galactos::baseline {
+
+Brute2PcfResult brute_force_2pcf(const sim::Catalog& catalog,
+                                 const Brute2PcfConfig& cfg) {
+  Brute2PcfResult res;
+  res.bins = cfg.bins;
+  res.lmax = cfg.lmax;
+  res.counts.assign(cfg.bins.count(), 0.0);
+  res.xi_raw.assign(static_cast<std::size_t>(cfg.lmax + 1) * cfg.bins.count(),
+                    0.0);
+  double pl[32];
+  for (std::size_t p = 0; p < catalog.size(); ++p) {
+    core::Rotation rot;
+    bool rotate = false;
+    if (cfg.los == core::LineOfSight::kRadial) {
+      rot = core::rotation_to_z(catalog.position(p) - cfg.observer);
+      rotate = true;
+    }
+    for (std::size_t j = 0; j < catalog.size(); ++j) {
+      if (j == p) continue;
+      double dx = catalog.x[j] - catalog.x[p];
+      double dy = catalog.y[j] - catalog.y[p];
+      double dz = catalog.z[j] - catalog.z[p];
+      if (rotate) rot.apply(dx, dy, dz);
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 <= 0.0) continue;
+      const double r = std::sqrt(r2);
+      const int bin = cfg.bins.bin_of(r);
+      if (bin < 0) continue;
+      const double wpj = catalog.w[p] * catalog.w[j];
+      res.counts[bin] += wpj;
+      math::legendre_all(cfg.lmax, dz / r, pl);
+      for (int l = 0; l <= cfg.lmax; ++l)
+        res.xi_raw[static_cast<std::size_t>(l) * cfg.bins.count() + bin] +=
+            wpj * pl[l];
+    }
+  }
+  return res;
+}
+
+}  // namespace galactos::baseline

@@ -1,0 +1,35 @@
+// O(N^2) brute-force anisotropic 2PCF multipoles — validation oracle for
+// the engine's free 2PCF byproduct (core/twopcf.hpp) and the building block
+// of the Chhugani et al. 2PCF comparison the paper cites (§2.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bins.hpp"
+#include "core/los.hpp"
+#include "sim/catalog.hpp"
+
+namespace galactos::baseline {
+
+struct Brute2PcfConfig {
+  core::RadialBins bins{1.0, 200.0, 10};
+  int lmax = 4;
+  core::LineOfSight los = core::LineOfSight::kPlaneParallelZ;
+  sim::Vec3 observer{0.0, 0.0, 0.0};
+};
+
+struct Brute2PcfResult {
+  core::RadialBins bins;
+  int lmax = 0;
+  std::vector<double> counts;  // weighted pair counts per bin
+  std::vector<double> xi_raw;  // [l][bin]: sum_pairs w_p w_j P_l(mu)
+  double raw(int l, int bin) const {
+    return xi_raw[static_cast<std::size_t>(l) * bins.count() + bin];
+  }
+};
+
+Brute2PcfResult brute_force_2pcf(const sim::Catalog& catalog,
+                                 const Brute2PcfConfig& cfg);
+
+}  // namespace galactos::baseline

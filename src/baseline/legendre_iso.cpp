@@ -1,0 +1,130 @@
+#include "baseline/legendre_iso.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <complex>
+
+#include "math/sph_table.hpp"
+#include "math/ylm_recurrence.hpp"
+#include "tree/cellgrid.hpp"
+#include "util/timer.hpp"
+
+namespace galactos::baseline {
+
+double LegendreIsoResult::zeta_l(int l, int b1, int b2) const {
+  GLX_CHECK(l >= 0 && l <= lmax);
+  const int nb = bins.count();
+  GLX_CHECK(b1 >= 0 && b1 < nb && b2 >= 0 && b2 < nb);
+  if (b1 > b2) std::swap(b1, b2);
+  const std::size_t bp = static_cast<std::size_t>(
+      b1 * nb - b1 * (b1 - 1) / 2 + (b2 - b1));
+  return multipoles[bp * (lmax + 1) + l];
+}
+
+LegendreIsoResult legendre_isotropic_3pcf(const sim::Catalog& catalog,
+                                          const LegendreIsoConfig& cfg) {
+  Timer wall;
+  const int nb = cfg.bins.count();
+  const int lmax = cfg.lmax;
+  const int nlm = math::nlm(lmax);
+  const std::size_t nbp = static_cast<std::size_t>(nb) * (nb + 1) / 2;
+
+  LegendreIsoResult res;
+  res.bins = cfg.bins;
+  res.lmax = lmax;
+  res.multipoles.assign(nbp * (lmax + 1), 0.0);
+
+  const tree::CellGrid<double> grid(catalog, cfg.bins.rmax());
+  const math::YlmRecurrence ylm_eval(lmax);
+  const int nthreads = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
+
+  std::uint64_t pairs_total = 0;
+  double sum_wp = 0.0;
+  std::uint64_t nprim = 0;
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    tree::NeighborList<double> nl;
+    std::vector<std::complex<double>> alm(static_cast<std::size_t>(nb) * nlm);
+    std::vector<std::complex<double>> ylm(nlm);
+    std::vector<std::uint8_t> touched(nb);
+    std::vector<double> local(nbp * (lmax + 1), 0.0);
+    std::uint64_t my_pairs = 0;
+    double my_wp = 0.0;
+    std::uint64_t my_prim = 0;
+
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t p = 0; p < static_cast<std::int64_t>(catalog.size());
+         ++p) {
+      const double wp = catalog.w[p];
+      nl.clear();
+      grid.gather_neighbors(catalog.x[p], catalog.y[p], catalog.z[p],
+                            cfg.bins.rmax(), nl);
+      std::fill(alm.begin(), alm.end(), std::complex<double>{0.0, 0.0});
+      std::fill(touched.begin(), touched.end(), 0);
+
+      for (std::size_t j = 0; j < nl.size(); ++j) {
+        if (nl.idx[j] == p) continue;
+        const double r2 = nl.r2[j];
+        if (r2 <= 0.0) continue;
+        const double r = std::sqrt(r2);
+        const int bin = cfg.bins.bin_of(r);
+        if (bin < 0) continue;
+        ++my_pairs;
+        const double inv = 1.0 / r;
+        ylm_eval.eval_all(nl.dx[j] * inv, nl.dy[j] * inv, nl.dz[j] * inv,
+                          ylm.data());
+        touched[bin] = 1;
+        std::complex<double>* a =
+            alm.data() + static_cast<std::size_t>(bin) * nlm;
+        for (int i = 0; i < nlm; ++i) a[i] += nl.w[j] * std::conj(ylm[i]);
+      }
+
+      // Contract over spins: N_l(b1,b2) += wp * 4pi/(2l+1) *
+      //   [a_l0(b1) a*_l0(b2) + 2 Re sum_{m>0} a_lm(b1) a*_lm(b2)].
+      for (int b1 = 0; b1 < nb; ++b1) {
+        if (!touched[b1]) continue;
+        const std::complex<double>* a1 =
+            alm.data() + static_cast<std::size_t>(b1) * nlm;
+        for (int b2 = b1; b2 < nb; ++b2) {
+          if (!touched[b2]) continue;
+          const std::complex<double>* a2 =
+              alm.data() + static_cast<std::size_t>(b2) * nlm;
+          const std::size_t bp = static_cast<std::size_t>(
+              b1 * nb - b1 * (b1 - 1) / 2 + (b2 - b1));
+          for (int l = 0; l <= lmax; ++l) {
+            double s =
+                (a1[math::lm_index(l, 0)] * std::conj(a2[math::lm_index(l, 0)]))
+                    .real();
+            for (int m = 1; m <= l; ++m)
+              s += 2.0 * (a1[math::lm_index(l, m)] *
+                          std::conj(a2[math::lm_index(l, m)]))
+                             .real();
+            local[bp * (lmax + 1) + l] +=
+                wp * 4.0 * M_PI / (2.0 * l + 1.0) * s;
+          }
+        }
+      }
+      my_wp += wp;
+      ++my_prim;
+    }
+
+#pragma omp critical
+    {
+      for (std::size_t i = 0; i < local.size(); ++i)
+        res.multipoles[i] += local[i];
+      pairs_total += my_pairs;
+      sum_wp += my_wp;
+      nprim += my_prim;
+    }
+  }
+
+  res.n_pairs = pairs_total;
+  res.sum_primary_weight = sum_wp;
+  res.n_primaries = nprim;
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+}  // namespace galactos::baseline

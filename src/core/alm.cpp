@@ -1,0 +1,55 @@
+#include "core/alm.hpp"
+
+namespace galactos::core {
+
+void compute_alm(const math::SphHarmTable& table,
+                 const MultipoleAccumulator& acc, std::complex<double>* alm,
+                 std::uint8_t* touched) {
+  const int nbins = acc.config().nbins;
+  const int nlm = math::nlm(table.lmax());
+  for (int b = 0; b < nbins; ++b) {
+    touched[b] = acc.bin_touched(b) ? 1 : 0;
+    if (!touched[b]) continue;
+    table.alm_from_power_sums(acc.power_sums(b),
+                              alm + static_cast<std::size_t>(b) * nlm);
+  }
+}
+
+SelfPairAccumulator::SelfPairAccumulator(const math::SphHarmTable& table,
+                                         const LlmIndex& llm, int nbins)
+    : table_(&table), llm_(&llm), nbins_(nbins) {
+  GLX_CHECK(table.lmax() == llm.lmax());
+  ylm_.resize(math::nlm(table.lmax()));
+  data_.assign(static_cast<std::size_t>(nbins) * llm.size(), {0.0, 0.0});
+  touched_.assign(nbins, 0);
+  touched_list_.reserve(nbins);
+}
+
+void SelfPairAccumulator::start_primary() {
+  for (int b : touched_list_) {
+    touched_[b] = 0;
+    std::complex<double>* d =
+        data_.data() + static_cast<std::size_t>(b) * llm_->size();
+    for (int i = 0; i < llm_->size(); ++i) d[i] = {0.0, 0.0};
+  }
+  touched_list_.clear();
+}
+
+void SelfPairAccumulator::add(int bin, double ux, double uy, double uz,
+                              double w) {
+  GLX_DCHECK(bin >= 0 && bin < nbins_);
+  if (!touched_[bin]) {
+    touched_[bin] = 1;
+    touched_list_.push_back(bin);
+  }
+  table_->eval_all(ux, uy, uz, ylm_.data());
+  std::complex<double>* d =
+      data_.data() + static_cast<std::size_t>(bin) * llm_->size();
+  const int* i1 = llm_->alm_index_1().data();
+  const int* i2 = llm_->alm_index_2().data();
+  const double w2 = w * w;
+  for (int i = 0; i < llm_->size(); ++i)
+    d[i] += w2 * (std::conj(ylm_[i1[i]]) * ylm_[i2[i]]);
+}
+
+}  // namespace galactos::core

@@ -1,0 +1,53 @@
+// Per-primary a_lm assembly and the optional self-pair correction.
+//
+// After the kernel has reduced a primary's power sums, a_lm(bin) follows
+// from the precomputed Y_lm monomial tables (math/sph_table.hpp). For
+// diagonal bin pairs (r1 and r2 in the same shell) the product
+// a_lm(b) a*_l'm(b) includes the degenerate j == k terms — "triangles"
+// whose two secondaries are the same galaxy. SelfPairAccumulator tracks
+// sum_j w_j^2 conj(Y_lm(u_j)) Y_l'm(u_j) per bin so the engine can subtract
+// them exactly (validated against the brute-force oracle both ways).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel.hpp"
+#include "core/zeta.hpp"
+#include "math/sph_table.hpp"
+
+namespace galactos::core {
+
+// Computes alm[bin][lm] for every touched bin of `acc`; untouched bins are
+// left unmodified (callers consult `touched`). alm must hold
+// nbins * nlm(lmax) complex entries; touched must hold nbins flags.
+void compute_alm(const math::SphHarmTable& table,
+                 const MultipoleAccumulator& acc, std::complex<double>* alm,
+                 std::uint8_t* touched);
+
+class SelfPairAccumulator {
+ public:
+  SelfPairAccumulator(const math::SphHarmTable& table, const LlmIndex& llm,
+                      int nbins);
+
+  void start_primary();
+  // Adds one secondary with unit direction (ux, uy, uz) and weight w.
+  void add(int bin, double ux, double uy, double uz, double w);
+  // Per-bin self matrix in LlmIndex order; only touched bins are valid.
+  const std::complex<double>* self(int bin) const {
+    return data_.data() + static_cast<std::size_t>(bin) * llm_->size();
+  }
+  bool bin_touched(int bin) const { return touched_[bin] != 0; }
+
+ private:
+  const math::SphHarmTable* table_;
+  const LlmIndex* llm_;
+  int nbins_;
+  std::vector<std::complex<double>> ylm_;   // scratch, nlm entries
+  std::vector<std::complex<double>> data_;  // [nbins][nllm]
+  std::vector<std::uint8_t> touched_;
+  std::vector<int> touched_list_;
+};
+
+}  // namespace galactos::core

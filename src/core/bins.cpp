@@ -1,0 +1,43 @@
+#include "core/bins.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace galactos::core {
+
+RadialBins::RadialBins(double rmin, double rmax, int nbins,
+                       BinSpacing spacing)
+    : rmin_(rmin), rmax_(rmax), nbins_(nbins), spacing_(spacing) {
+  GLX_CHECK_MSG(rmax > rmin && rmin >= 0, "need 0 <= rmin < rmax");
+  GLX_CHECK(nbins >= 1);
+  if (spacing == BinSpacing::kLog)
+    GLX_CHECK_MSG(rmin > 0, "log bins need rmin > 0");
+
+  edges_.resize(nbins + 1);
+  if (spacing == BinSpacing::kLinear) {
+    const double w = (rmax - rmin) / nbins;
+    inv_width_ = 1.0 / w;
+    for (int i = 0; i <= nbins; ++i) edges_[i] = rmin + w * i;
+  } else {
+    const double lw = std::log(rmax / rmin) / nbins;
+    inv_rmin_ = 1.0 / rmin;
+    inv_logw_ = 1.0 / lw;
+    for (int i = 0; i <= nbins; ++i) edges_[i] = rmin * std::exp(lw * i);
+  }
+  edges_[nbins] = rmax;
+}
+
+double RadialBins::shell_volume(int i) const {
+  GLX_DCHECK(i >= 0 && i < nbins_);
+  const double lo = edges_[i], hi = edges_[i + 1];
+  return 4.0 / 3.0 * M_PI * (hi * hi * hi - lo * lo * lo);
+}
+
+std::string RadialBins::describe() const {
+  std::ostringstream os;
+  os << nbins_ << (spacing_ == BinSpacing::kLinear ? " linear" : " log")
+     << " bins in [" << rmin_ << ", " << rmax_ << ")";
+  return os.str();
+}
+
+}  // namespace galactos::core

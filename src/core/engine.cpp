@@ -1,0 +1,241 @@
+#include "core/engine.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "core/alm.hpp"
+#include "core/twopcf.hpp"
+#include "tree/cellgrid.hpp"
+#include "tree/kdtree.hpp"
+
+namespace galactos::core {
+
+namespace {
+
+template <typename Real, typename Index>
+Index make_index(const sim::Catalog& catalog, const EngineConfig& cfg) {
+  if constexpr (std::is_same_v<Index, tree::KdTree<Real>>) {
+    typename tree::KdTree<Real>::BuildParams bp;
+    bp.leaf_size = cfg.leaf_size;
+    return tree::KdTree<Real>(catalog, bp);
+  } else {
+    return tree::CellGrid<Real>(catalog, cfg.bins.rmax());
+  }
+}
+
+template <typename Real, typename Index>
+void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
+              const std::vector<std::int64_t>* primaries, ZetaResult& result,
+              EngineStats& stats) {
+  Timer wall;
+  const int nbins = cfg.bins.count();
+  const int lmax = cfg.lmax;
+  const int nlm = math::nlm(lmax);
+  const math::SphHarmTable table(lmax);
+  const LlmIndex llm(lmax);
+
+  Timer tbuild;
+  const Index index = make_index<Real, Index>(catalog, cfg);
+  stats.phases.add("index build", tbuild.seconds());
+
+  const std::int64_t np =
+      primaries ? static_cast<std::int64_t>(primaries->size())
+                : static_cast<std::int64_t>(catalog.size());
+
+  const int nthreads =
+      cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
+
+  // Per-thread partial accumulators, merged in thread-id order after the
+  // parallel region so results are bit-identical run to run.
+  std::vector<std::unique_ptr<ZetaAccumulator>> zeta_parts(nthreads);
+  std::vector<std::unique_ptr<TwoPcfAccumulator>> xi_parts(nthreads);
+  std::vector<std::uint64_t> pairs_parts(nthreads, 0), cand_parts(nthreads, 0),
+      skip_parts(nthreads, 0);
+  std::vector<double> tq_parts(nthreads, 0), tk_parts(nthreads, 0),
+      tz_parts(nthreads, 0);
+
+  Timer tcompute;
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int tid = omp_get_thread_num();
+    KernelConfig kc;
+    kc.lmax = lmax;
+    kc.nbins = nbins;
+    kc.bucket_capacity = cfg.bucket_capacity;
+    kc.scheme = cfg.scheme;
+    kc.ilp = cfg.ilp;
+    MultipoleAccumulator acc(kc);
+    tree::NeighborList<Real> nl;
+    std::vector<std::complex<double>> alm(
+        static_cast<std::size_t>(nbins) * nlm);
+    std::vector<std::uint8_t> touched(nbins, 0);
+    ZetaAccumulator zeta(lmax, nbins);
+    TwoPcfAccumulator xi(lmax, nbins);
+    std::optional<SelfPairAccumulator> sp;
+    if (cfg.subtract_self_pairs) sp.emplace(table, llm, nbins);
+    double q_time = 0, k_time = 0, z_time = 0;
+    std::uint64_t my_cand = 0, my_skip = 0;
+
+    auto process = [&](std::int64_t pi) {
+      const std::int64_t p = primaries ? (*primaries)[pi] : pi;
+      const sim::Vec3 pos = catalog.position(static_cast<std::size_t>(p));
+
+      Rotation rot;
+      bool rotate = false;
+      if (cfg.los == LineOfSight::kRadial) {
+        const sim::Vec3 rel = pos - cfg.observer;
+        if (rel.norm2() == 0.0) {
+          ++my_skip;
+          return;
+        }
+        rot = rotation_to_z(rel);
+        rotate = true;
+      }
+
+      Timer tq;
+      nl.clear();
+      index.gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(), nl);
+      q_time += tq.seconds();
+
+      Timer tk;
+      acc.start_primary();
+      if (sp) sp->start_primary();
+      const std::size_t count = nl.size();
+      for (std::size_t j = 0; j < count; ++j) {
+        if (nl.idx[j] == p) continue;
+        double dx = static_cast<double>(nl.dx[j]);
+        double dy = static_cast<double>(nl.dy[j]);
+        double dz = static_cast<double>(nl.dz[j]);
+        if (rotate) rot.apply(dx, dy, dz);
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 <= 0.0) continue;  // coincident galaxies: direction undefined
+        const double r = std::sqrt(r2);
+        const int bin = cfg.bins.bin_of(r);
+        if (bin < 0) continue;
+        const double inv = 1.0 / r;
+        acc.push(bin, dx * inv, dy * inv, dz * inv, nl.w[j]);
+        if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, nl.w[j]);
+      }
+      acc.finish_primary();
+      k_time += tk.seconds();
+      my_cand += count;
+
+      Timer tz;
+      compute_alm(table, acc, alm.data(), touched.data());
+      const double wp = catalog.w[static_cast<std::size_t>(p)];
+      for (int b = 0; b < nbins; ++b)
+        if (touched[b])
+          xi.add_primary_bin(wp, b, acc.power_sums(b), table.monomials());
+      zeta.add_primary(wp, alm.data(), touched.data());
+      if (sp)
+        for (int b = 0; b < nbins; ++b)
+          if (sp->bin_touched(b)) zeta.subtract_self(wp, b, sp->self(b));
+      z_time += tz.seconds();
+    };
+
+    if (cfg.schedule == OmpSchedule::kDynamic) {
+#pragma omp for schedule(dynamic, 4)
+      for (std::int64_t i = 0; i < np; ++i) process(i);
+    } else {
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0; i < np; ++i) process(i);
+    }
+
+    zeta_parts[tid] = std::make_unique<ZetaAccumulator>(std::move(zeta));
+    xi_parts[tid] = std::make_unique<TwoPcfAccumulator>(std::move(xi));
+    pairs_parts[tid] = acc.pairs_processed();
+    cand_parts[tid] = my_cand;
+    skip_parts[tid] = my_skip;
+    tq_parts[tid] = q_time;
+    tk_parts[tid] = k_time;
+    tz_parts[tid] = z_time;
+  }
+  const double compute_wall = tcompute.seconds();
+
+  ZetaAccumulator zeta_total(lmax, nbins);
+  TwoPcfAccumulator xi_total(lmax, nbins);
+  std::uint64_t pairs_total = 0, cand_total = 0, skipped_total = 0;
+  double t_query = 0, t_kernel = 0, t_zeta = 0;
+  std::vector<std::uint64_t> per_thread;
+  for (int t = 0; t < nthreads; ++t) {
+    if (zeta_parts[t]) zeta_total.merge(*zeta_parts[t]);
+    if (xi_parts[t]) xi_total.merge(*xi_parts[t]);
+    pairs_total += pairs_parts[t];
+    cand_total += cand_parts[t];
+    skipped_total += skip_parts[t];
+    t_query += tq_parts[t];
+    t_kernel += tk_parts[t];
+    t_zeta += tz_parts[t];
+    per_thread.push_back(pairs_parts[t]);
+  }
+
+  // Thread-summed phase times divided by thread count approximate the
+  // wall-clock share of each phase inside the parallel region; the residual
+  // (imbalance + merge) is reported separately so shares sum to the wall.
+  const double dn = static_cast<double>(nthreads);
+  stats.phases.add("neighbor query", t_query / dn);
+  stats.phases.add("multipole kernel", t_kernel / dn);
+  stats.phases.add("alm+zeta", t_zeta / dn);
+  stats.phases.add("imbalance+merge",
+                   std::max(0.0, compute_wall -
+                                     (t_query + t_kernel + t_zeta) / dn));
+
+  stats.pairs = pairs_total;
+  stats.candidates = cand_total;
+  stats.primaries_skipped = skipped_total;
+  stats.pairs_per_thread = std::move(per_thread);
+  stats.kernel_flop_count =
+      static_cast<double>(pairs_total) * kernel_flops_per_pair(lmax);
+  stats.wall_seconds = wall.seconds();
+
+  result.bins = cfg.bins;
+  result.lmax = lmax;
+  result.n_primaries = zeta_total.primaries();
+  result.sum_primary_weight = zeta_total.sum_weight();
+  result.n_pairs = pairs_total;
+  result.zeta_data = zeta_total.snapshot();
+  result.pair_counts = xi_total.counts();
+  result.xi_raw = xi_total.xi_raw();
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
+  GLX_CHECK(cfg_.lmax >= 0 && cfg_.lmax <= 16);
+  GLX_CHECK(cfg_.bins.count() >= 1);
+}
+
+ZetaResult Engine::run(const sim::Catalog& catalog,
+                       const std::vector<std::int64_t>* primaries,
+                       EngineStats* stats) const {
+  GLX_CHECK_MSG(!catalog.empty(), "empty catalog");
+  if (primaries)
+    for (std::int64_t p : *primaries)
+      GLX_CHECK_MSG(p >= 0 && p < static_cast<std::int64_t>(catalog.size()),
+                    "primary index out of range: " << p);
+
+  ZetaResult result;
+  EngineStats local_stats;
+  EngineStats& st = stats ? *stats : local_stats;
+
+  const bool mixed = cfg_.precision == TreePrecision::kMixed;
+  const bool grid = cfg_.index == NeighborIndex::kCellGrid;
+  if (mixed && grid)
+    run_impl<float, tree::CellGrid<float>>(cfg_, catalog, primaries, result,
+                                           st);
+  else if (mixed)
+    run_impl<float, tree::KdTree<float>>(cfg_, catalog, primaries, result,
+                                         st);
+  else if (grid)
+    run_impl<double, tree::CellGrid<double>>(cfg_, catalog, primaries, result,
+                                             st);
+  else
+    run_impl<double, tree::KdTree<double>>(cfg_, catalog, primaries, result,
+                                           st);
+  return result;
+}
+
+}  // namespace galactos::core

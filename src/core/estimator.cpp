@@ -1,0 +1,47 @@
+#include "core/estimator.hpp"
+
+#include "math/stats.hpp"
+#include "sim/generators.hpp"
+#include "sim/mask.hpp"
+
+namespace galactos::core {
+
+ZetaResult periodic_box_3pcf(const sim::Catalog& catalog,
+                             const sim::Aabb& box, const EngineConfig& cfg,
+                             EngineStats* stats) {
+  const sim::PeriodicCatalog pc =
+      sim::with_periodic_ghosts(catalog, box, cfg.bins.rmax());
+  Engine engine(cfg);
+  return engine.run(pc.points, &pc.primaries, stats);
+}
+
+ZetaResult survey_3pcf(const sim::Catalog& data, const sim::Catalog& randoms,
+                       const EngineConfig& cfg, EngineStats* stats) {
+  GLX_CHECK_MSG(!randoms.empty(), "survey estimator needs a random catalog");
+  const sim::Catalog combined = sim::data_minus_randoms(data, randoms);
+  Engine engine(cfg);
+  return engine.run(combined, nullptr, stats);
+}
+
+std::vector<double> jackknife_zeta_covariance(
+    const sim::Catalog& catalog, const EngineConfig& cfg, int regions,
+    int dim,
+    const std::function<std::vector<double>(const ZetaResult&)>& extract,
+    std::size_t min_galaxies) {
+  GLX_CHECK(regions >= 2);
+  const std::vector<sim::Catalog> slabs =
+      sim::spatial_slabs(catalog, regions, dim);
+  Engine engine(cfg);
+  std::vector<std::vector<double>> samples;
+  for (const sim::Catalog& region : slabs) {
+    if (region.size() < min_galaxies) continue;
+    const ZetaResult r = engine.run(region);
+    if (r.sum_primary_weight == 0.0) continue;
+    samples.push_back(extract(r));
+  }
+  GLX_CHECK_MSG(samples.size() >= 2,
+                "too few usable jackknife regions (" << samples.size() << ")");
+  return math::jackknife_covariance(samples);
+}
+
+}  // namespace galactos::core

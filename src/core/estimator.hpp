@@ -1,0 +1,47 @@
+// High-level estimators wrapping the engine (paper §6.1):
+//
+// * periodic_box_3pcf — exact periodic-box measurement via ghost
+//   replication (simulation snapshots; removes all edge bias).
+// * survey_3pcf — masked-survey measurement: combines data (+1) with
+//   randoms (-N_D/N_R) so the estimated multipoles track the density
+//   contrast, cancelling the survey-geometry signal.
+// * jackknife_zeta_covariance — spatial-region jackknife covariance of a
+//   user-selected set of zeta statistics (the paper's observation that the
+//   per-node partition doubles as jackknife regions).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/catalog.hpp"
+#include "sim/periodic.hpp"
+
+namespace galactos::core {
+
+// Exact periodic-box 3PCF: every primary sees its full R_max neighborhood
+// through boundary ghosts. `box` must bound the catalog; requires
+// rmax < box_side / 2.
+ZetaResult periodic_box_3pcf(const sim::Catalog& catalog,
+                             const sim::Aabb& box, const EngineConfig& cfg,
+                             EngineStats* stats = nullptr);
+
+// Survey estimator: zeta of the D - (N_D/N_R) R contrast field. The randoms
+// must sample the survey geometry (sim::random_in_mask). LOS should be
+// kRadial with the survey's observer. Primaries are data + randoms (both
+// sample the geometry, as in the Slepian-Eisenstein NNN estimator).
+ZetaResult survey_3pcf(const sim::Catalog& data, const sim::Catalog& randoms,
+                       const EngineConfig& cfg, EngineStats* stats = nullptr);
+
+// Delete-one spatial jackknife: splits `catalog` into `regions` slabs along
+// `dim`, measures zeta per region, extracts the statistics selected by
+// `extract`, and returns their jackknife covariance (row-major d x d,
+// d = extract(result).size()). Regions with fewer than `min_galaxies` are
+// skipped.
+std::vector<double> jackknife_zeta_covariance(
+    const sim::Catalog& catalog, const EngineConfig& cfg, int regions,
+    int dim, const std::function<std::vector<double>(const ZetaResult&)>&
+                  extract,
+    std::size_t min_galaxies = 100);
+
+}  // namespace galactos::core

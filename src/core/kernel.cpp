@@ -1,0 +1,267 @@
+#include "core/kernel.hpp"
+
+#include <cstring>
+
+namespace galactos::core {
+
+namespace {
+
+// One 8-pair chunk though the monomial tree with running products.
+// NV chunks are interleaved for ILP; their partial products are summed
+// pairwise before the single accumulator update per monomial, keeping the
+// dependency chain on acc short. With OVW the accumulator is stored, not
+// accumulated (first contribution of a primary — saves the zeroing pass).
+template <int NV, bool OVW>
+void running_product_block(const double* __restrict ux,
+                           const double* __restrict uy,
+                           const double* __restrict uz,
+                           const double* __restrict w, int lmax,
+                           double* __restrict acc) {
+  double px[NV][kLanes], py[NV][kLanes], pz[NV][kLanes];
+  for (int v = 0; v < NV; ++v)
+#pragma omp simd
+    for (int l = 0; l < kLanes; ++l) px[v][l] = w[v * kLanes + l];
+
+  int t = 0;
+  for (int a = 0; a <= lmax; ++a) {
+    for (int v = 0; v < NV; ++v)
+#pragma omp simd
+      for (int l = 0; l < kLanes; ++l) py[v][l] = px[v][l];
+    for (int b = 0; a + b <= lmax; ++b) {
+      for (int v = 0; v < NV; ++v)
+#pragma omp simd
+        for (int l = 0; l < kLanes; ++l) pz[v][l] = py[v][l];
+      for (int c = 0; a + b + c <= lmax; ++c) {
+        double* __restrict at = acc + static_cast<std::size_t>(t) * kLanes;
+        if constexpr (NV == 1) {
+#pragma omp simd
+          for (int l = 0; l < kLanes; ++l) {
+            if constexpr (OVW) at[l] = pz[0][l];
+            else at[l] += pz[0][l];
+            pz[0][l] *= uz[l];
+          }
+        } else if constexpr (NV == 2) {
+#pragma omp simd
+          for (int l = 0; l < kLanes; ++l) {
+            const double s = pz[0][l] + pz[1][l];
+            if constexpr (OVW) at[l] = s;
+            else at[l] += s;
+            pz[0][l] *= uz[l];
+            pz[1][l] *= uz[kLanes + l];
+          }
+        } else {
+          static_assert(NV == 4);
+#pragma omp simd
+          for (int l = 0; l < kLanes; ++l) {
+            const double s = (pz[0][l] + pz[1][l]) + (pz[2][l] + pz[3][l]);
+            if constexpr (OVW) at[l] = s;
+            else at[l] += s;
+            pz[0][l] *= uz[l];
+            pz[1][l] *= uz[kLanes + l];
+            pz[2][l] *= uz[2 * kLanes + l];
+            pz[3][l] *= uz[3 * kLanes + l];
+          }
+        }
+        ++t;
+      }
+      for (int v = 0; v < NV; ++v)
+#pragma omp simd
+        for (int l = 0; l < kLanes; ++l) py[v][l] *= uy[v * kLanes + l];
+    }
+    for (int v = 0; v < NV; ++v)
+#pragma omp simd
+      for (int l = 0; l < kLanes; ++l) px[v][l] *= ux[v * kLanes + l];
+  }
+}
+
+template <int NV>
+void dispatch_block(const double* ux, const double* uy, const double* uz,
+                    const double* w, int lmax, double* acc, bool overwrite) {
+  if (overwrite)
+    running_product_block<NV, true>(ux, uy, uz, w, lmax, acc);
+  else
+    running_product_block<NV, false>(ux, uy, uz, w, lmax, acc);
+}
+
+}  // namespace
+
+void kernel_running_product(const double* ux, const double* uy,
+                            const double* uz, const double* w, int count,
+                            int lmax, double* acc, int ilp, bool overwrite) {
+  GLX_CHECK(count % kLanes == 0);
+  GLX_CHECK(ilp == 1 || ilp == 2 || ilp == 4);
+  int i = 0;
+  const int step = ilp * kLanes;
+  bool ovw = overwrite;
+  for (; i + step <= count; i += step) {
+    switch (ilp) {
+      case 1:
+        dispatch_block<1>(ux + i, uy + i, uz + i, w + i, lmax, acc, ovw);
+        break;
+      case 2:
+        dispatch_block<2>(ux + i, uy + i, uz + i, w + i, lmax, acc, ovw);
+        break;
+      default:
+        dispatch_block<4>(ux + i, uy + i, uz + i, w + i, lmax, acc, ovw);
+        break;
+    }
+    ovw = false;
+  }
+  for (; i < count; i += kLanes) {
+    dispatch_block<1>(ux + i, uy + i, uz + i, w + i, lmax, acc, ovw);
+    ovw = false;
+  }
+}
+
+void kernel_zbuffered(const double* ux, const double* uy, const double* uz,
+                      const double* w, int count, int lmax, double* acc,
+                      double* zscratch, bool overwrite) {
+  GLX_CHECK(count % kLanes == 0);
+  double* __restrict xyw = zscratch;          // w * ux^a * uy^b
+  double* __restrict zz = zscratch + count;   // xyw * uz^c (running)
+
+  // Invariants at loop heads:
+  //   a-loop: xw_i = w_i * ux_i^a
+  //   b-loop: xyw_i = xw_i * uy_i^b
+  //   c-loop: zz_i  = xyw_i * uz_i^c
+  static thread_local std::vector<double> xw_storage;
+  if (static_cast<int>(xw_storage.size()) < count) xw_storage.resize(count);
+  double* __restrict xw = xw_storage.data();
+
+#pragma omp simd
+  for (int i = 0; i < count; ++i) xw[i] = w[i];
+
+  int t = 0;
+  for (int a = 0; a <= lmax; ++a) {
+#pragma omp simd
+    for (int i = 0; i < count; ++i) xyw[i] = xw[i];
+    for (int b = 0; a + b <= lmax; ++b) {
+#pragma omp simd
+      for (int i = 0; i < count; ++i) zz[i] = xyw[i];
+      for (int c = 0; a + b + c <= lmax; ++c) {
+        double* __restrict at = acc + static_cast<std::size_t>(t) * kLanes;
+        double lane[kLanes];
+        if (overwrite) {
+#pragma omp simd
+          for (int l = 0; l < kLanes; ++l) lane[l] = 0.0;
+        } else {
+#pragma omp simd
+          for (int l = 0; l < kLanes; ++l) lane[l] = at[l];
+        }
+        for (int i = 0; i < count; i += kLanes) {
+#pragma omp simd
+          for (int l = 0; l < kLanes; ++l) {
+            lane[l] += zz[i + l];
+            zz[i + l] *= uz[i + l];
+          }
+        }
+#pragma omp simd
+        for (int l = 0; l < kLanes; ++l) at[l] = lane[l];
+        ++t;
+      }
+#pragma omp simd
+      for (int i = 0; i < count; ++i) xyw[i] *= uy[i];
+    }
+#pragma omp simd
+    for (int i = 0; i < count; ++i) xw[i] *= ux[i];
+  }
+}
+
+void kernel_reference(const double* ux, const double* uy, const double* uz,
+                      const double* w, int count, int lmax, double* sums) {
+  for (int i = 0; i < count; ++i) {
+    double pa = w[i];
+    int t = 0;
+    for (int a = 0; a <= lmax; ++a) {
+      double pb = pa;
+      for (int b = 0; a + b <= lmax; ++b) {
+        double pc = pb;
+        for (int c = 0; a + b + c <= lmax; ++c) {
+          sums[t++] += pc;
+          pc *= uz[i];
+        }
+        pb *= uy[i];
+      }
+      pa *= ux[i];
+    }
+  }
+}
+
+MultipoleAccumulator::MultipoleAccumulator(const KernelConfig& cfg)
+    : cfg_(cfg), n_mono_(math::monomial_count(cfg.lmax)) {
+  GLX_CHECK(cfg.lmax >= 0 && cfg.lmax <= 16);
+  GLX_CHECK(cfg.nbins >= 1);
+  GLX_CHECK_MSG(cfg.bucket_capacity >= kLanes &&
+                    cfg.bucket_capacity % kLanes == 0,
+                "bucket capacity must be a positive multiple of " << kLanes);
+  GLX_CHECK(cfg.ilp == 1 || cfg.ilp == 2 || cfg.ilp == 4);
+
+  const std::size_t nb = static_cast<std::size_t>(cfg.nbins);
+  acc_.reset(nb * n_mono_ * kLanes);
+  bucket_.reset(nb * 4 * cfg.bucket_capacity);
+  sums_.reset(nb * n_mono_);
+  zscratch_.reset(2 * static_cast<std::size_t>(cfg.bucket_capacity));
+  fill_.assign(cfg.nbins, 0);
+  touched_.assign(cfg.nbins, 0);
+  first_flush_.assign(cfg.nbins, 0);
+  touched_list_.reserve(cfg.nbins);
+}
+
+void MultipoleAccumulator::start_primary() {
+  for (int bin : touched_list_) {
+    fill_[bin] = 0;
+    touched_[bin] = 0;
+    first_flush_[bin] = 0;
+  }
+  touched_list_.clear();
+}
+
+void MultipoleAccumulator::touch(int bin) {
+  touched_[bin] = 1;
+  first_flush_[bin] = 1;  // first flush stores instead of accumulating
+  touched_list_.push_back(bin);
+}
+
+void MultipoleAccumulator::flush(int bin) {
+  const int cap = cfg_.bucket_capacity;
+  double* bu = bucket_.data() + static_cast<std::size_t>(bin) * 4 * cap;
+  int count = fill_[bin];
+  if (count == 0) return;
+  pairs_ += static_cast<std::uint64_t>(count);
+  // Pad to a full lane group with zero-weight entries.
+  const int padded = (count + kLanes - 1) / kLanes * kLanes;
+  for (int i = count; i < padded; ++i) {
+    bu[i] = 0.0;
+    bu[cap + i] = 0.0;
+    bu[2 * cap + i] = 0.0;
+    bu[3 * cap + i] = 0.0;
+  }
+  double* a = acc_.data() + static_cast<std::size_t>(bin) * n_mono_ * kLanes;
+  const bool overwrite = first_flush_[bin] != 0;
+  first_flush_[bin] = 0;
+  if (cfg_.scheme == KernelScheme::kRunningProduct) {
+    kernel_running_product(bu, bu + cap, bu + 2 * cap, bu + 3 * cap, padded,
+                           cfg_.lmax, a, cfg_.ilp, overwrite);
+  } else {
+    kernel_zbuffered(bu, bu + cap, bu + 2 * cap, bu + 3 * cap, padded,
+                     cfg_.lmax, a, zscratch_.data(), overwrite);
+  }
+  fill_[bin] = 0;
+}
+
+void MultipoleAccumulator::finish_primary() {
+  for (int bin : touched_list_) {
+    if (fill_[bin] > 0) flush(bin);
+    // Single lane reduction per primary (paper §3.3.2).
+    const double* a =
+        acc_.data() + static_cast<std::size_t>(bin) * n_mono_ * kLanes;
+    double* s = sums_.data() + static_cast<std::size_t>(bin) * n_mono_;
+    for (int t = 0; t < n_mono_; ++t) {
+      const double* at = a + static_cast<std::size_t>(t) * kLanes;
+      s[t] = ((at[0] + at[1]) + (at[2] + at[3])) +
+             ((at[4] + at[5]) + (at[6] + at[7]));
+    }
+  }
+}
+
+}  // namespace galactos::core

@@ -1,0 +1,128 @@
+// The multipole accumulation kernel — where Galactos spends 55 % of its
+// runtime (paper Fig. 4) and reaches 39 % of peak (paper §3.3.2).
+//
+// Per radial bin the kernel accumulates, over all (primary, secondary)
+// pairs, the power sums
+//
+//     S[a,b,c] += w * (dx/r)^a (dy/r)^b (dz/r)^c,    a+b+c <= lmax,
+//
+// 286 terms for lmax = 10 at 2 FLOPs each (575+ FLOP/pair, matching the
+// paper's 576). The design follows §3.3 exactly:
+//
+// * Pre-binning (§3.3.1): pairs are buffered into per-bin SoA *buckets* of
+//   `bucket_capacity` (paper: k = 128) and processed a bucket at a time, so
+//   vector operations touch a single bin's accumulators (cache reuse).
+// * Lane accumulators (§3.3.2): each S[a,b,c] is an 8-wide lane array;
+//   groups of 8 pairs accumulate lane-wise and a single reduction per
+//   primary collapses lanes — replacing N/8 vector reductions with one.
+// * Two accumulation schemes (ablation, §3.3.2/§3.3.3):
+//   - kRunningProduct: per 8-pair chunk, walk the (a,b,c) monomial tree
+//     with running products; `ilp` independent chunks are interleaved to
+//     expose instruction-level parallelism (paper: 4 independent vectors).
+//   - kZBuffered: block over (a,b); a z-running buffer holds the whole
+//     bucket so the inner c-loop streams 16 independent vectors per
+//     monomial (the paper's cache-blocked variant).
+#pragma once
+
+#include <cstdint>
+
+#include "math/sph_table.hpp"
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+
+namespace galactos::core {
+
+inline constexpr int kLanes = 8;  // 512-bit worth of doubles, as on KNL
+
+enum class KernelScheme { kRunningProduct, kZBuffered };
+
+struct KernelConfig {
+  int lmax = 10;
+  int nbins = 10;
+  int bucket_capacity = 128;  // pairs per bucket; multiple of kLanes
+  KernelScheme scheme = KernelScheme::kRunningProduct;  // paper's design
+  int ilp = 4;  // independent streams for kRunningProduct (1, 2 or 4)
+};
+
+// FLOPs per pair attributed to the kernel: one FMA (2 FLOPs) per monomial.
+inline double kernel_flops_per_pair(int lmax) {
+  return 2.0 * math::monomial_count(lmax);
+}
+
+// --- Raw bucket kernels (exposed for unit tests and the kernel bench). ---
+// All require count % kLanes == 0 (callers pad with zero weight); `acc` is
+// the lane accumulator block acc[n_mono][kLanes]. With `overwrite` the
+// first contribution stores instead of accumulating, so callers never have
+// to zero `acc` (the memset would cost as much as a ~40-pair bucket).
+
+void kernel_running_product(const double* ux, const double* uy,
+                            const double* uz, const double* w, int count,
+                            int lmax, double* acc, int ilp,
+                            bool overwrite = false);
+
+void kernel_zbuffered(const double* ux, const double* uy, const double* uz,
+                      const double* w, int count, int lmax, double* acc,
+                      double* zscratch /* >= 2*count doubles */,
+                      bool overwrite = false);
+
+// Scalar oracle (any count), accumulating directly into sums[n_mono].
+void kernel_reference(const double* ux, const double* uy, const double* uz,
+                      const double* w, int count, int lmax, double* sums);
+
+// --- Per-primary accumulator used by the engine. ---
+//
+// Lifecycle per primary: start_primary(); push(...) per secondary;
+// finish_primary(); then read power_sums(bin) for each touched bin.
+class MultipoleAccumulator {
+ public:
+  explicit MultipoleAccumulator(const KernelConfig& cfg);
+
+  const KernelConfig& config() const { return cfg_; }
+  int n_mono() const { return n_mono_; }
+
+  void start_primary();
+
+  // Adds one pair with unit separation (ux, uy, uz) and weight w to `bin`.
+  void push(int bin, double ux, double uy, double uz, double w) {
+    GLX_DCHECK(bin >= 0 && bin < cfg_.nbins);
+    if (!touched_[bin]) touch(bin);
+    double* bu = bucket_.data() +
+                 static_cast<std::size_t>(bin) * 4 * cfg_.bucket_capacity;
+    const int f = fill_[bin];
+    bu[f] = ux;
+    bu[cfg_.bucket_capacity + f] = uy;
+    bu[2 * cfg_.bucket_capacity + f] = uz;
+    bu[3 * cfg_.bucket_capacity + f] = w;
+    if ((fill_[bin] = f + 1) == cfg_.bucket_capacity) flush(bin);
+  }
+
+  void finish_primary();
+
+  // Power sums S[a,b,c] for `bin` in MonomialMap order; valid after
+  // finish_primary(). Zero pointer semantics: only touched bins are valid.
+  const double* power_sums(int bin) const {
+    GLX_DCHECK(bin >= 0 && bin < cfg_.nbins);
+    return sums_.data() + static_cast<std::size_t>(bin) * n_mono_;
+  }
+  bool bin_touched(int bin) const { return touched_[bin] != 0; }
+
+  std::uint64_t pairs_processed() const { return pairs_; }
+
+ private:
+  void touch(int bin);
+  void flush(int bin);
+
+  KernelConfig cfg_;
+  int n_mono_;
+  AlignedBuffer<double> acc_;     // [nbins][n_mono][kLanes]
+  AlignedBuffer<double> bucket_;  // [nbins][4][capacity]
+  AlignedBuffer<double> sums_;    // [nbins][n_mono]
+  AlignedBuffer<double> zscratch_;
+  std::vector<int> fill_;
+  std::vector<std::uint8_t> touched_;
+  std::vector<std::uint8_t> first_flush_;
+  std::vector<int> touched_list_;
+  std::uint64_t pairs_ = 0;
+};
+
+}  // namespace galactos::core

@@ -1,0 +1,71 @@
+// Line-of-sight handling (paper §3.1, Fig. 2): the key anisotropic step is
+// rotating each primary's neighborhood so the line of sight to the primary
+// maps onto +z. The remaining azimuthal freedom only rephases a_lm by
+// e^{i m alpha}, which cancels in the m-diagonal products a_lm a*_l'm, so
+// any rotation with R(p_hat) = z_hat is valid — but all components (engine,
+// brute-force oracle) must share one convention, defined here.
+#pragma once
+
+#include "sim/catalog.hpp"
+
+namespace galactos::core {
+
+enum class LineOfSight {
+  // Distant-observer limit: the LOS is the global +z axis; no rotation.
+  // Appropriate for periodic-box data (the paper's Outer Rim runs).
+  kPlaneParallelZ,
+  // Survey mode: LOS is the direction from the observer to each primary;
+  // separations are rotated per primary.
+  kRadial,
+};
+
+// Row-major 3x3 rotation applied to separation vectors.
+struct Rotation {
+  double m[9] = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  void apply(double& dx, double& dy, double& dz) const {
+    const double x = m[0] * dx + m[1] * dy + m[2] * dz;
+    const double y = m[3] * dx + m[4] * dy + m[5] * dz;
+    const double z = m[6] * dx + m[7] * dy + m[8] * dz;
+    dx = x;
+    dy = y;
+    dz = z;
+  }
+};
+
+// Rotation taking the direction of `p` (must be nonzero) to +z.
+// Basis rows: e1 = normalize(z_hat x p_hat), e2 = p_hat x e1, e3 = p_hat
+// (right-handed); for p_hat ~ +/-z degenerate cases fall back to identity /
+// pi-rotation about x.
+inline Rotation rotation_to_z(const sim::Vec3& p) {
+  const double n = p.norm();
+  GLX_CHECK_MSG(n > 0, "line of sight undefined for primary at the observer");
+  const sim::Vec3 e3{p.x / n, p.y / n, p.z / n};
+  Rotation r;
+  const double sxy2 = e3.x * e3.x + e3.y * e3.y;
+  if (sxy2 < 1e-24) {
+    if (e3.z > 0) return r;  // already +z
+    // p along -z: rotate pi about x (y -> -y, z -> -z).
+    r.m[4] = -1.0;
+    r.m[8] = -1.0;
+    return r;
+  }
+  const double s = 1.0 / std::sqrt(sxy2);
+  // e1 = normalize(z x e3) = (-e3.y, e3.x, 0)/|..|
+  const sim::Vec3 e1{-e3.y * s, e3.x * s, 0.0};
+  // e2 = e3 x e1
+  const sim::Vec3 e2{e3.y * e1.z - e3.z * e1.y, e3.z * e1.x - e3.x * e1.z,
+                     e3.x * e1.y - e3.y * e1.x};
+  r.m[0] = e1.x;
+  r.m[1] = e1.y;
+  r.m[2] = e1.z;
+  r.m[3] = e2.x;
+  r.m[4] = e2.y;
+  r.m[5] = e2.z;
+  r.m[6] = e3.x;
+  r.m[7] = e3.y;
+  r.m[8] = e3.z;
+  return r;
+}
+
+}  // namespace galactos::core

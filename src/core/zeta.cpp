@@ -1,0 +1,196 @@
+#include "core/zeta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/sph_table.hpp"
+
+namespace galactos::core {
+
+LlmIndex::LlmIndex(int lmax) : lmax_(lmax) {
+  GLX_CHECK(lmax >= 0);
+  const int n1 = lmax + 1;
+  lookup_.assign(n1 * n1 * n1, -1);
+  // m-major ordering: the zeta hot loop runs contiguously over lp.
+  for (int m = 0; m <= lmax; ++m)
+    for (int l = m; l <= lmax; ++l)
+      for (int lp = m; lp <= lmax; ++lp) {
+        lookup_[(l * n1 + lp) * n1 + m] = static_cast<int>(triples_.size());
+        triples_.push_back({l, lp, m});
+        alm1_.push_back(math::lm_index(l, m));
+        alm2_.push_back(math::lm_index(lp, m));
+      }
+}
+
+ZetaAccumulator::ZetaAccumulator(int lmax, int nbins)
+    : nbins_(nbins), llm_(lmax) {
+  GLX_CHECK(nbins >= 1);
+  const std::size_t total =
+      static_cast<std::size_t>(bin_pair_count(nbins)) * llm_.size();
+  re_.assign(total, 0.0);
+  im_.assign(total, 0.0);
+  const std::size_t nlm = static_cast<std::size_t>(math::nlm(lmax));
+  tr_re_.assign(static_cast<std::size_t>(nbins) * nlm, 0.0);
+  tr_im_.assign(static_cast<std::size_t>(nbins) * nlm, 0.0);
+}
+
+void ZetaAccumulator::add_primary(double wp, const std::complex<double>* alm,
+                                  const std::uint8_t* touched) {
+  const int lmax = llm_.lmax();
+  const int nlm = math::nlm(lmax);
+
+  // Transpose touched bins' a_lm to m-major planes.
+  for (int b = 0; b < nbins_; ++b) {
+    if (!touched[b]) continue;
+    const std::complex<double>* a =
+        alm + static_cast<std::size_t>(b) * nlm;
+    double* tr = tr_re_.data() + static_cast<std::size_t>(b) * nlm;
+    double* ti = tr_im_.data() + static_cast<std::size_t>(b) * nlm;
+    for (int m = 0; m <= lmax; ++m)
+      for (int l = m; l <= lmax; ++l) {
+        const std::complex<double> v = a[math::lm_index(l, m)];
+        const int k = ml_index(m, l);
+        tr[k] = v.real();
+        ti[k] = v.imag();
+      }
+  }
+
+  const int nllm = llm_.size();
+  for (int b1 = 0; b1 < nbins_; ++b1) {
+    if (!touched[b1]) continue;
+    const double* a1r = tr_re_.data() + static_cast<std::size_t>(b1) * nlm;
+    const double* a1i = tr_im_.data() + static_cast<std::size_t>(b1) * nlm;
+    for (int b2 = b1; b2 < nbins_; ++b2) {
+      if (!touched[b2]) continue;
+      const double* a2r = tr_re_.data() + static_cast<std::size_t>(b2) * nlm;
+      const double* a2i = tr_im_.data() + static_cast<std::size_t>(b2) * nlm;
+      const std::size_t base =
+          static_cast<std::size_t>(bin_pair(b1, b2)) * nllm;
+      double* __restrict outr = re_.data() + base;
+      double* __restrict outi = im_.data() + base;
+      int idx = 0;
+      for (int m = 0; m <= lmax; ++m) {
+        const int cnt = lmax + 1 - m;
+        const double* __restrict br = a2r + ml_index(m, m);
+        const double* __restrict bi = a2i + ml_index(m, m);
+        for (int l = m; l <= lmax; ++l) {
+          // t = wp * a_lm(b1); out += t * conj(a_l'm(b2)) over contiguous l'.
+          const double tr = wp * a1r[ml_index(m, l)];
+          const double ti = wp * a1i[ml_index(m, l)];
+          double* __restrict r = outr + idx;
+          double* __restrict i = outi + idx;
+#pragma omp simd
+          for (int k = 0; k < cnt; ++k) {
+            r[k] += tr * br[k] + ti * bi[k];
+            i[k] += ti * br[k] - tr * bi[k];
+          }
+          idx += cnt;
+        }
+      }
+    }
+  }
+  sum_wp_ += wp;
+  n_primaries_ += 1;
+}
+
+void ZetaAccumulator::subtract_self(double wp, int bin,
+                                    const std::complex<double>* self) {
+  const int nllm = llm_.size();
+  const std::size_t base =
+      static_cast<std::size_t>(bin_pair(bin, bin)) * nllm;
+  for (int i = 0; i < nllm; ++i) {
+    re_[base + i] -= wp * self[i].real();
+    im_[base + i] -= wp * self[i].imag();
+  }
+}
+
+void ZetaAccumulator::merge(const ZetaAccumulator& other) {
+  GLX_CHECK(other.nbins_ == nbins_ && other.llm_.lmax() == llm_.lmax());
+  for (std::size_t i = 0; i < re_.size(); ++i) {
+    re_[i] += other.re_[i];
+    im_[i] += other.im_[i];
+  }
+  sum_wp_ += other.sum_wp_;
+  n_primaries_ += other.n_primaries_;
+}
+
+std::complex<double> ZetaAccumulator::raw(int b1, int b2, int l, int lp,
+                                          int m) const {
+  if (b1 <= b2) {
+    const std::size_t i =
+        static_cast<std::size_t>(bin_pair(b1, b2)) * llm_.size() +
+        llm_.index(l, lp, m);
+    return {re_[i], im_[i]};
+  }
+  const std::size_t i =
+      static_cast<std::size_t>(bin_pair(b2, b1)) * llm_.size() +
+      llm_.index(lp, l, m);
+  return {re_[i], -im_[i]};
+}
+
+std::vector<std::complex<double>> ZetaAccumulator::snapshot() const {
+  std::vector<std::complex<double>> out(re_.size());
+  for (std::size_t i = 0; i < re_.size(); ++i) out[i] = {re_[i], im_[i]};
+  return out;
+}
+
+std::complex<double> ZetaResult::zeta_m(int b1, int b2, int l, int lp,
+                                        int m) const {
+  LlmIndex llm(lmax);  // cheap relative to analysis use; callers may cache
+  const int nb = bins.count();
+  GLX_CHECK(b1 >= 0 && b1 < nb && b2 >= 0 && b2 < nb);
+  auto bp = [&](int a, int b) { return a * nb - a * (a - 1) / 2 + (b - a); };
+  if (b1 <= b2)
+    return zeta_data[static_cast<std::size_t>(bp(b1, b2)) * llm.size() +
+                     llm.index(l, lp, m)];
+  return std::conj(
+      zeta_data[static_cast<std::size_t>(bp(b2, b1)) * llm.size() +
+                llm.index(lp, l, m)]);
+}
+
+std::complex<double> ZetaResult::zeta_m_mean(int b1, int b2, int l, int lp,
+                                             int m) const {
+  GLX_CHECK(sum_primary_weight != 0.0);
+  return zeta_m(b1, b2, l, lp, m) / sum_primary_weight;
+}
+
+double ZetaResult::isotropic(int l, int b1, int b2) const {
+  // sum over all m in [-l, l]: m=0 term plus twice the real part for m>0.
+  double s = zeta_m(b1, b2, l, l, 0).real();
+  for (int m = 1; m <= l; ++m) s += 2.0 * zeta_m(b1, b2, l, l, m).real();
+  return 4.0 * M_PI / (2.0 * l + 1.0) * s;
+}
+
+double ZetaResult::xi_raw_at(int l, int bin) const {
+  GLX_CHECK(l >= 0 && l <= lmax && bin >= 0 && bin < bins.count());
+  return xi_raw[static_cast<std::size_t>(l) * bins.count() + bin];
+}
+
+double ZetaResult::xi_l(int l, int bin, double nbar) const {
+  const double rr = sum_primary_weight * nbar * bins.shell_volume(bin);
+  GLX_CHECK(rr > 0);
+  const double v = (2.0 * l + 1.0) * xi_raw_at(l, bin) / rr;
+  return l == 0 ? v - 1.0 : v;
+}
+
+void ZetaResult::check_compatible(const ZetaResult& other) const {
+  GLX_CHECK(other.lmax == lmax);
+  GLX_CHECK(other.bins.count() == bins.count());
+  GLX_CHECK(other.zeta_data.size() == zeta_data.size());
+  GLX_CHECK(other.xi_raw.size() == xi_raw.size());
+}
+
+void ZetaResult::accumulate(const ZetaResult& other) {
+  check_compatible(other);
+  n_primaries += other.n_primaries;
+  sum_primary_weight += other.sum_primary_weight;
+  n_pairs += other.n_pairs;
+  for (std::size_t i = 0; i < zeta_data.size(); ++i)
+    zeta_data[i] += other.zeta_data[i];
+  for (std::size_t i = 0; i < pair_counts.size(); ++i)
+    pair_counts[i] += other.pair_counts[i];
+  for (std::size_t i = 0; i < xi_raw.size(); ++i)
+    xi_raw[i] += other.xi_raw[i];
+}
+
+}  // namespace galactos::core

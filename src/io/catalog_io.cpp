@@ -1,0 +1,82 @@
+#include "io/catalog_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace galactos::io {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'L', 'X', 'C', 'A', 'T', '0', '1'};
+}
+
+void write_catalog_text(const sim::Catalog& c, const std::string& path) {
+  std::ofstream f(path);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f << "# x y z w\n";
+  f.precision(17);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    f << c.x[i] << ' ' << c.y[i] << ' ' << c.z[i] << ' ' << c.w[i] << '\n';
+  GLX_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+sim::Catalog read_catalog_text(const std::string& path) {
+  std::ifstream f(path);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path);
+  sim::Catalog c;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    for (char& ch : line)
+      if (ch == ',') ch = ' ';
+    std::istringstream is(line);
+    double x, y, z, w;
+    if (!(is >> x >> y >> z)) continue;
+    if (!(is >> w)) w = 1.0;
+    c.push_back(x, y, z, w);
+  }
+  return c;
+}
+
+void write_catalog_binary(const sim::Catalog& c, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = c.size();
+  f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  auto dump = [&](const std::vector<double>& v) {
+    f.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+  };
+  dump(c.x);
+  dump(c.y);
+  dump(c.z);
+  dump(c.w);
+  GLX_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+sim::Catalog read_catalog_binary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path);
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  GLX_CHECK_MSG(f.good() && std::memcmp(magic, kMagic, 8) == 0,
+                "bad magic in " << path);
+  std::uint64_t n = 0;
+  f.read(reinterpret_cast<char*>(&n), sizeof(n));
+  sim::Catalog c(n);
+  auto load = [&](std::vector<double>& v) {
+    f.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+  };
+  load(c.x);
+  load(c.y);
+  load(c.z);
+  load(c.w);
+  GLX_CHECK_MSG(f.good(), "truncated catalog file: " << path);
+  return c;
+}
+
+}  // namespace galactos::io

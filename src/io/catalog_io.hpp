@@ -1,0 +1,21 @@
+// Catalog serialization: whitespace/comma-separated text (x y z [w]) for
+// interoperability with survey catalogs, and a compact binary format for
+// fast reload of large mocks.
+#pragma once
+
+#include <string>
+
+#include "sim/catalog.hpp"
+
+namespace galactos::io {
+
+// Text: one galaxy per line, "x y z w" (w optional, defaults to 1).
+// Lines starting with '#' are comments.
+void write_catalog_text(const sim::Catalog& c, const std::string& path);
+sim::Catalog read_catalog_text(const std::string& path);
+
+// Binary: magic "GLXCAT01", uint64 count, then x[], y[], z[], w[] as f64.
+void write_catalog_binary(const sim::Catalog& c, const std::string& path);
+sim::Catalog read_catalog_binary(const std::string& path);
+
+}  // namespace galactos::io

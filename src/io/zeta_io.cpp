@@ -1,0 +1,132 @@
+#include "io/zeta_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace galactos::io {
+
+void write_zeta_csv(const core::ZetaResult& r, const std::string& path) {
+  std::ofstream f(path);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f << "b1,b2,r1,r2,l,lp,m,re,im\n";
+  f.precision(17);
+  const int nb = r.bins.count();
+  for (int b1 = 0; b1 < nb; ++b1)
+    for (int b2 = b1; b2 < nb; ++b2)
+      for (int l = 0; l <= r.lmax; ++l)
+        for (int lp = 0; lp <= r.lmax; ++lp)
+          for (int m = 0; m <= std::min(l, lp); ++m) {
+            const std::complex<double> z = r.zeta_m(b1, b2, l, lp, m);
+            f << b1 << ',' << b2 << ',' << r.bins.center(b1) << ','
+              << r.bins.center(b2) << ',' << l << ',' << lp << ',' << m << ','
+              << z.real() << ',' << z.imag() << '\n';
+          }
+  GLX_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+void write_isotropic_map_csv(const core::ZetaResult& r, int l,
+                             const std::string& path) {
+  GLX_CHECK(r.sum_primary_weight != 0.0);
+  std::ofstream f(path);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f << "b1,b2,r1,r2,zeta_l\n";
+  f.precision(17);
+  const int nb = r.bins.count();
+  for (int b1 = 0; b1 < nb; ++b1)
+    for (int b2 = 0; b2 < nb; ++b2)
+      f << b1 << ',' << b2 << ',' << r.bins.center(b1) << ','
+        << r.bins.center(b2) << ','
+        << r.isotropic(l, b1, b2) / r.sum_primary_weight << '\n';
+  GLX_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+void write_xi_csv(const core::ZetaResult& r, const std::string& path) {
+  std::ofstream f(path);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f << "bin,r,count";
+  for (int l = 0; l <= r.lmax; ++l) f << ",xi_" << l << "_raw";
+  f << '\n';
+  f.precision(17);
+  for (int b = 0; b < r.bins.count(); ++b) {
+    f << b << ',' << r.bins.center(b) << ',' << r.pair_counts[b];
+    for (int l = 0; l <= r.lmax; ++l) f << ',' << r.xi_raw_at(l, b);
+    f << '\n';
+  }
+  GLX_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+namespace {
+constexpr char kMagic[8] = {'G', 'L', 'X', 'Z', 'T', 'A', '0', '1'};
+}
+
+void write_zeta_binary(const core::ZetaResult& r, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  f.write(kMagic, sizeof(kMagic));
+  auto put = [&](const auto& v) {
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(r.lmax);
+  const double rmin = r.bins.rmin(), rmax = r.bins.rmax();
+  const int nb = r.bins.count();
+  const int spacing = r.bins.spacing() == core::BinSpacing::kLinear ? 0 : 1;
+  put(rmin);
+  put(rmax);
+  put(nb);
+  put(spacing);
+  put(r.n_primaries);
+  put(r.sum_primary_weight);
+  put(r.n_pairs);
+  auto put_vec = [&](const auto& v) {
+    const std::uint64_t n = v.size();
+    put(n);
+    f.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(
+                n * sizeof(typename std::decay_t<decltype(v)>::value_type)));
+  };
+  put_vec(r.zeta_data);
+  put_vec(r.pair_counts);
+  put_vec(r.xi_raw);
+  GLX_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+core::ZetaResult read_zeta_binary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  GLX_CHECK_MSG(f.good(), "cannot open " << path);
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  GLX_CHECK_MSG(f.good() && std::memcmp(magic, kMagic, 8) == 0,
+                "bad magic in " << path);
+  core::ZetaResult r;
+  auto get = [&](auto& v) { f.read(reinterpret_cast<char*>(&v), sizeof(v)); };
+  double rmin, rmax;
+  int nb, spacing;
+  get(r.lmax);
+  get(rmin);
+  get(rmax);
+  get(nb);
+  get(spacing);
+  get(r.n_primaries);
+  get(r.sum_primary_weight);
+  get(r.n_pairs);
+  r.bins = core::RadialBins(rmin, rmax, nb,
+                            spacing == 0 ? core::BinSpacing::kLinear
+                                         : core::BinSpacing::kLog);
+  auto get_vec = [&](auto& v) {
+    std::uint64_t n = 0;
+    get(n);
+    v.resize(n);
+    f.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(
+               n * sizeof(typename std::decay_t<decltype(v)>::value_type)));
+  };
+  get_vec(r.zeta_data);
+  get_vec(r.pair_counts);
+  get_vec(r.xi_raw);
+  GLX_CHECK_MSG(f.good(), "truncated result file: " << path);
+  return r;
+}
+
+}  // namespace galactos::io

@@ -1,0 +1,28 @@
+// Result serialization: full zeta tables as CSV (one row per
+// (b1, b2, l, l', m)), the Fig.-1-style isotropic coefficient map
+// zeta_l(r1, r2), and the 2PCF multipoles.
+#pragma once
+
+#include <string>
+
+#include "core/zeta.hpp"
+
+namespace galactos::io {
+
+// Columns: b1,b2,r1,r2,l,lp,m,re,im (raw sums over primaries; divide by
+// sum_primary_weight for the per-primary average).
+void write_zeta_csv(const core::ZetaResult& r, const std::string& path);
+
+// The paper's Fig. 1 right panel: a (r1, r2) map of one isotropic
+// multipole zeta_l, normalized per primary. Columns: b1,b2,r1,r2,value.
+void write_isotropic_map_csv(const core::ZetaResult& r, int l,
+                             const std::string& path);
+
+// Columns: bin,r,count,xi_0_raw,...,xi_lmax_raw (raw Legendre moments).
+void write_xi_csv(const core::ZetaResult& r, const std::string& path);
+
+// Round-trip binary of the full result (for checkpointing long runs).
+void write_zeta_binary(const core::ZetaResult& r, const std::string& path);
+core::ZetaResult read_zeta_binary(const std::string& path);
+
+}  // namespace galactos::io

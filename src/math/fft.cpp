@@ -1,0 +1,98 @@
+#include "math/fft.hpp"
+
+#include <cmath>
+
+namespace galactos::math {
+
+namespace {
+
+// Bit-reversal permutation.
+void bit_reverse(cplx* a, std::size_t n) {
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+}  // namespace
+
+void fft_1d(cplx* a, std::size_t n, int sign) {
+  GLX_CHECK_MSG(is_pow2(n), "FFT length must be a power of two, got " << n);
+  GLX_CHECK(sign == 1 || sign == -1);
+  bit_reverse(a, n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (sign == 1) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv;
+  }
+}
+
+void fft_3d(std::vector<cplx>& data, std::size_t n, int sign) {
+  GLX_CHECK(data.size() == n * n * n);
+  GLX_CHECK_MSG(is_pow2(n), "FFT grid size must be a power of two");
+  // z-axis: contiguous rows.
+#pragma omp parallel for schedule(static)
+  for (long long row = 0; row < static_cast<long long>(n * n); ++row)
+    fft_1d(data.data() + static_cast<std::size_t>(row) * n, n, sign);
+
+  // y-axis and x-axis: gather into a scratch row, transform, scatter back.
+#pragma omp parallel
+  {
+    std::vector<cplx> scratch(n);
+    // y-axis: stride n within each x-slab.
+#pragma omp for schedule(static) collapse(2)
+    for (long long ix = 0; ix < static_cast<long long>(n); ++ix)
+      for (long long iz = 0; iz < static_cast<long long>(n); ++iz) {
+        const std::size_t base = static_cast<std::size_t>(ix) * n * n +
+                                 static_cast<std::size_t>(iz);
+        for (std::size_t iy = 0; iy < n; ++iy)
+          scratch[iy] = data[base + iy * n];
+        fft_1d(scratch.data(), n, sign);
+        for (std::size_t iy = 0; iy < n; ++iy)
+          data[base + iy * n] = scratch[iy];
+      }
+    // x-axis: stride n*n.
+#pragma omp for schedule(static) collapse(2)
+    for (long long iy = 0; iy < static_cast<long long>(n); ++iy)
+      for (long long iz = 0; iz < static_cast<long long>(n); ++iz) {
+        const std::size_t base = static_cast<std::size_t>(iy) * n +
+                                 static_cast<std::size_t>(iz);
+        for (std::size_t ix = 0; ix < n; ++ix)
+          scratch[ix] = data[base + ix * n * n];
+        fft_1d(scratch.data(), n, sign);
+        for (std::size_t ix = 0; ix < n; ++ix)
+          data[base + ix * n * n] = scratch[ix];
+      }
+  }
+}
+
+std::vector<cplx> dft_reference(const std::vector<cplx>& in, int sign) {
+  const std::size_t n = in.size();
+  std::vector<cplx> out(n, cplx(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * M_PI * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      out[k] += in[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+  if (sign == 1)
+    for (auto& v : out) v /= static_cast<double>(n);
+  return out;
+}
+
+}  // namespace galactos::math

@@ -1,0 +1,31 @@
+// Minimal power-of-two FFT — the transform substrate for the lognormal mock
+// generator (the stand-in for the Outer Rim simulation data).
+//
+// Scope: iterative radix-2 Cooley–Tukey, complex-to-complex, 1-D and 3-D,
+// double precision. Sizes are power-of-two (enforced). Normalization:
+// forward is unnormalized; inverse divides by N, so ifft(fft(x)) == x.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace galactos::math {
+
+using cplx = std::complex<double>;
+
+inline bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// In-place 1-D transform of length data.size() (power of two).
+// sign = -1: forward (e^{-i k x}); sign = +1: inverse (scaled by 1/N).
+void fft_1d(cplx* data, std::size_t n, int sign);
+
+// In-place 3-D transform on an n*n*n cube stored row-major as
+// data[(ix*n + iy)*n + iz].
+void fft_3d(std::vector<cplx>& data, std::size_t n, int sign);
+
+// Naive O(N^2) DFT used only as an oracle in tests.
+std::vector<cplx> dft_reference(const std::vector<cplx>& in, int sign);
+
+}  // namespace galactos::math

@@ -1,0 +1,124 @@
+#include "math/legendre.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace galactos::math {
+
+double legendre_p(int l, double x) {
+  GLX_CHECK(l >= 0);
+  if (l == 0) return 1.0;
+  if (l == 1) return x;
+  double pm2 = 1.0, pm1 = x;
+  for (int k = 2; k <= l; ++k) {
+    const double p = ((2 * k - 1) * x * pm1 - (k - 1) * pm2) / k;
+    pm2 = pm1;
+    pm1 = p;
+  }
+  return pm1;
+}
+
+void legendre_all(int lmax, double x, double* out) {
+  GLX_CHECK(lmax >= 0);
+  out[0] = 1.0;
+  if (lmax == 0) return;
+  out[1] = x;
+  for (int k = 2; k <= lmax; ++k)
+    out[k] = ((2 * k - 1) * x * out[k - 1] - (k - 1) * out[k - 2]) / k;
+}
+
+std::vector<double> legendre_coeffs(int l) {
+  GLX_CHECK(l >= 0);
+  std::vector<double> pm2{1.0};  // P_0
+  if (l == 0) return pm2;
+  std::vector<double> pm1{0.0, 1.0};  // P_1
+  if (l == 1) return pm1;
+  for (int k = 2; k <= l; ++k) {
+    std::vector<double> p(k + 1, 0.0);
+    // (k) P_k = (2k-1) x P_{k-1} - (k-1) P_{k-2}
+    for (std::size_t j = 0; j < pm1.size(); ++j)
+      p[j + 1] += (2.0 * k - 1.0) * pm1[j];
+    for (std::size_t j = 0; j < pm2.size(); ++j) p[j] -= (k - 1.0) * pm2[j];
+    for (auto& c : p) c /= k;
+    pm2 = std::move(pm1);
+    pm1 = std::move(p);
+  }
+  return pm1;
+}
+
+std::vector<double> legendre_deriv_coeffs(int l, int m) {
+  GLX_CHECK(l >= 0 && m >= 0);
+  std::vector<double> c = legendre_coeffs(l);
+  for (int d = 0; d < m; ++d) {
+    if (c.size() <= 1) return {0.0};
+    std::vector<double> dc(c.size() - 1);
+    for (std::size_t k = 1; k < c.size(); ++k)
+      dc[k - 1] = c[k] * static_cast<double>(k);
+    c = std::move(dc);
+  }
+  return c;
+}
+
+double assoc_legendre_p(int l, int m, double x) {
+  GLX_CHECK(l >= 0 && m >= 0 && m <= l);
+  // P_m^m = (-1)^m (2m-1)!! (1-x^2)^{m/2}, then upward recurrence in l.
+  double pmm = 1.0;
+  if (m > 0) {
+    const double somx2 = std::sqrt((1.0 - x) * (1.0 + x));
+    double fact = 1.0;
+    for (int i = 0; i < m; ++i) {
+      pmm *= -fact * somx2;
+      fact += 2.0;
+    }
+  }
+  if (l == m) return pmm;
+  double pmmp1 = x * (2.0 * m + 1.0) * pmm;
+  if (l == m + 1) return pmmp1;
+  double pll = 0.0;
+  for (int ll = m + 2; ll <= l; ++ll) {
+    pll = (x * (2.0 * ll - 1.0) * pmmp1 - (ll + m - 1.0) * pmm) / (ll - m);
+    pmm = pmmp1;
+    pmmp1 = pll;
+  }
+  return pll;
+}
+
+void gauss_legendre(int n, std::vector<double>& nodes,
+                    std::vector<double>& weights) {
+  GLX_CHECK(n >= 1);
+  nodes.resize(n);
+  weights.resize(n);
+  for (int i = 0; i < n; ++i) {
+    // Chebyshev-like initial guess, then Newton on P_n.
+    double x = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      const double p = legendre_p(n, x);
+      const double pm1 = legendre_p(n - 1, x);
+      const double dp = n * (x * p - pm1) / (x * x - 1.0);
+      const double dx = p / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const double pm1 = legendre_p(n - 1, x);
+    const double dp = n * (x * legendre_p(n, x) - pm1) / (x * x - 1.0);
+    nodes[i] = x;
+    weights[i] = 2.0 / ((1.0 - x * x) * dp * dp);
+  }
+}
+
+double factorial(int n) {
+  GLX_CHECK(n >= 0 && n <= 170);
+  double f = 1.0;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+double double_factorial(int n) {
+  GLX_CHECK(n >= -1);
+  double f = 1.0;
+  for (int i = n; i > 1; i -= 2) f *= i;
+  return f;
+}
+
+}  // namespace galactos::math

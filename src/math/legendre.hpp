@@ -1,0 +1,34 @@
+// Legendre polynomials P_l, their polynomial coefficients, derivatives, and
+// associated-Legendre values — the angular backbone of the 3PCF estimators.
+#pragma once
+
+#include <vector>
+
+namespace galactos::math {
+
+// P_l(x) evaluated with the three-term (Bonnet) recurrence. Stable for all
+// |x| <= 1 and the l <= ~20 used here.
+double legendre_p(int l, double x);
+
+// Evaluates P_0..P_lmax(x) into out[0..lmax] (faster than repeated calls).
+void legendre_all(int lmax, double x, double* out);
+
+// Coefficients of P_l as a dense polynomial: returns c with
+// P_l(x) = sum_k c[k] x^k, c.size() == l+1. Exact in double for l <= 20.
+std::vector<double> legendre_coeffs(int l);
+
+// Coefficients of d^m/dx^m P_l(x); size l-m+1 (empty polynomial -> {0}).
+std::vector<double> legendre_deriv_coeffs(int l, int m);
+
+// Associated Legendre P_l^m(x) with the Condon–Shortley phase, m >= 0.
+double assoc_legendre_p(int l, int m, double x);
+
+// Gauss–Legendre nodes/weights on [-1, 1] (Newton on P_n). Used by the test
+// suite for exact quadrature of spherical-harmonic identities.
+void gauss_legendre(int n, std::vector<double>& nodes,
+                    std::vector<double>& weights);
+
+double factorial(int n);         // exact for n <= 170
+double double_factorial(int n);  // n!! (n >= -1)
+
+}  // namespace galactos::math

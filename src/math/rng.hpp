@@ -1,0 +1,124 @@
+// Deterministic, splittable random number generation.
+//
+// xoshiro256** seeded through splitmix64: fast, high quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-reproducible across compilers and
+// standard libraries, which the test suite and the distributed engine rely
+// on (every rank derives an independent stream from a root seed).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace galactos::math {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& si : s_) si = splitmix64(x);
+  }
+
+  // Independent child stream i (used for per-rank / per-thread streams).
+  Rng split(std::uint64_t i) const {
+    std::uint64_t mix = s_[0] ^ (s_[1] + 0x632be59bd9b4e019ull * (i + 1));
+    return Rng(mix);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    GLX_DCHECK(n > 0);
+    // Lemire's multiply-shift rejection-free-ish method (bias < 2^-64 * n).
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Standard normal via Marsaglia polar method (cached second value).
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * f;
+    have_cached_ = true;
+    return u * f;
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  // Poisson-distributed count. Knuth's product method for small lambda,
+  // normal approximation (with continuity correction, clipped at 0) for
+  // large lambda — adequate for mock-catalog sampling where lambda per cell
+  // is O(1..100).
+  std::uint64_t poisson(double lambda) {
+    GLX_DCHECK(lambda >= 0.0);
+    if (lambda <= 0.0) return 0;
+    if (lambda < 60.0) {
+      const double l = std::exp(-lambda);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > l);
+      return k - 1;
+    }
+    const double x = std::round(normal(lambda, std::sqrt(lambda)));
+    return x < 0.0 ? 0 : static_cast<std::uint64_t>(x);
+  }
+
+  // Uniform point on the unit sphere.
+  void unit_vector(double& x, double& y, double& z) {
+    const double c = 2.0 * uniform() - 1.0;       // cos(theta)
+    const double s = std::sqrt(1.0 - c * c);
+    const double phi = 2.0 * M_PI * uniform();
+    x = s * std::cos(phi);
+    y = s * std::sin(phi);
+    z = c;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t s_[4];
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace galactos::math

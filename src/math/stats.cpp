@@ -1,0 +1,98 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace galactos::math {
+
+double mean(const std::vector<double>& v) {
+  GLX_CHECK(!v.empty());
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  GLX_CHECK(v.size() >= 2);
+  const double m = mean(v);
+  double s = 0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double min_of(const std::vector<double>& v) {
+  GLX_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  GLX_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+PowerLawFit fit_power_law(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  GLX_CHECK(x.size() == y.size() && x.size() >= 2);
+  const std::size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    GLX_CHECK_MSG(x[i] > 0 && y[i] > 0, "power-law fit needs positive data");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  GLX_CHECK(denom != 0.0);
+  const double alpha = (dn * sxy - sx * sy) / denom;
+  const double loga = (sy - alpha * sx) / dn;
+  // R^2 in log space.
+  double ss_res = 0, ss_tot = 0;
+  const double ybar = sy / dn;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ly = std::log(y[i]);
+    const double fit = loga + alpha * std::log(x[i]);
+    ss_res += (ly - fit) * (ly - fit);
+    ss_tot += (ly - ybar) * (ly - ybar);
+  }
+  return {std::exp(loga), alpha, ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0};
+}
+
+std::vector<double> jackknife_covariance(
+    const std::vector<std::vector<double>>& samples) {
+  const std::size_t k = samples.size();
+  GLX_CHECK_MSG(k >= 2, "jackknife needs >= 2 regions");
+  const std::size_t d = samples[0].size();
+  for (const auto& s : samples) GLX_CHECK(s.size() == d);
+
+  // Leave-one-out means.
+  std::vector<double> total(d, 0.0);
+  for (const auto& s : samples)
+    for (std::size_t j = 0; j < d; ++j) total[j] += s[j];
+
+  std::vector<std::vector<double>> loo(k, std::vector<double>(d));
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      loo[i][j] = (total[j] - samples[i][j]) / static_cast<double>(k - 1);
+
+  std::vector<double> mu(d, 0.0);
+  for (const auto& s : loo)
+    for (std::size_t j = 0; j < d; ++j) mu[j] += s[j] / static_cast<double>(k);
+
+  std::vector<double> cov(d * d, 0.0);
+  const double factor = static_cast<double>(k - 1) / static_cast<double>(k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t a = 0; a < d; ++a)
+      for (std::size_t b = 0; b < d; ++b)
+        cov[a * d + b] += factor * (loo[i][a] - mu[a]) * (loo[i][b] - mu[b]);
+  return cov;
+}
+
+}  // namespace galactos::math

@@ -1,0 +1,33 @@
+// Small statistics toolbox: descriptive stats, least-squares power-law fits
+// (used by the complexity bench), and jackknife covariance estimation
+// (paper §6.1: per-node 3PCF samples double as jackknife samples).
+#pragma once
+
+#include <vector>
+
+namespace galactos::math {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  // unbiased (n-1)
+double stddev(const std::vector<double>& v);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+// Fits y = A * x^alpha by least squares in log-log space; returns {A, alpha}.
+// All x, y must be positive.
+struct PowerLawFit {
+  double amplitude;
+  double exponent;
+  double r2;  // coefficient of determination in log space
+};
+PowerLawFit fit_power_law(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+// Delete-one jackknife over k samples of a d-dimensional statistic.
+// samples[k][d] are the leave-nothing-out per-region measurements; the
+// estimator treats them as pseudo-independent samples (standard spatial
+// jackknife). Returns the d x d covariance matrix (row-major).
+std::vector<double> jackknife_covariance(
+    const std::vector<std::vector<double>>& samples);
+
+}  // namespace galactos::math

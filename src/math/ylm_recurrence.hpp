@@ -1,0 +1,73 @@
+// Recurrence-based Y_lm evaluation — O(1) work per (l, m).
+//
+// Used where per-point spherical harmonics are needed directly (the
+// isotropic Legendre baseline of §2.3 and the self-pair correction) instead
+// of the power-sum kernel. Writing Y_lm = N_lm Q_lm(z) (x+iy)^m with
+// Q_lm = P_lm / sin^m(theta) keeps everything polynomial in (x, y, z):
+//   Q_mm     = (-1)^m (2m-1)!!
+//   Q_{m+1,m} = z (2m+1) Q_mm
+//   (l-m) Q_lm = (2l-1) z Q_{l-1,m} - (l+m-1) Q_{l-2,m}
+// Header-only; validated against the monomial-table evaluation in tests.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "math/legendre.hpp"
+#include "math/sph_table.hpp"
+#include "util/check.hpp"
+
+namespace galactos::math {
+
+class YlmRecurrence {
+ public:
+  explicit YlmRecurrence(int lmax) : lmax_(lmax) {
+    GLX_CHECK(lmax >= 0 && lmax <= 32);
+    norm_.resize(nlm(lmax));
+    qmm_.resize(lmax + 1);
+    for (int l = 0; l <= lmax; ++l)
+      for (int m = 0; m <= l; ++m)
+        norm_[lm_index(l, m)] = std::sqrt((2.0 * l + 1.0) / (4.0 * M_PI) *
+                                          factorial(l - m) / factorial(l + m));
+    for (int m = 0; m <= lmax; ++m)
+      qmm_[m] = (m % 2 ? -1.0 : 1.0) * double_factorial(2 * m - 1);
+  }
+
+  int lmax() const { return lmax_; }
+
+  // Evaluates Y_lm for all 0 <= m <= l <= lmax at unit vector (ux, uy, uz)
+  // into ylm[lm_index(l, m)].
+  void eval_all(double ux, double uy, double uz,
+                std::complex<double>* ylm) const {
+    const std::complex<double> xy(ux, uy);
+    std::complex<double> xym(1.0, 0.0);  // (x+iy)^m
+    double q[33][2];  // per m: rolling Q_{l-2,m}, Q_{l-1,m} (managed below)
+    (void)q;
+    for (int m = 0; m <= lmax_; ++m) {
+      // March l upward at fixed m.
+      double qlm2 = qmm_[m];                     // Q_{m,m}
+      ylm[lm_index(m, m)] = norm_[lm_index(m, m)] * qlm2 * xym;
+      if (m + 1 <= lmax_) {
+        double qlm1 = uz * (2.0 * m + 1.0) * qlm2;  // Q_{m+1,m}
+        ylm[lm_index(m + 1, m)] = norm_[lm_index(m + 1, m)] * qlm1 * xym;
+        for (int l = m + 2; l <= lmax_; ++l) {
+          const double qlm = ((2.0 * l - 1.0) * uz * qlm1 -
+                              (l + m - 1.0) * qlm2) /
+                             static_cast<double>(l - m);
+          ylm[lm_index(l, m)] = norm_[lm_index(l, m)] * qlm * xym;
+          qlm2 = qlm1;
+          qlm1 = qlm;
+        }
+      }
+      xym *= xy;
+    }
+  }
+
+ private:
+  int lmax_;
+  std::vector<double> norm_;
+  std::vector<double> qmm_;
+};
+
+}  // namespace galactos::math

@@ -1,0 +1,98 @@
+#include "mocks/gaussian_field.hpp"
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "util/check.hpp"
+
+namespace galactos::mocks {
+
+namespace {
+
+// Fills `modes` with scaled Fourier modes of a white real field:
+// modes_k = ghat_k * sqrt(P(k) V / N^3). Returns the k-space array.
+std::vector<math::cplx> scaled_modes(std::size_t n, double box_side,
+                                     const PowerFn& power,
+                                     std::uint64_t seed) {
+  GLX_CHECK(math::is_pow2(n));
+  const std::size_t n3 = n * n * n;
+  const double V = box_side * box_side * box_side;
+  math::Rng rng(seed);
+
+  std::vector<math::cplx> modes(n3);
+  for (std::size_t i = 0; i < n3; ++i) modes[i] = rng.normal();
+  math::fft_3d(modes, n, -1);
+
+  const double kf = 2.0 * M_PI / box_side;
+  auto freq = [&](std::size_t i) {
+    const long long s = static_cast<long long>(i);
+    const long long half = static_cast<long long>(n) / 2;
+    return static_cast<double>(s <= half ? s : s - static_cast<long long>(n));
+  };
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        const std::size_t idx = (ix * n + iy) * n + iz;
+        const double kx = kf * freq(ix), ky = kf * freq(iy),
+                     kz = kf * freq(iz);
+        const double kk = std::sqrt(kx * kx + ky * ky + kz * kz);
+        const double p = kk > 0 ? power(kk) : 0.0;
+        GLX_DCHECK(p >= 0.0);
+        modes[idx] *= std::sqrt(p * V / static_cast<double>(n3));
+      }
+  return modes;
+}
+
+Grid to_real(std::vector<math::cplx> modes, std::size_t n, double box_side) {
+  math::fft_3d(modes, n, +1);
+  Grid g;
+  g.n = n;
+  g.box_side = box_side;
+  g.values.resize(modes.size());
+  const double vcell =
+      box_side * box_side * box_side / static_cast<double>(modes.size());
+  for (std::size_t i = 0; i < modes.size(); ++i)
+    g.values[i] = modes[i].real() / vcell;
+  return g;
+}
+
+}  // namespace
+
+Grid gaussian_field(std::size_t n, double box_side, const PowerFn& power,
+                    std::uint64_t seed) {
+  return to_real(scaled_modes(n, box_side, power, seed), n, box_side);
+}
+
+FieldWithDisplacement gaussian_field_with_displacement(std::size_t n,
+                                                       double box_side,
+                                                       const PowerFn& power,
+                                                       std::uint64_t seed) {
+  std::vector<math::cplx> modes = scaled_modes(n, box_side, power, seed);
+
+  // psi_z(k) = i (k_z / k^2) delta_k.
+  std::vector<math::cplx> psi(modes.size());
+  const double kf = 2.0 * M_PI / box_side;
+  auto freq = [&](std::size_t i) {
+    const long long s = static_cast<long long>(i);
+    const long long half = static_cast<long long>(n) / 2;
+    return static_cast<double>(s <= half ? s : s - static_cast<long long>(n));
+  };
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        const std::size_t idx = (ix * n + iy) * n + iz;
+        const double kx = kf * freq(ix), ky = kf * freq(iy),
+                     kz = kf * freq(iz);
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        psi[idx] = k2 > 0
+                       ? modes[idx] * math::cplx(0.0, kz / k2)
+                       : math::cplx(0.0, 0.0);
+      }
+
+  FieldWithDisplacement out;
+  out.delta = to_real(std::move(modes), n, box_side);
+  out.psi_z = to_real(std::move(psi), n, box_side);
+  return out;
+}
+
+}  // namespace galactos::mocks

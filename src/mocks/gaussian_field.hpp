@@ -1,0 +1,51 @@
+// Gaussian random fields on a periodic grid with a prescribed power
+// spectrum, plus the linear-theory line-of-sight displacement field used for
+// redshift-space distortions.
+//
+// Conventions (V = L^3, N^3 cells, V_c = V/N^3, k = 2 pi n / L):
+//   delta_k drawn so <|delta_k|^2> = P(k) V; delta(x) = (1/V) sum_k
+//   delta_k e^{ikx}. Generation runs white real noise through a forward FFT
+//   (automatic Hermitian symmetry), scales by sqrt(P V / N^3), and inverts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "math/fft.hpp"
+
+namespace galactos::mocks {
+
+struct Grid {
+  std::size_t n = 0;    // cells per side
+  double box_side = 0;  // L
+  std::vector<double> values;  // (ix*n + iy)*n + iz
+
+  double& at(std::size_t ix, std::size_t iy, std::size_t iz) {
+    return values[(ix * n + iy) * n + iz];
+  }
+  double at(std::size_t ix, std::size_t iy, std::size_t iz) const {
+    return values[(ix * n + iy) * n + iz];
+  }
+  double cell_size() const { return box_side / static_cast<double>(n); }
+};
+
+using PowerFn = std::function<double(double)>;
+
+// Real-space Gaussian field delta_G with spectrum P.
+Grid gaussian_field(std::size_t n, double box_side, const PowerFn& power,
+                    std::uint64_t seed);
+
+// Same field plus its linear line-of-sight displacement
+// psi_z(k) = i (k_z / k^2) delta_k — multiplying by the growth rate f gives
+// the redshift-space shift s_z = z + f * psi_z (plane-parallel Kaiser limit).
+struct FieldWithDisplacement {
+  Grid delta;
+  Grid psi_z;
+};
+FieldWithDisplacement gaussian_field_with_displacement(std::size_t n,
+                                                       double box_side,
+                                                       const PowerFn& power,
+                                                       std::uint64_t seed);
+
+}  // namespace galactos::mocks

@@ -1,0 +1,37 @@
+// Lognormal mock galaxy catalogs (Coles & Jones 1991 construction) — the
+// clustered-data stand-in for the Outer Rim halo catalog.
+//
+// Pipeline: target P(k) -> xi(r) on the grid (inverse FFT) ->
+// xi_G = ln(1 + xi) -> P_G(k) (forward FFT, clipped >= 0) -> Gaussian field
+// g -> delta = exp(g - sigma_g^2/2) - 1 -> Poisson sampling with intensity
+// n_bar (1 + delta) V_cell, uniform jitter within cells. The same Gaussian
+// modes supply the linear displacement field for redshift-space distortions.
+#pragma once
+
+#include <cstdint>
+
+#include "mocks/gaussian_field.hpp"
+#include "mocks/power_spectrum.hpp"
+#include "sim/catalog.hpp"
+
+namespace galactos::mocks {
+
+struct LognormalParams {
+  std::size_t grid_n = 64;   // FFT grid cells per side (power of two)
+  double box_side = 1000.0;  // Mpc/h
+  double nbar = 1e-3;        // galaxies per (Mpc/h)^3
+  double bias = 1.0;         // linear galaxy bias applied to delta_G
+  std::uint64_t seed = 12345;
+};
+
+struct LognormalMock {
+  sim::Catalog galaxies;
+  std::vector<double> psi_z;  // per-galaxy LOS displacement (for RSD)
+  double sigma_g2 = 0.0;      // measured variance of the Gaussian field
+};
+
+// Generates a lognormal mock with clustering given by `power`.
+LognormalMock lognormal_catalog(const LognormalParams& params,
+                                const BaoPowerSpectrum& power);
+
+}  // namespace galactos::mocks

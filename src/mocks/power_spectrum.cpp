@@ -1,0 +1,82 @@
+#include "mocks/power_spectrum.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "math/fft.hpp"
+#include "util/check.hpp"
+
+namespace galactos::mocks {
+
+BaoPowerSpectrum::BaoPowerSpectrum(const BaoPowerSpectrumParams& p) : p_(p) {
+  GLX_CHECK(p.p_pivot > 0 && p.k_pivot > 0 && p.gamma > 0);
+  norm_ = p_.p_pivot / broadband(p_.k_pivot);
+}
+
+double BaoPowerSpectrum::broadband(double k) const {
+  // BBKS transfer function in q = k / Gamma.
+  const double q = k / p_.gamma;
+  const double t1 = std::log(1.0 + 2.34 * q) / (2.34 * q);
+  const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                      std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+  const double T = t1 * std::pow(poly, -0.25);
+  return std::pow(k, p_.ns) * T * T;
+}
+
+double BaoPowerSpectrum::operator()(double k) const {
+  if (k <= 0.0) return 0.0;
+  const double kr = k * p_.r_bao;
+  const double wiggle =
+      1.0 + p_.bao_amp * (std::sin(kr) / kr) *
+                std::exp(-0.5 * k * k * p_.bao_damp * p_.bao_damp);
+  return norm_ * broadband(k) * wiggle;
+}
+
+MeasuredPower measure_power(const std::vector<double>& field, std::size_t n,
+                            double box_side, int nbins) {
+  GLX_CHECK(field.size() == n * n * n);
+  GLX_CHECK(nbins >= 1);
+  const double V = box_side * box_side * box_side;
+  const double vcell = V / static_cast<double>(n * n * n);
+  const double kf = 2.0 * M_PI / box_side;             // fundamental mode
+  const double knyq = kf * static_cast<double>(n) / 2.0;  // Nyquist
+
+  std::vector<math::cplx> grid(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) grid[i] = field[i];
+  math::fft_3d(grid, n, -1);
+
+  MeasuredPower out;
+  out.k.assign(nbins, 0.0);
+  out.pk.assign(nbins, 0.0);
+  out.modes.assign(nbins, 0);
+  const double dk = knyq / nbins;
+
+  auto freq = [&](std::size_t i) {
+    const long long s = static_cast<long long>(i);
+    const long long half = static_cast<long long>(n) / 2;
+    return static_cast<double>(s <= half ? s : s - static_cast<long long>(n));
+  };
+
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        if (ix == 0 && iy == 0 && iz == 0) continue;
+        const double kx = kf * freq(ix), ky = kf * freq(iy),
+                     kz = kf * freq(iz);
+        const double kk = std::sqrt(kx * kx + ky * ky + kz * kz);
+        const int b = static_cast<int>(kk / dk);
+        if (b < 0 || b >= nbins) continue;
+        const math::cplx d = grid[(ix * n + iy) * n + iz] * vcell;
+        out.k[b] += kk;
+        out.pk[b] += std::norm(d) / V;
+        out.modes[b] += 1;
+      }
+  for (int b = 0; b < nbins; ++b) {
+    if (out.modes[b] == 0) continue;
+    out.k[b] /= static_cast<double>(out.modes[b]);
+    out.pk[b] /= static_cast<double>(out.modes[b]);
+  }
+  return out;
+}
+
+}  // namespace galactos::mocks

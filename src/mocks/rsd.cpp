@@ -1,0 +1,37 @@
+#include "mocks/rsd.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace galactos::mocks {
+
+void apply_plane_parallel_rsd(sim::Catalog& c,
+                              const std::vector<double>& psi_z, double f,
+                              double box_side) {
+  GLX_CHECK(c.size() == psi_z.size());
+  GLX_CHECK(box_side > 0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    double z = c.z[i] + f * psi_z[i];
+    z = std::fmod(z, box_side);
+    if (z < 0) z += box_side;
+    c.z[i] = z;
+  }
+}
+
+void apply_radial_rsd(sim::Catalog& c, const std::vector<double>& psi_z,
+                      double f, const sim::Vec3& observer) {
+  GLX_CHECK(c.size() == psi_z.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const sim::Vec3 d = c.position(i) - observer;
+    const double r = d.norm();
+    if (r == 0.0) continue;
+    const sim::Vec3 rhat = d * (1.0 / r);
+    const double shift = f * psi_z[i] * rhat.z;
+    c.x[i] += shift * rhat.x;
+    c.y[i] += shift * rhat.y;
+    c.z[i] += shift * rhat.z;
+  }
+}
+
+}  // namespace galactos::mocks

@@ -1,0 +1,27 @@
+// Redshift-space distortions (paper §1.1): galaxies' peculiar velocities
+// shift their inferred line-of-sight positions, imprinting the anisotropy
+// the anisotropic 3PCF is designed to measure.
+#pragma once
+
+#include <vector>
+
+#include "sim/catalog.hpp"
+
+namespace galactos::mocks {
+
+// Plane-parallel (distant-observer) RSD: z -> z + f * psi_z, wrapped
+// periodically into [0, box_side). `psi_z` is the per-galaxy linear LOS
+// displacement from the mock generator; `f` is the growth rate (GR predicts
+// f ~ Omega_m^0.55 ~ 0.5 today).
+void apply_plane_parallel_rsd(sim::Catalog& c, const std::vector<double>& psi_z,
+                              double f, double box_side);
+
+// Radial RSD for a survey-style catalog with an observer at `observer`:
+// positions shift along the true line of sight by f * (psi . rhat). Here the
+// displacement is supplied only along z (plane-parallel mocks), so we
+// project: shift = f * psi_z * (rhat.z) applied along rhat. Approximate, but
+// exercises the radial-LOS code path of the engine.
+void apply_radial_rsd(sim::Catalog& c, const std::vector<double>& psi_z,
+                      double f, const sim::Vec3& observer);
+
+}  // namespace galactos::mocks

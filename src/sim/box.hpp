@@ -1,0 +1,90 @@
+// Axis-aligned bounding box. Used by the k-d tree (node bounds), the
+// distributed partitioner (rank domains) and the halo-exchange invariants.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/catalog.hpp"
+
+namespace galactos::sim {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max()};
+  Vec3 hi{std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest()};
+
+  static Aabb cube(double side) { return {{0, 0, 0}, {side, side, side}}; }
+
+  static Aabb of(const Catalog& c) {
+    Aabb b;
+    for (std::size_t i = 0; i < c.size(); ++i) b.expand(c.position(i));
+    return b;
+  }
+
+  void expand(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+
+  // Inclusive containment (closed box) for bounding checks.
+  bool contains_closed(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  double extent(int dim) const {
+    switch (dim) {
+      case 0: return hi.x - lo.x;
+      case 1: return hi.y - lo.y;
+      default: return hi.z - lo.z;
+    }
+  }
+
+  int widest_dim() const {
+    const double ex = extent(0), ey = extent(1), ez = extent(2);
+    if (ex >= ey && ex >= ez) return 0;
+    return ey >= ez ? 1 : 2;
+  }
+
+  double coord(const Vec3& p, int dim) const {
+    return dim == 0 ? p.x : (dim == 1 ? p.y : p.z);
+  }
+
+  // Squared distance from p to the box (0 if inside).
+  double dist2(const Vec3& p) const {
+    auto axis = [](double v, double l, double h) {
+      if (v < l) return l - v;
+      if (v > h) return v - h;
+      return 0.0;
+    };
+    const double dx = axis(p.x, lo.x, hi.x);
+    const double dy = axis(p.y, lo.y, hi.y);
+    const double dz = axis(p.z, lo.z, hi.z);
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+  // Box expanded by `r` on every side.
+  Aabb expanded(double r) const {
+    return {{lo.x - r, lo.y - r, lo.z - r}, {hi.x + r, hi.y + r, hi.z + r}};
+  }
+
+  double volume() const {
+    return std::max(0.0, extent(0)) * std::max(0.0, extent(1)) *
+           std::max(0.0, extent(2));
+  }
+};
+
+}  // namespace galactos::sim

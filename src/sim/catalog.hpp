@@ -1,0 +1,86 @@
+// Galaxy catalog container.
+//
+// Structure-of-arrays layout: the tree build, halo exchange and the kernel
+// all stream coordinates, so SoA is the natural representation (paper
+// §3.3.3). Weights default to 1; survey-style analyses use negative weights
+// for random-catalog points (data - randoms density contrast).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace galactos::sim {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm2() const { return dot(*this); }
+  double norm() const;
+  Vec3 normalized() const;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(std::size_t n) { resize(n); }
+
+  std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  void resize(std::size_t n) {
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+    w.resize(n, 1.0);
+  }
+
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+    w.reserve(n);
+  }
+
+  void push_back(double px, double py, double pz, double pw = 1.0) {
+    x.push_back(px);
+    y.push_back(py);
+    z.push_back(pz);
+    w.push_back(pw);
+  }
+
+  void push_back(const Vec3& p, double pw = 1.0) {
+    push_back(p.x, p.y, p.z, pw);
+  }
+
+  Vec3 position(std::size_t i) const {
+    GLX_DCHECK(i < size());
+    return {x[i], y[i], z[i]};
+  }
+
+  // Appends all galaxies of `other`.
+  void append(const Catalog& other) {
+    x.insert(x.end(), other.x.begin(), other.x.end());
+    y.insert(y.end(), other.y.begin(), other.y.end());
+    z.insert(z.end(), other.z.begin(), other.z.end());
+    w.insert(w.end(), other.w.begin(), other.w.end());
+  }
+
+  double total_weight() const {
+    double s = 0;
+    for (double wi : w) s += wi;
+    return s;
+  }
+
+  std::vector<double> x, y, z, w;
+};
+
+}  // namespace galactos::sim

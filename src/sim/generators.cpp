@@ -1,0 +1,102 @@
+#include "sim/generators.hpp"
+
+#include <cmath>
+
+namespace galactos::sim {
+
+double Vec3::norm() const { return std::sqrt(norm2()); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  GLX_CHECK_MSG(n > 0, "cannot normalize zero vector");
+  return {x / n, y / n, z / n};
+}
+
+Catalog uniform_box(std::size_t n, const Aabb& box, std::uint64_t seed) {
+  math::Rng rng(seed);
+  Catalog c;
+  c.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    c.push_back(rng.uniform(box.lo.x, box.hi.x),
+                rng.uniform(box.lo.y, box.hi.y),
+                rng.uniform(box.lo.z, box.hi.z));
+  return c;
+}
+
+Catalog levy_flight(std::size_t n, const Aabb& box, std::uint64_t seed,
+                    const LevyFlightParams& p) {
+  GLX_CHECK(p.alpha > 0 && p.r0 > 0 && p.chain_len >= 2);
+  math::Rng rng(seed);
+  Catalog c;
+  c.reserve(n);
+  auto wrap = [](double v, double lo, double hi) {
+    const double L = hi - lo;
+    v = std::fmod(v - lo, L);
+    if (v < 0) v += L;
+    return lo + v;
+  };
+  Vec3 pos{};
+  std::size_t in_chain = p.chain_len;  // force a fresh chain start
+  while (c.size() < n) {
+    if (in_chain >= p.chain_len) {
+      pos = {rng.uniform(box.lo.x, box.hi.x), rng.uniform(box.lo.y, box.hi.y),
+             rng.uniform(box.lo.z, box.hi.z)};
+      in_chain = 0;
+    } else {
+      // Inverse-CDF sample of step length: P(>r) = (r/r0)^-alpha.
+      const double u = rng.uniform();
+      const double step = p.r0 * std::pow(1.0 - u, -1.0 / p.alpha);
+      double dx, dy, dz;
+      rng.unit_vector(dx, dy, dz);
+      pos = {wrap(pos.x + step * dx, box.lo.x, box.hi.x),
+             wrap(pos.y + step * dy, box.lo.y, box.hi.y),
+             wrap(pos.z + step * dz, box.lo.z, box.hi.z)};
+    }
+    c.push_back(pos);
+    ++in_chain;
+  }
+  return c;
+}
+
+double outer_rim_box_side(std::size_t total_galaxies, double density) {
+  GLX_CHECK(density > 0);
+  return std::cbrt(static_cast<double>(total_galaxies) / density);
+}
+
+Catalog outer_rim_like(int nodes, std::size_t per_node, std::uint64_t seed) {
+  GLX_CHECK(nodes >= 1);
+  const std::size_t n = static_cast<std::size_t>(nodes) * per_node;
+  const double side = outer_rim_box_side(n);
+  return uniform_box(n, Aabb::cube(side), seed);
+}
+
+std::vector<std::int64_t> interior_indices(const Catalog& c, const Aabb& box,
+                                           double margin) {
+  std::vector<std::int64_t> out;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Vec3 p = c.position(i);
+    if (p.x >= box.lo.x + margin && p.x <= box.hi.x - margin &&
+        p.y >= box.lo.y + margin && p.y <= box.hi.y - margin &&
+        p.z >= box.lo.z + margin && p.z <= box.hi.z - margin)
+      out.push_back(static_cast<std::int64_t>(i));
+  }
+  return out;
+}
+
+std::vector<Catalog> spatial_slabs(const Catalog& c, int k, int dim) {
+  GLX_CHECK(k >= 1 && dim >= 0 && dim <= 2);
+  const Aabb box = Aabb::of(c);
+  const double lo = (dim == 0) ? box.lo.x : (dim == 1 ? box.lo.y : box.lo.z);
+  const double width = box.extent(dim) / k;
+  std::vector<Catalog> out(k);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Vec3 p = c.position(i);
+    const double v = (dim == 0) ? p.x : (dim == 1 ? p.y : p.z);
+    int s = width > 0 ? static_cast<int>((v - lo) / width) : 0;
+    s = std::min(std::max(s, 0), k - 1);
+    out[s].push_back(p, c.w[i]);
+  }
+  return out;
+}
+
+}  // namespace galactos::sim

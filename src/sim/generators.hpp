@@ -1,0 +1,59 @@
+// Synthetic catalog generators — the data substrate standing in for the
+// Outer Rim halo catalog (see DESIGN.md §1).
+//
+// * uniform_box: spatially random points (the null hypothesis the 3PCF
+//   measures excess against; also the performance workload — Galactos' cost
+//   depends only on N, n_bar and R_max, not on clustering details).
+// * levy_flight: Rayleigh–Lévy random walk (Peebles 1980). Produces a
+//   catalog with a known power-law 2PCF and strong, analytic 3-point
+//   clustering — the classic correctness workload for correlation codes.
+// * outer_rim_like: fixed number density n_bar ~ 0.0725 (Mpc/h)^-3 (the
+//   density implied by the paper's Table 1 rows; the text rounds it to
+//   "roughly 0.071") at a given node count, reproducing the paper's
+//   weak-scaling dataset family.
+#pragma once
+
+#include <cstdint>
+
+#include "math/rng.hpp"
+#include "sim/box.hpp"
+#include "sim/catalog.hpp"
+
+namespace galactos::sim {
+
+// N points uniform in `box`.
+Catalog uniform_box(std::size_t n, const Aabb& box, std::uint64_t seed);
+
+// Rayleigh–Lévy flight: a chain of steps with pdf ~ r^-(alpha+1) for
+// r >= r0, wrapped periodically into `box`. `n` total points in
+// `n / chain_len` independent chains.
+struct LevyFlightParams {
+  double r0 = 0.1;       // minimum step
+  double alpha = 1.5;    // step-size power-law index
+  std::size_t chain_len = 512;
+};
+Catalog levy_flight(std::size_t n, const Aabb& box, std::uint64_t seed,
+                    const LevyFlightParams& params = {});
+
+// The paper's Table 1 family: given a node count and per-node galaxy count,
+// the box side follows from fixed density 0.0712 gal/(Mpc/h)^3.
+inline constexpr double kOuterRimDensity = 0.0725;  // galaxies per (Mpc/h)^3
+
+double outer_rim_box_side(std::size_t total_galaxies,
+                          double density = kOuterRimDensity);
+
+// Uniform-random catalog at Outer Rim density for `nodes` nodes with
+// `per_node` galaxies each (the weak-scaling dataset constructor).
+Catalog outer_rim_like(int nodes, std::size_t per_node, std::uint64_t seed);
+
+// Splits a catalog into `k` spatial slabs along `dim` (jackknife regions).
+std::vector<Catalog> spatial_slabs(const Catalog& c, int k, int dim);
+
+// Indices of galaxies at least `margin` from every face of `box`. Using
+// these as primaries (all galaxies remain secondaries) gives every primary
+// a complete R_max sphere, removing the -(3/2) r/L edge bias of
+// uncorrected non-periodic box estimates.
+std::vector<std::int64_t> interior_indices(const Catalog& c, const Aabb& box,
+                                           double margin);
+
+}  // namespace galactos::sim

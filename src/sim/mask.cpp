@@ -1,0 +1,71 @@
+#include "sim/mask.hpp"
+
+#include <cmath>
+
+namespace galactos::sim {
+
+ShellSectorMask::ShellSectorMask(Vec3 center, double rmin, double rmax,
+                                 double cap_angle_rad)
+    : center_(center),
+      rmin_(rmin),
+      rmax_(rmax),
+      cos_cap_(std::cos(cap_angle_rad)) {
+  GLX_CHECK(rmin >= 0 && rmax > rmin);
+  GLX_CHECK(cap_angle_rad > 0 && cap_angle_rad <= M_PI);
+}
+
+void ShellSectorMask::add_hole(const Vec3& dir, double radius_rad) {
+  holes_.push_back({dir.normalized(), std::cos(radius_rad)});
+}
+
+bool ShellSectorMask::observed(const Vec3& p) const {
+  const Vec3 d = p - center_;
+  const double r = d.norm();
+  if (r < rmin_ || r > rmax_ || r == 0.0) return false;
+  const Vec3 u = d * (1.0 / r);
+  if (u.z < cos_cap_) return false;
+  for (const Hole& h : holes_)
+    if (u.dot(h.dir) > h.cos_radius) return false;
+  return true;
+}
+
+Catalog apply_mask(const Catalog& c, const Mask& mask) {
+  Catalog out;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Vec3 p = c.position(i);
+    if (mask.observed(p)) out.push_back(p, c.w[i]);
+  }
+  return out;
+}
+
+Catalog random_in_mask(std::size_t n, const Aabb& bounds, const Mask& mask,
+                       std::uint64_t seed) {
+  math::Rng rng(seed);
+  Catalog out;
+  out.reserve(n);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 1000 * std::max<std::size_t>(n, 1000);
+  while (out.size() < n) {
+    GLX_CHECK_MSG(++attempts < max_attempts,
+                  "mask acceptance rate too low to sample randoms");
+    const Vec3 p{rng.uniform(bounds.lo.x, bounds.hi.x),
+                 rng.uniform(bounds.lo.y, bounds.hi.y),
+                 rng.uniform(bounds.lo.z, bounds.hi.z)};
+    if (mask.observed(p)) out.push_back(p);
+  }
+  return out;
+}
+
+Catalog data_minus_randoms(const Catalog& data, const Catalog& randoms) {
+  GLX_CHECK(!randoms.empty());
+  const double wd = data.total_weight();
+  const double wr = randoms.total_weight();
+  GLX_CHECK(wr > 0);
+  Catalog out = data;
+  const double scale = -wd / wr;
+  for (std::size_t i = 0; i < randoms.size(); ++i)
+    out.push_back(randoms.position(i), randoms.w[i] * scale);
+  return out;
+}
+
+}  // namespace galactos::sim

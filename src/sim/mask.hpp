@@ -1,0 +1,65 @@
+// Survey-geometry masks (paper §6.1): real surveys are not periodic cubes —
+// they have blind spots and radially varying depth. A Mask decides whether a
+// sky position is observed; apply_mask() cuts a catalog down to the observed
+// region, and random_in_mask() Monte-Carlo samples a random catalog with the
+// same geometry (the correction catalog the paper describes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "math/rng.hpp"
+#include "sim/box.hpp"
+#include "sim/catalog.hpp"
+
+namespace galactos::sim {
+
+class Mask {
+ public:
+  virtual ~Mask() = default;
+  virtual bool observed(const Vec3& p) const = 0;
+};
+
+// Spherical shell sector around `center`: rmin <= |p-center| <= rmax and
+// polar angle (from +z) <= cap_angle — a crude but structurally realistic
+// survey footprint (radial selection + angular cap), with optional circular
+// "bright star" holes punched on the sky.
+class ShellSectorMask : public Mask {
+ public:
+  ShellSectorMask(Vec3 center, double rmin, double rmax, double cap_angle_rad);
+
+  // Adds a circular hole of angular radius `radius_rad` around direction
+  // `dir` (as seen from the center).
+  void add_hole(const Vec3& dir, double radius_rad);
+
+  bool observed(const Vec3& p) const override;
+
+  const Vec3& center() const { return center_; }
+  double rmin() const { return rmin_; }
+  double rmax() const { return rmax_; }
+
+ private:
+  Vec3 center_;
+  double rmin_, rmax_, cos_cap_;
+  struct Hole {
+    Vec3 dir;
+    double cos_radius;
+  };
+  std::vector<Hole> holes_;
+};
+
+// Keeps only observed galaxies.
+Catalog apply_mask(const Catalog& c, const Mask& mask);
+
+// Rejection-samples `n` random points inside `bounds` that pass the mask.
+Catalog random_in_mask(std::size_t n, const Aabb& bounds, const Mask& mask,
+                       std::uint64_t seed);
+
+// Combines a data catalog (weight +1) with a random catalog reweighted to
+// -sum(w_data)/sum(w_rand): the combined set samples the density *contrast*,
+// so the 3PCF of the combination removes the survey-geometry signal
+// (natural N - R estimator; see paper §6.1).
+Catalog data_minus_randoms(const Catalog& data, const Catalog& randoms);
+
+}  // namespace galactos::sim

@@ -1,0 +1,48 @@
+#include "sim/periodic.hpp"
+
+#include "util/check.hpp"
+
+namespace galactos::sim {
+
+PeriodicCatalog with_periodic_ghosts(const Catalog& c, const Aabb& box,
+                                     double rmax) {
+  const double lx = box.extent(0), ly = box.extent(1), lz = box.extent(2);
+  GLX_CHECK_MSG(rmax > 0 && 2 * rmax < lx && 2 * rmax < ly && 2 * rmax < lz,
+                "periodic ghosts require rmax < half the box side");
+
+  PeriodicCatalog out;
+  out.points = c;
+  out.primaries.resize(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i)
+    out.primaries[i] = static_cast<std::int64_t>(i);
+
+  // For each galaxy, emit every image shifted by -L/0/+L per axis that
+  // lands within rmax of the base box (up to 26 images near a corner).
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Vec3 p = c.position(i);
+    GLX_CHECK_MSG(box.contains_closed(p),
+                  "galaxy outside the declared periodic box");
+    int sx[3], sy[3], sz[3];
+    int nx = 0, ny = 0, nz = 0;
+    sx[nx++] = 0;
+    sy[ny++] = 0;
+    sz[nz++] = 0;
+    if (p.x - box.lo.x < rmax) sx[nx++] = +1;
+    if (box.hi.x - p.x < rmax) sx[nx++] = -1;
+    if (p.y - box.lo.y < rmax) sy[ny++] = +1;
+    if (box.hi.y - p.y < rmax) sy[ny++] = -1;
+    if (p.z - box.lo.z < rmax) sz[nz++] = +1;
+    if (box.hi.z - p.z < rmax) sz[nz++] = -1;
+    for (int a = 0; a < nx; ++a)
+      for (int b = 0; b < ny; ++b)
+        for (int d = 0; d < nz; ++d) {
+          if (sx[a] == 0 && sy[b] == 0 && sz[d] == 0) continue;
+          out.points.push_back(p.x + sx[a] * lx, p.y + sy[b] * ly,
+                               p.z + sz[d] * lz, c.w[i]);
+          ++out.ghost_count;
+        }
+  }
+  return out;
+}
+
+}  // namespace galactos::sim

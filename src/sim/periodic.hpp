@@ -1,0 +1,31 @@
+// Periodic-box support via ghost replication.
+//
+// Simulation snapshots (Outer Rim included) are periodic cubes; treating
+// them as open boxes biases pair counts near faces by ~ -(3/2) R_max/L.
+// Rather than teach every spatial index minimum-image arithmetic, we reuse
+// the halo-exchange idea from the distributed layer: replicate every galaxy
+// within R_max of a face across the boundary as a "ghost" secondary. The
+// engine then runs with primaries = the original galaxies and sees complete
+// neighborhoods. Exact (not approximate) for R_max < L/2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/box.hpp"
+#include "sim/catalog.hpp"
+
+namespace galactos::sim {
+
+struct PeriodicCatalog {
+  Catalog points;                        // originals first, then ghosts
+  std::vector<std::int64_t> primaries;   // indices of the originals
+  std::size_t ghost_count = 0;
+};
+
+// Replicates galaxies within `rmax` of each face of the periodic cube
+// `box` (rmax must be < half the shortest box side).
+PeriodicCatalog with_periodic_ghosts(const Catalog& c, const Aabb& box,
+                                     double rmax);
+
+}  // namespace galactos::sim

@@ -1,0 +1,105 @@
+#include "tree/cellgrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace galactos::tree {
+
+template <typename Real>
+CellGrid<Real>::CellGrid(const sim::Catalog& catalog, double rmax_hint,
+                         double cell_size) {
+  const std::size_t n = catalog.size();
+  if (n == 0) return;
+  bounds_ = sim::Aabb::of(catalog);
+  cell_ = cell_size > 0 ? cell_size : rmax_hint;
+  GLX_CHECK(cell_ > 0);
+
+  auto dims = [&](double extent) {
+    return std::max(1, static_cast<int>(std::floor(extent / cell_)) + 1);
+  };
+  nx_ = dims(bounds_.extent(0));
+  ny_ = dims(bounds_.extent(1));
+  nz_ = dims(bounds_.extent(2));
+  const std::size_t ncells =
+      static_cast<std::size_t>(nx_) * ny_ * nz_;
+  GLX_CHECK_MSG(ncells < (1ull << 31), "cell grid too fine");
+
+  // Counting sort into CSR.
+  std::vector<std::int64_t> counts(ncells + 1, 0);
+  std::vector<std::size_t> cell_idx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_idx[i] = cell_of(catalog.x[i], catalog.y[i], catalog.z[i]);
+    ++counts[cell_idx[i] + 1];
+  }
+  for (std::size_t c = 0; c < ncells; ++c) counts[c + 1] += counts[c];
+  starts_ = counts;
+
+  xs_.resize(n);
+  ys_.resize(n);
+  zs_.resize(n);
+  ws_.resize(n);
+  orig_.resize(n);
+  std::vector<std::int64_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t dst = cursor[cell_idx[i]]++;
+    xs_[dst] = static_cast<Real>(catalog.x[i]);
+    ys_[dst] = static_cast<Real>(catalog.y[i]);
+    zs_[dst] = static_cast<Real>(catalog.z[i]);
+    ws_[dst] = catalog.w[i];
+    orig_[dst] = static_cast<std::int64_t>(i);
+  }
+}
+
+template <typename Real>
+std::size_t CellGrid<Real>::cell_of(double x, double y, double z) const {
+  auto clampdim = [&](double v, double lo, int nd) {
+    int c = static_cast<int>(std::floor((v - lo) / cell_));
+    return std::min(std::max(c, 0), nd - 1);
+  };
+  const int cx = clampdim(x, bounds_.lo.x, nx_);
+  const int cy = clampdim(y, bounds_.lo.y, ny_);
+  const int cz = clampdim(z, bounds_.lo.z, nz_);
+  return (static_cast<std::size_t>(cx) * ny_ + cy) * nz_ + cz;
+}
+
+template <typename Real>
+void CellGrid<Real>::gather_neighbors(double qx, double qy, double qz,
+                                      double rmax,
+                                      NeighborList<Real>& out) const {
+  if (xs_.empty()) return;
+  const Real q[3] = {static_cast<Real>(qx), static_cast<Real>(qy),
+                     static_cast<Real>(qz)};
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  const int reach = static_cast<int>(std::ceil(rmax / cell_));
+
+  auto center = [&](double v, double lo) {
+    return static_cast<int>(std::floor((v - lo) / cell_));
+  };
+  const int cx = center(qx, bounds_.lo.x);
+  const int cy = center(qy, bounds_.lo.y);
+  const int cz = center(qz, bounds_.lo.z);
+
+  for (int ix = std::max(0, cx - reach); ix <= std::min(nx_ - 1, cx + reach);
+       ++ix)
+    for (int iy = std::max(0, cy - reach);
+         iy <= std::min(ny_ - 1, cy + reach); ++iy)
+      for (int iz = std::max(0, cz - reach);
+           iz <= std::min(nz_ - 1, cz + reach); ++iz) {
+        const std::size_t c =
+            (static_cast<std::size_t>(ix) * ny_ + iy) * nz_ + iz;
+        for (std::int64_t i = starts_[c]; i < starts_[c + 1]; ++i) {
+          const Real dx = xs_[i] - q[0];
+          const Real dy = ys_[i] - q[1];
+          const Real dz = zs_[i] - q[2];
+          const Real rr = dx * dx + dy * dy + dz * dz;
+          if (rr <= r2max) out.push(dx, dy, dz, rr, ws_[i], orig_[i]);
+        }
+      }
+}
+
+template class CellGrid<float>;
+template class CellGrid<double>;
+
+}  // namespace galactos::tree

@@ -1,0 +1,187 @@
+#include "tree/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace galactos::tree {
+
+template <typename Real>
+KdTree<Real>::KdTree(const sim::Catalog& catalog, BuildParams params) {
+  GLX_CHECK(params.leaf_size >= 1);
+  const std::size_t n = catalog.size();
+  if (n == 0) return;
+  GLX_CHECK_MSG(n < static_cast<std::size_t>(
+                        std::numeric_limits<std::int32_t>::max()),
+                "catalog too large for 32-bit tree indices");
+
+  std::vector<std::int32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::int32_t>(i);
+
+  nodes_.reserve(2 * n / params.leaf_size + 8);
+  root_ = build(0, static_cast<std::int32_t>(n), perm, catalog,
+                params.leaf_size);
+
+  // Reorder coordinates into tree order for contiguous leaf scans.
+  xs_.resize(n);
+  ys_.resize(n);
+  zs_.resize(n);
+  ws_.resize(n);
+  orig_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t p = perm[i];
+    xs_[i] = static_cast<Real>(catalog.x[p]);
+    ys_[i] = static_cast<Real>(catalog.y[p]);
+    zs_[i] = static_cast<Real>(catalog.z[p]);
+    ws_[i] = catalog.w[p];
+    orig_[i] = p;
+  }
+}
+
+template <typename Real>
+std::int32_t KdTree<Real>::build(std::int32_t begin, std::int32_t end,
+                                 std::vector<std::int32_t>& perm,
+                                 const sim::Catalog& catalog, int leaf_size) {
+  const std::int32_t id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Bounding box over [begin, end).
+  double lo[3] = {std::numeric_limits<double>::max(),
+                  std::numeric_limits<double>::max(),
+                  std::numeric_limits<double>::max()};
+  double hi[3] = {std::numeric_limits<double>::lowest(),
+                  std::numeric_limits<double>::lowest(),
+                  std::numeric_limits<double>::lowest()};
+  for (std::int32_t i = begin; i < end; ++i) {
+    const std::int32_t p = perm[i];
+    const double c[3] = {catalog.x[p], catalog.y[p], catalog.z[p]};
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], c[d]);
+      hi[d] = std::max(hi[d], c[d]);
+    }
+  }
+  {
+    Node& nd = nodes_[id];
+    for (int d = 0; d < 3; ++d) {
+      // Round the box conservatively outward when Real is float.
+      nd.lo[d] = static_cast<Real>(lo[d]);
+      nd.hi[d] = static_cast<Real>(hi[d]);
+      if (static_cast<double>(nd.lo[d]) > lo[d])
+        nd.lo[d] = std::nextafter(nd.lo[d], std::numeric_limits<Real>::lowest());
+      if (static_cast<double>(nd.hi[d]) < hi[d])
+        nd.hi[d] = std::nextafter(nd.hi[d], std::numeric_limits<Real>::max());
+    }
+    nd.begin = begin;
+    nd.end = end;
+  }
+
+  if (end - begin <= leaf_size) return id;
+
+  // Median split along the widest dimension.
+  int dim = 0;
+  double best = hi[0] - lo[0];
+  for (int d = 1; d < 3; ++d)
+    if (hi[d] - lo[d] > best) {
+      best = hi[d] - lo[d];
+      dim = d;
+    }
+  if (best == 0.0) return id;  // all points coincide; keep as (large) leaf
+
+  const std::int32_t mid = begin + (end - begin) / 2;
+  const auto key = [&](std::int32_t p) {
+    return dim == 0 ? catalog.x[p] : (dim == 1 ? catalog.y[p] : catalog.z[p]);
+  };
+  std::nth_element(perm.begin() + begin, perm.begin() + mid,
+                   perm.begin() + end,
+                   [&](std::int32_t a, std::int32_t b) { return key(a) < key(b); });
+
+  const std::int32_t l = build(begin, mid, perm, catalog, leaf_size);
+  const std::int32_t r = build(mid, end, perm, catalog, leaf_size);
+  nodes_[id].left = l;
+  nodes_[id].right = r;
+  return id;
+}
+
+namespace {
+
+// Squared distance from point q to box [lo, hi] (componentwise), in Real.
+template <typename Real>
+Real box_dist2(const Real q[3], const Real lo[3], const Real hi[3]) {
+  Real d2 = 0;
+  for (int d = 0; d < 3; ++d) {
+    Real diff = 0;
+    if (q[d] < lo[d]) diff = lo[d] - q[d];
+    else if (q[d] > hi[d]) diff = q[d] - hi[d];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+}  // namespace
+
+template <typename Real>
+void KdTree<Real>::gather_neighbors(double qx, double qy, double qz,
+                                    double rmax,
+                                    NeighborList<Real>& out) const {
+  if (root_ < 0) return;
+  const Real q[3] = {static_cast<Real>(qx), static_cast<Real>(qy),
+                     static_cast<Real>(qz)};
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+
+  std::int32_t stack[128];
+  int sp = 0;
+  stack[sp++] = root_;
+  while (sp > 0) {
+    const Node& nd = nodes_[stack[--sp]];
+    if (box_dist2<Real>(q, nd.lo, nd.hi) > r2max) continue;
+    if (nd.left < 0) {
+      for (std::int32_t i = nd.begin; i < nd.end; ++i) {
+        const Real dx = xs_[i] - q[0];
+        const Real dy = ys_[i] - q[1];
+        const Real dz = zs_[i] - q[2];
+        const Real rr = dx * dx + dy * dy + dz * dz;
+        if (rr <= r2max) out.push(dx, dy, dz, rr, ws_[i], orig_[i]);
+      }
+    } else {
+      GLX_DCHECK(sp + 2 <= 128);
+      stack[sp++] = nd.left;
+      stack[sp++] = nd.right;
+    }
+  }
+}
+
+template <typename Real>
+std::size_t KdTree<Real>::count_within(double qx, double qy, double qz,
+                                       double rmax) const {
+  if (root_ < 0) return 0;
+  const Real q[3] = {static_cast<Real>(qx), static_cast<Real>(qy),
+                     static_cast<Real>(qz)};
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  std::size_t count = 0;
+  std::int32_t stack[128];
+  int sp = 0;
+  stack[sp++] = root_;
+  while (sp > 0) {
+    const Node& nd = nodes_[stack[--sp]];
+    if (box_dist2<Real>(q, nd.lo, nd.hi) > r2max) continue;
+    if (nd.left < 0) {
+      for (std::int32_t i = nd.begin; i < nd.end; ++i) {
+        const Real dx = xs_[i] - q[0];
+        const Real dy = ys_[i] - q[1];
+        const Real dz = zs_[i] - q[2];
+        if (dx * dx + dy * dy + dz * dz <= r2max) ++count;
+      }
+    } else {
+      stack[sp++] = nd.left;
+      stack[sp++] = nd.right;
+    }
+  }
+  return count;
+}
+
+template class KdTree<float>;
+template class KdTree<double>;
+
+}  // namespace galactos::tree

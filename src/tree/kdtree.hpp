@@ -1,0 +1,69 @@
+// Node-local k-d tree (paper §3.1/§3.3): median-split over the widest
+// dimension, points reordered into contiguous leaf ranges, per-node bounding
+// boxes for pruning. Templated on coordinate precision: the paper runs the
+// tree search in single precision ("mixed" mode) because galaxy positions
+// are insensitive to float rounding, while all multipole math stays double.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/box.hpp"
+#include "sim/catalog.hpp"
+#include "tree/neighbors.hpp"
+
+namespace galactos::tree {
+
+template <typename Real>
+class KdTree {
+ public:
+  struct BuildParams {
+    int leaf_size = 32;
+  };
+
+  KdTree() = default;
+  explicit KdTree(const sim::Catalog& catalog, BuildParams params = {});
+
+  std::size_t size() const { return xs_.size(); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Appends every point with |p - q|^2 <= rmax^2 to `out` (separations
+  // p - q computed in Real precision). The query point itself, if present
+  // in the tree, is returned too (r2 == 0) — callers filter by index.
+  void gather_neighbors(double qx, double qy, double qz, double rmax,
+                        NeighborList<Real>& out) const;
+
+  // Count of points within rmax (used by load-balance diagnostics).
+  std::size_t count_within(double qx, double qy, double qz,
+                           double rmax) const;
+
+  // Tree-order access (for iteration over all points).
+  Real x(std::size_t i) const { return xs_[i]; }
+  Real y(std::size_t i) const { return ys_[i]; }
+  Real z(std::size_t i) const { return zs_[i]; }
+  double weight(std::size_t i) const { return ws_[i]; }
+  std::int64_t original_index(std::size_t i) const { return orig_[i]; }
+
+ private:
+  struct Node {
+    // Bounding box of the points in [begin, end).
+    Real lo[3], hi[3];
+    std::int32_t begin, end;
+    std::int32_t left = -1, right = -1;  // children; -1 => leaf
+  };
+
+  std::int32_t build(std::int32_t begin, std::int32_t end,
+                     std::vector<std::int32_t>& perm,
+                     const sim::Catalog& catalog, int leaf_size);
+
+  std::vector<Node> nodes_;
+  std::vector<Real> xs_, ys_, zs_;
+  std::vector<double> ws_;
+  std::vector<std::int64_t> orig_;
+  std::int32_t root_ = -1;
+};
+
+extern template class KdTree<float>;
+extern template class KdTree<double>;
+
+}  // namespace galactos::tree

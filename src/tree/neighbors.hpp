@@ -1,0 +1,42 @@
+// Neighbor gather buffer shared by the spatial indexes.
+//
+// The engine's first step per primary (paper Algorithm 1) is "search the
+// node-local k-d tree for all secondaries within R_max". The indexes fill
+// this SoA buffer with separation components (in index precision — float in
+// the paper's mixed mode), weights and original indices; the engine then
+// rotates, bins and accumulates in double.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace galactos::tree {
+
+template <typename Real>
+struct NeighborList {
+  std::vector<Real> dx, dy, dz;  // separation: secondary - primary
+  std::vector<Real> r2;          // squared distance (already computed)
+  std::vector<double> w;         // weight
+  std::vector<std::int64_t> idx; // index into the source catalog
+
+  void clear() {
+    dx.clear();
+    dy.clear();
+    dz.clear();
+    r2.clear();
+    w.clear();
+    idx.clear();
+  }
+  std::size_t size() const { return dx.size(); }
+  void push(Real x, Real y, Real z, Real rr, double weight,
+            std::int64_t index) {
+    dx.push_back(x);
+    dy.push_back(y);
+    dz.push_back(z);
+    r2.push_back(rr);
+    w.push_back(weight);
+    idx.push_back(index);
+  }
+};
+
+}  // namespace galactos::tree

@@ -1,0 +1,73 @@
+// Cache-line / SIMD-aligned buffer for hot-loop accumulators.
+//
+// The multipole kernel keeps its 8-lane accumulators and bucket SoA arrays in
+// these buffers so the compiler can emit aligned vector loads/stores.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "util/check.hpp"
+
+namespace galactos {
+
+inline constexpr std::size_t kSimdAlign = 64;  // one cache line / AVX-512 reg
+
+// Minimal aligned, non-resizing array. Intentionally simpler than
+// std::vector: no per-element init cost control issues, guaranteed alignment.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { reset(n); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& o) noexcept : ptr_(o.ptr_), n_(o.n_) {
+    o.ptr_ = nullptr;
+    o.n_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      ptr_ = o.ptr_;
+      n_ = o.n_;
+      o.ptr_ = nullptr;
+      o.n_ = 0;
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { release(); }
+
+  // (Re)allocates storage for n elements. Contents are uninitialized.
+  void reset(std::size_t n) {
+    release();
+    if (n == 0) return;
+    std::size_t bytes = (n * sizeof(T) + kSimdAlign - 1) / kSimdAlign * kSimdAlign;
+    ptr_ = static_cast<T*>(::operator new(bytes, std::align_val_t(kSimdAlign)));
+    n_ = n;
+  }
+
+  void fill(const T& v) {
+    for (std::size_t i = 0; i < n_; ++i) ptr_[i] = v;
+  }
+
+  T* data() { return ptr_; }
+  const T* data() const { return ptr_; }
+  std::size_t size() const { return n_; }
+  T& operator[](std::size_t i) { return ptr_[i]; }
+  const T& operator[](std::size_t i) const { return ptr_[i]; }
+
+ private:
+  void release() {
+    if (ptr_) ::operator delete(ptr_, std::align_val_t(kSimdAlign));
+    ptr_ = nullptr;
+    n_ = 0;
+  }
+  T* ptr_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+}  // namespace galactos

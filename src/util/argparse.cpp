@@ -1,0 +1,45 @@
+#include "util/argparse.hpp"
+
+namespace galactos {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    GLX_CHECK_MSG(a.rfind("--", 0) == 0, "expected --option, got: " << a);
+    std::string body = a.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      kv_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      kv_[body] = args[++i];
+    } else {
+      flags_.insert(body);
+    }
+  }
+}
+
+std::string ArgParser::get_str(const std::string& name,
+                               const std::string& def) {
+  used_.insert(name);
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+bool ArgParser::flag(const std::string& name) {
+  used_.insert(name);
+  return flags_.count(name) > 0 || kv_.count(name) > 0;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return flags_.count(name) > 0 || kv_.count(name) > 0;
+}
+
+void ArgParser::finish() const {
+  for (const auto& [k, v] : kv_)
+    GLX_CHECK_MSG(used_.count(k), "unknown option --" << k);
+  for (const auto& f : flags_)
+    GLX_CHECK_MSG(used_.count(f), "unknown flag --" << f);
+}
+
+}  // namespace galactos

@@ -1,0 +1,51 @@
+// Tiny command-line parser for examples and benchmark harnesses.
+//
+// Usage:
+//   ArgParser args(argc, argv);
+//   int n       = args.get<int>("n", 100000);        // --n=... or --n ...
+//   double rmax = args.get<double>("rmax", 200.0);
+//   bool rsd    = args.flag("rsd");                  // --rsd
+//   args.finish();  // throws on unknown options
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace galactos {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  // Retrieves --name=<value> (or "--name <value>"); falls back to `def`.
+  template <typename T>
+  T get(const std::string& name, T def) {
+    used_.insert(name);
+    auto it = kv_.find(name);
+    if (it == kv_.end()) return def;
+    std::istringstream is(it->second);
+    T v{};
+    is >> v;
+    GLX_CHECK_MSG(!is.fail(), "bad value for --" << name << ": " << it->second);
+    return v;
+  }
+
+  std::string get_str(const std::string& name, const std::string& def);
+  bool flag(const std::string& name);
+  bool has(const std::string& name) const;
+  // Throws if any provided option was never queried (catches typos).
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::set<std::string> flags_;
+  std::set<std::string> used_;
+};
+
+}  // namespace galactos

@@ -1,0 +1,44 @@
+// Lightweight runtime checks used across the library.
+//
+// GLX_CHECK is always on (it guards API misuse and invariants whose cost is
+// negligible); GLX_DCHECK compiles out in release builds and is used inside
+// hot kernels.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace galactos {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GLX_CHECK failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace galactos
+
+#define GLX_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) ::galactos::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GLX_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream glx_os_;                                     \
+      glx_os_ << msg;                                                 \
+      ::galactos::check_failed(#cond, __FILE__, __LINE__, glx_os_.str()); \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define GLX_DCHECK(cond) ((void)0)
+#else
+#define GLX_DCHECK(cond) GLX_CHECK(cond)
+#endif

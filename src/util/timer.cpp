@@ -1,0 +1,60 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace galactos {
+
+void PhaseTimer::add(const std::string& phase, double seconds) {
+  acc_[phase] += seconds;
+}
+
+double PhaseTimer::get(const std::string& phase) const {
+  auto it = acc_.find(phase);
+  return it == acc_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::total() const {
+  double t = 0;
+  for (const auto& [k, v] : acc_) t += v;
+  return t;
+}
+
+void PhaseTimer::merge_max(const PhaseTimer& other) {
+  for (const auto& [k, v] : other.acc_) {
+    auto it = acc_.find(k);
+    if (it == acc_.end() || it->second < v) acc_[k] = v;
+  }
+}
+
+void PhaseTimer::merge_sum(const PhaseTimer& other) {
+  for (const auto& [k, v] : other.acc_) acc_[k] += v;
+}
+
+std::vector<std::pair<std::string, double>> PhaseTimer::sorted() const {
+  std::vector<std::pair<std::string, double>> v(acc_.begin(), acc_.end());
+  std::sort(v.begin(), v.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return v;
+}
+
+std::string PhaseTimer::report() const {
+  const double tot = total();
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-28s %12s %8s\n", "phase", "seconds",
+                "%total");
+  os << line;
+  for (const auto& [k, v] : sorted()) {
+    std::snprintf(line, sizeof(line), "%-28s %12.4f %7.1f%%\n", k.c_str(), v,
+                  tot > 0 ? 100.0 * v / tot : 0.0);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "%-28s %12.4f %7.1f%%\n", "TOTAL", tot,
+                100.0);
+  os << line;
+  return os.str();
+}
+
+}  // namespace galactos

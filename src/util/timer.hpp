@@ -1,0 +1,58 @@
+// Wall-clock timing and a named phase-timer used to reproduce the paper's
+// Fig. 4 runtime breakdown.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace galactos {
+
+class Timer {
+ public:
+  Timer() { restart(); }
+  void restart() { t0_ = clock::now(); }
+  // Seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_;
+};
+
+// Accumulates named durations; phases can repeat and nest sequentially.
+// Not thread-safe: each thread keeps its own and merges at the end.
+class PhaseTimer {
+ public:
+  void add(const std::string& phase, double seconds);
+  double get(const std::string& phase) const;
+  double total() const;
+  void merge_max(const PhaseTimer& other);  // per-phase max (distributed runs)
+  void merge_sum(const PhaseTimer& other);
+  std::vector<std::pair<std::string, double>> sorted() const;
+  // Human-readable table with percent-of-total, mirroring Fig. 4.
+  std::string report() const;
+
+ private:
+  std::map<std::string, double> acc_;
+};
+
+// RAII phase scope: adds elapsed time to `pt[phase]` on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& pt, std::string phase)
+      : pt_(pt), phase_(std::move(phase)) {}
+  ~ScopedPhase() { pt_.add(phase_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& pt_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace galactos

@@ -1,0 +1,72 @@
+// Radial bins: linear and log spacing, edge semantics, shell volumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bins.hpp"
+
+using galactos::core::BinSpacing;
+using galactos::core::RadialBins;
+
+TEST(RadialBins, LinearEdgesAndLookup) {
+  RadialBins b(10.0, 60.0, 5);
+  EXPECT_EQ(b.count(), 5);
+  for (int i = 0; i <= 5; ++i) EXPECT_DOUBLE_EQ(b.edge(i), 10.0 + 10.0 * i);
+  EXPECT_EQ(b.bin_of(9.999), -1);
+  EXPECT_EQ(b.bin_of(10.0), 0);
+  EXPECT_EQ(b.bin_of(19.999), 0);
+  EXPECT_EQ(b.bin_of(20.0), 1);
+  EXPECT_EQ(b.bin_of(59.999), 4);
+  EXPECT_EQ(b.bin_of(60.0), -1);  // rmax exclusive
+  EXPECT_EQ(b.bin_of(0.0), -1);
+  EXPECT_DOUBLE_EQ(b.center(2), 35.0);
+}
+
+TEST(RadialBins, LogEdgesAndLookup) {
+  RadialBins b(1.0, 100.0, 4, BinSpacing::kLog);
+  EXPECT_NEAR(b.edge(0), 1.0, 1e-12);
+  EXPECT_NEAR(b.edge(1), std::pow(10, 0.5), 1e-10);
+  EXPECT_NEAR(b.edge(2), 10.0, 1e-10);
+  EXPECT_NEAR(b.edge(4), 100.0, 1e-10);
+  EXPECT_EQ(b.bin_of(0.5), -1);
+  EXPECT_EQ(b.bin_of(1.0), 0);
+  EXPECT_EQ(b.bin_of(3.0), 0);
+  EXPECT_EQ(b.bin_of(4.0), 1);
+  EXPECT_EQ(b.bin_of(99.9), 3);
+  EXPECT_EQ(b.bin_of(100.0), -1);
+}
+
+TEST(RadialBins, LookupConsistentWithEdges) {
+  // Every r strictly inside [edge(i), edge(i+1)) maps to bin i.
+  for (auto spacing : {BinSpacing::kLinear, BinSpacing::kLog}) {
+    RadialBins b(2.0, 200.0, 17, spacing);
+    for (int i = 0; i < b.count(); ++i) {
+      const double lo = b.edge(i), hi = b.edge(i + 1);
+      EXPECT_EQ(b.bin_of(lo + 1e-9), i);
+      EXPECT_EQ(b.bin_of(0.5 * (lo + hi)), i);
+      EXPECT_EQ(b.bin_of(hi - 1e-9), i);
+    }
+  }
+}
+
+TEST(RadialBins, ShellVolumes) {
+  RadialBins b(0.0 + 1.0, 3.0, 2);
+  const double v0 = 4.0 / 3 * M_PI * (8.0 - 1.0);
+  const double v1 = 4.0 / 3 * M_PI * (27.0 - 8.0);
+  EXPECT_NEAR(b.shell_volume(0), v0, 1e-10);
+  EXPECT_NEAR(b.shell_volume(1), v1, 1e-10);
+}
+
+TEST(RadialBins, RejectsBadConfig) {
+  EXPECT_THROW(RadialBins(5.0, 5.0, 3), std::logic_error);
+  EXPECT_THROW(RadialBins(-1.0, 5.0, 3), std::logic_error);
+  EXPECT_THROW(RadialBins(0.0, 5.0, 3, BinSpacing::kLog), std::logic_error);
+  EXPECT_THROW(RadialBins(1.0, 5.0, 0), std::logic_error);
+}
+
+TEST(RadialBins, Describe) {
+  RadialBins b(1.0, 10.0, 3);
+  EXPECT_NE(b.describe().find("3 linear"), std::string::npos);
+  RadialBins c(1.0, 10.0, 4, BinSpacing::kLog);
+  EXPECT_NE(c.describe().find("log"), std::string::npos);
+}

@@ -1,0 +1,156 @@
+// Catalog containers, boxes and generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/box.hpp"
+#include "sim/catalog.hpp"
+#include "sim/generators.hpp"
+
+namespace s = galactos::sim;
+
+TEST(Catalog, BasicOps) {
+  s::Catalog c;
+  EXPECT_TRUE(c.empty());
+  c.push_back(1, 2, 3);
+  c.push_back({4, 5, 6}, 2.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.w[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.w[1], 2.0);
+  EXPECT_DOUBLE_EQ(c.position(1).y, 5.0);
+  EXPECT_DOUBLE_EQ(c.total_weight(), 3.0);
+
+  s::Catalog d(3);
+  EXPECT_EQ(d.size(), 3u);
+  d.append(c);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d.w[4], 2.0);
+}
+
+TEST(Vec3, Algebra) {
+  s::Vec3 a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  const s::Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.z, 1.0);
+  EXPECT_DOUBLE_EQ((a + b).norm2(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).norm(), std::sqrt(2.0));
+  const s::Vec3 n = (a + b).normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-15);
+  EXPECT_THROW((s::Vec3{0, 0, 0}.normalized()), std::logic_error);
+}
+
+TEST(Aabb, ExpandContainDist) {
+  s::Aabb box = s::Aabb::cube(10.0);
+  EXPECT_TRUE(box.contains({5, 5, 5}));
+  EXPECT_FALSE(box.contains({10, 5, 5}));  // half-open
+  EXPECT_TRUE(box.contains_closed({10, 10, 10}));
+  EXPECT_DOUBLE_EQ(box.dist2({5, 5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.dist2({12, 5, 5}), 4.0);
+  EXPECT_DOUBLE_EQ(box.dist2({12, 12, 5}), 8.0);
+  EXPECT_DOUBLE_EQ(box.volume(), 1000.0);
+  EXPECT_EQ(box.widest_dim(), 0);  // ties resolve to x
+
+  s::Aabb e = box.expanded(1.0);
+  EXPECT_DOUBLE_EQ(e.lo.x, -1.0);
+  EXPECT_DOUBLE_EQ(e.hi.z, 11.0);
+}
+
+TEST(Aabb, OfCatalog) {
+  s::Catalog c;
+  c.push_back(1, 5, -2);
+  c.push_back(3, 0, 7);
+  const s::Aabb b = s::Aabb::of(c);
+  EXPECT_DOUBLE_EQ(b.lo.x, 1.0);
+  EXPECT_DOUBLE_EQ(b.lo.y, 0.0);
+  EXPECT_DOUBLE_EQ(b.lo.z, -2.0);
+  EXPECT_DOUBLE_EQ(b.hi.y, 5.0);
+  EXPECT_DOUBLE_EQ(b.hi.z, 7.0);
+}
+
+TEST(Generators, UniformBoxInBounds) {
+  const s::Aabb box{{1, 2, 3}, {4, 6, 8}};
+  const s::Catalog c = s::uniform_box(5000, box, 42);
+  ASSERT_EQ(c.size(), 5000u);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_TRUE(box.contains(c.position(i))) << i;
+    EXPECT_DOUBLE_EQ(c.w[i], 1.0);
+  }
+}
+
+TEST(Generators, UniformBoxDeterministic) {
+  const s::Aabb box = s::Aabb::cube(100);
+  const s::Catalog a = s::uniform_box(100, box, 7);
+  const s::Catalog b = s::uniform_box(100, box, 7);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.x[i], b.x[i]);
+}
+
+TEST(Generators, UniformBoxCoversVolume) {
+  // Mean position should be near the box center.
+  const s::Aabb box = s::Aabb::cube(10);
+  const s::Catalog c = s::uniform_box(50000, box, 3);
+  double sx = 0, sy = 0, sz = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    sx += c.x[i];
+    sy += c.y[i];
+    sz += c.z[i];
+  }
+  EXPECT_NEAR(sx / c.size(), 5.0, 0.05);
+  EXPECT_NEAR(sy / c.size(), 5.0, 0.05);
+  EXPECT_NEAR(sz / c.size(), 5.0, 0.05);
+}
+
+TEST(Generators, LevyFlightInBoxAndClustered) {
+  const s::Aabb box = s::Aabb::cube(100);
+  s::LevyFlightParams p;
+  p.r0 = 0.5;
+  p.alpha = 1.2;
+  p.chain_len = 128;
+  const s::Catalog c = s::levy_flight(20000, box, 11, p);
+  ASSERT_EQ(c.size(), 20000u);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_TRUE(box.contains_closed(c.position(i))) << i;
+
+  // Clustering proxy: the count of close pairs (< 2) among consecutive
+  // points vastly exceeds the uniform expectation.
+  std::size_t close_pairs = 0;
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    const double d2 = (c.position(i) - c.position(i - 1)).norm2();
+    if (d2 < 4.0) ++close_pairs;
+  }
+  EXPECT_GT(close_pairs, c.size() / 4);
+}
+
+TEST(Generators, OuterRimBoxSideMatchesTable1) {
+  // Paper Table 1: 2.88e7 galaxies <-> 734.5 Mpc/h, 1.951e9 <-> 3000.
+  // Table rows imply slightly drifting densities (0.0723-0.0727), so the
+  // single constant reproduces each row to ~0.3 %.
+  EXPECT_NEAR(s::outer_rim_box_side(28800000) / 734.5, 1.0, 3e-3);
+  EXPECT_NEAR(s::outer_rim_box_side(1951000000) / 3000.0, 1.0, 3e-3);
+  EXPECT_NEAR(s::outer_rim_box_side(57600000) / 925.8, 1.0, 3e-3);
+  EXPECT_NEAR(s::outer_rim_box_side(115200000) / 1166.9, 1.0, 3e-3);
+}
+
+TEST(Generators, OuterRimLikeDensity) {
+  const s::Catalog c = s::outer_rim_like(4, 5000, 1);
+  ASSERT_EQ(c.size(), 20000u);
+  const s::Aabb b = s::Aabb::of(c);
+  const double density = static_cast<double>(c.size()) / b.volume();
+  EXPECT_NEAR(density, s::kOuterRimDensity, 0.01);
+}
+
+TEST(Generators, SpatialSlabsPartition) {
+  const s::Catalog c = s::uniform_box(9000, s::Aabb::cube(30), 5);
+  const auto slabs = s::spatial_slabs(c, 5, 2);
+  ASSERT_EQ(slabs.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& s : slabs) total += s.size();
+  EXPECT_EQ(total, c.size());
+  // Each slab's z-range is disjoint and ~1/5 of the box.
+  for (int k = 0; k < 5; ++k) {
+    const s::Aabb b = s::Aabb::of(slabs[k]);
+    EXPECT_GE(b.lo.z, 6.0 * k - 1e-9);
+    EXPECT_LE(b.hi.z, 6.0 * (k + 1) + 1e-9);
+    EXPECT_GT(slabs[k].size(), 1200u);  // roughly balanced
+  }
+}

@@ -1,0 +1,90 @@
+// Cell-grid index: equivalence with the k-d tree / brute force.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "math/rng.hpp"
+#include "sim/generators.hpp"
+#include "tree/cellgrid.hpp"
+#include "tree/kdtree.hpp"
+
+namespace s = galactos::sim;
+namespace t = galactos::tree;
+
+namespace {
+
+std::set<std::int64_t> brute_neighbors(const s::Catalog& c, double qx,
+                                       double qy, double qz, double r) {
+  std::set<std::int64_t> out;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double dx = c.x[i] - qx, dy = c.y[i] - qy, dz = c.z[i] - qz;
+    if (dx * dx + dy * dy + dz * dz <= r * r)
+      out.insert(static_cast<std::int64_t>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+class CellGridProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {
+};
+
+TEST_P(CellGridProperty, MatchesBruteForce) {
+  const auto [n, cell, seed] = GetParam();
+  const s::Catalog c = s::uniform_box(n, s::Aabb::cube(100), seed);
+  const double rmax = 25.0;
+  const t::CellGrid<double> grid(c, rmax, cell);
+  galactos::math::Rng rng(seed + 100);
+  t::NeighborList<double> nl;
+  for (int q = 0; q < 15; ++q) {
+    const double qx = rng.uniform(-5, 105), qy = rng.uniform(-5, 105),
+                 qz = rng.uniform(-5, 105);
+    const double r = rng.uniform(0.5, rmax);
+    nl.clear();
+    grid.gather_neighbors(qx, qy, qz, r, nl);
+    EXPECT_EQ(std::set<std::int64_t>(nl.idx.begin(), nl.idx.end()),
+              brute_neighbors(c, qx, qy, qz, r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CellGridProperty,
+    ::testing::Values(std::make_tuple(500, -1.0, 1),
+                      std::make_tuple(500, 10.0, 2),
+                      std::make_tuple(2000, 5.0, 3),
+                      std::make_tuple(2000, 40.0, 4),
+                      std::make_tuple(100, 3.0, 5)));
+
+TEST(CellGrid, QueryRadiusLargerThanHintStillCorrect) {
+  // reach is recomputed per query, so r > rmax_hint must still work.
+  const s::Catalog c = s::uniform_box(1000, s::Aabb::cube(60), 9);
+  const t::CellGrid<double> grid(c, 5.0);
+  t::NeighborList<double> nl;
+  grid.gather_neighbors(30, 30, 30, 20.0, nl);
+  EXPECT_EQ(std::set<std::int64_t>(nl.idx.begin(), nl.idx.end()),
+            brute_neighbors(c, 30, 30, 30, 20.0));
+}
+
+TEST(CellGrid, AgreesWithKdTree) {
+  const s::Catalog c = s::uniform_box(3000, s::Aabb::cube(80), 21);
+  const t::CellGrid<double> grid(c, 15.0);
+  const t::KdTree<double> tree(c);
+  t::NeighborList<double> a, b;
+  for (double q : {10.0, 40.0, 70.0}) {
+    a.clear();
+    b.clear();
+    grid.gather_neighbors(q, q, q, 15.0, a);
+    tree.gather_neighbors(q, q, q, 15.0, b);
+    EXPECT_EQ(std::set<std::int64_t>(a.idx.begin(), a.idx.end()),
+              std::set<std::int64_t>(b.idx.begin(), b.idx.end()));
+  }
+}
+
+TEST(CellGrid, EmptyCatalog) {
+  const s::Catalog empty;
+  const t::CellGrid<double> grid(empty, 1.0);
+  t::NeighborList<double> nl;
+  grid.gather_neighbors(0, 0, 0, 5, nl);
+  EXPECT_EQ(nl.size(), 0u);
+}

@@ -1,0 +1,161 @@
+// minimpi runtime: point-to-point semantics, ordering, collectives,
+// sub-communicators — validated across rank counts including non-powers
+// of two.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "dist/comm.hpp"
+
+namespace d = galactos::dist;
+
+TEST(Comm, PingPong) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      c.send<int>(1, 7, {1, 2, 3});
+      const auto back = c.recv<int>(1, 8);
+      ASSERT_EQ(back.size(), 3u);
+      EXPECT_EQ(back[2], 30);
+    } else {
+      auto v = c.recv<int>(0, 7);
+      for (int& x : v) x *= 10;
+      c.send(0, 8, v);
+    }
+  });
+}
+
+TEST(Comm, MessageOrderingFifoPerTag) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 100; ++i) c.send_value<int>(1, 5, i);
+    } else {
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(c.recv_value<int>(0, 5), i);
+    }
+  });
+}
+
+TEST(Comm, TagsAreIndependentChannels) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 10, 100);
+      c.send_value<int>(1, 20, 200);
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(c.recv_value<int>(0, 20), 200);
+      EXPECT_EQ(c.recv_value<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(Comm, EmptyMessage) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      c.send<double>(1, 3, {});
+    } else {
+      EXPECT_TRUE(c.recv<double>(0, 3).empty());
+    }
+  });
+}
+
+class CommCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommCollectives, AllreduceSum) {
+  const int n = GetParam();
+  d::run_ranks(n, [n](d::Comm& c) {
+    std::vector<double> v{static_cast<double>(c.rank()), 1.0};
+    c.allreduce_sum(v, 50);
+    EXPECT_DOUBLE_EQ(v[0], n * (n - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(v[1], static_cast<double>(n));
+  });
+}
+
+TEST_P(CommCollectives, AllreduceMax) {
+  const int n = GetParam();
+  d::run_ranks(n, [n](d::Comm& c) {
+    const double got =
+        c.allreduce_max_value<double>(static_cast<double>(c.rank() * 10), 60);
+    EXPECT_DOUBLE_EQ(got, (n - 1) * 10.0);
+  });
+}
+
+TEST_P(CommCollectives, GatherCollectsInRankOrder) {
+  const int n = GetParam();
+  d::run_ranks(n, [n](d::Comm& c) {
+    std::vector<std::int64_t> mine{c.rank() * 100ll, c.rank() * 100ll + 1};
+    auto all = c.gather(mine, 70);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        ASSERT_EQ(all[r].size(), 2u);
+        EXPECT_EQ(all[r][0], r * 100ll);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CommCollectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  d::run_ranks(n, [n, counter](d::Comm& c) {
+    counter->fetch_add(1);
+    c.barrier(80);
+    // After the barrier, every rank must observe all increments.
+    EXPECT_EQ(counter->load(), n);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, CommCollectives,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Comm, SubRangeCommunicator) {
+  d::run_ranks(5, [](d::Comm& c) {
+    if (c.rank() < 2) {
+      d::Comm sub = c.sub_range(0, 2);
+      EXPECT_EQ(sub.size(), 2);
+      EXPECT_EQ(sub.rank(), c.rank());
+      const double v = sub.allreduce_sum_value<double>(1.0, 90);
+      EXPECT_DOUBLE_EQ(v, 2.0);
+    } else {
+      d::Comm sub = c.sub_range(2, 5);
+      EXPECT_EQ(sub.size(), 3);
+      EXPECT_EQ(sub.rank(), c.rank() - 2);
+      const double v = sub.allreduce_sum_value<double>(1.0, 90);
+      EXPECT_DOUBLE_EQ(v, 3.0);
+    }
+  });
+}
+
+TEST(Comm, WorldRankMapping) {
+  d::run_ranks(4, [](d::Comm& c) {
+    EXPECT_EQ(c.world_rank(), c.rank());
+    if (c.rank() >= 1) {
+      d::Comm sub = c.sub_range(1, 4);
+      EXPECT_EQ(sub.world_rank(), c.rank());
+      EXPECT_EQ(sub.rank(), c.rank() - 1);
+    }
+  });
+}
+
+TEST(Comm, ExceptionInRankPropagates) {
+  EXPECT_THROW(
+      d::run_ranks(1, [](d::Comm&) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST(Comm, LargePayloadRoundTrip) {
+  d::run_ranks(2, [](d::Comm& c) {
+    const std::size_t n = 1 << 18;
+    if (c.rank() == 0) {
+      std::vector<double> big(n);
+      for (std::size_t i = 0; i < n; ++i) big[i] = static_cast<double>(i);
+      c.send(1, 9, big);
+    } else {
+      const auto big = c.recv<double>(0, 9);
+      ASSERT_EQ(big.size(), n);
+      EXPECT_DOUBLE_EQ(big[n - 1], static_cast<double>(n - 1));
+    }
+  });
+}

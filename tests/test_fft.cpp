@@ -1,0 +1,137 @@
+// FFT substrate tests: oracle agreement, round trips, Parseval, 3-D axes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/fft.hpp"
+#include "math/rng.hpp"
+
+namespace m = galactos::math;
+using cd = m::cplx;
+
+namespace {
+
+std::vector<cd> random_signal(std::size_t n, std::uint64_t seed) {
+  m::Rng rng(seed);
+  std::vector<cd> v(n);
+  for (auto& x : v) x = cd(rng.normal(), rng.normal());
+  return v;
+}
+
+}  // namespace
+
+TEST(Fft1d, MatchesNaiveDft) {
+  for (std::size_t n : {2u, 4u, 8u, 32u, 128u}) {
+    std::vector<cd> sig = random_signal(n, 100 + n);
+    std::vector<cd> ref = m::dft_reference(sig, -1);
+    std::vector<cd> got = sig;
+    m::fft_1d(got.data(), n, -1);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(got[i] - ref[i]), 0.0, 1e-9 * n) << "n=" << n;
+  }
+}
+
+TEST(Fft1d, InverseMatchesNaive) {
+  const std::size_t n = 64;
+  std::vector<cd> sig = random_signal(n, 5);
+  std::vector<cd> ref = m::dft_reference(sig, +1);
+  std::vector<cd> got = sig;
+  m::fft_1d(got.data(), n, +1);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(got[i] - ref[i]), 0.0, 1e-10);
+}
+
+TEST(Fft1d, RoundTripIsIdentity) {
+  const std::size_t n = 256;
+  std::vector<cd> sig = random_signal(n, 9);
+  std::vector<cd> work = sig;
+  m::fft_1d(work.data(), n, -1);
+  m::fft_1d(work.data(), n, +1);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(work[i] - sig[i]), 0.0, 1e-11);
+}
+
+TEST(Fft1d, DeltaTransformsToConstant) {
+  const std::size_t n = 16;
+  std::vector<cd> sig(n, cd(0, 0));
+  sig[0] = 1.0;
+  m::fft_1d(sig.data(), n, -1);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(sig[i] - cd(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Fft1d, SingleModeLandsInRightBin) {
+  const std::size_t n = 32;
+  const int k0 = 5;
+  std::vector<cd> sig(n);
+  for (std::size_t j = 0; j < n; ++j)
+    sig[j] = std::exp(cd(0, 2 * M_PI * k0 * static_cast<double>(j) / n));
+  m::fft_1d(sig.data(), n, -1);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expect = (k == k0) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(sig[k]), expect, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fft1d, Parseval) {
+  const std::size_t n = 128;
+  std::vector<cd> sig = random_signal(n, 17);
+  double time_e = 0;
+  for (const cd& v : sig) time_e += std::norm(v);
+  std::vector<cd> work = sig;
+  m::fft_1d(work.data(), n, -1);
+  double freq_e = 0;
+  for (const cd& v : work) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e, time_e * n, 1e-8 * time_e * n);
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<cd> sig(12);
+  EXPECT_THROW(m::fft_1d(sig.data(), 12, -1), std::logic_error);
+}
+
+TEST(Fft3d, RoundTrip) {
+  const std::size_t n = 8;
+  std::vector<cd> sig = random_signal(n * n * n, 23);
+  std::vector<cd> work = sig;
+  m::fft_3d(work, n, -1);
+  m::fft_3d(work, n, +1);
+  for (std::size_t i = 0; i < sig.size(); ++i)
+    EXPECT_NEAR(std::abs(work[i] - sig[i]), 0.0, 1e-10);
+}
+
+TEST(Fft3d, SeparableSingleMode) {
+  // A plane wave e^{i 2 pi (ax + by + cz)/n} transforms to a single spike.
+  const std::size_t n = 8;
+  const int a = 2, b = 5, c = 1;
+  std::vector<cd> sig(n * n * n);
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz)
+        sig[(ix * n + iy) * n + iz] = std::exp(
+            cd(0, 2 * M_PI *
+                      (a * static_cast<double>(ix) + b * static_cast<double>(iy) +
+                       c * static_cast<double>(iz)) /
+                      static_cast<double>(n)));
+  m::fft_3d(sig, n, -1);
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        const bool spike = ix == static_cast<std::size_t>(a) &&
+                           iy == static_cast<std::size_t>(b) &&
+                           iz == static_cast<std::size_t>(c);
+        const double expect = spike ? static_cast<double>(n * n * n) : 0.0;
+        EXPECT_NEAR(std::abs(sig[(ix * n + iy) * n + iz]), expect, 1e-7);
+      }
+}
+
+TEST(Fft3d, LinearityUnderScaling) {
+  const std::size_t n = 8;
+  std::vector<cd> sig = random_signal(n * n * n, 31);
+  std::vector<cd> twice = sig;
+  for (auto& v : twice) v *= 2.0;
+  m::fft_3d(sig, n, -1);
+  m::fft_3d(twice, n, -1);
+  for (std::size_t i = 0; i < sig.size(); ++i)
+    EXPECT_NEAR(std::abs(twice[i] - 2.0 * sig[i]), 0.0, 1e-9);
+}

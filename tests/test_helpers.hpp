@@ -1,0 +1,94 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "core/zeta.hpp"
+#include "math/rng.hpp"
+#include "sim/catalog.hpp"
+#include "sim/generators.hpp"
+
+namespace galactos::testing {
+
+// Relative-or-absolute closeness for quantities spanning many magnitudes.
+inline void expect_close(double a, double b, double rel, double abs_floor,
+                         const std::string& what) {
+  const double tol = std::max(abs_floor, rel * std::max(std::abs(a),
+                                                        std::abs(b)));
+  EXPECT_NEAR(a, b, tol) << what;
+}
+
+// Compares every zeta coefficient, the pair counts and the 2PCF moments of
+// two results. `rel` is the relative tolerance; `abs_floor` guards
+// near-zero coefficients.
+inline void expect_results_match(const core::ZetaResult& a,
+                                 const core::ZetaResult& b, double rel,
+                                 double abs_floor) {
+  ASSERT_EQ(a.lmax, b.lmax);
+  ASSERT_EQ(a.bins.count(), b.bins.count());
+  EXPECT_EQ(a.n_primaries, b.n_primaries);
+  expect_close(a.sum_primary_weight, b.sum_primary_weight, rel, abs_floor,
+               "sum_primary_weight");
+  const int nb = a.bins.count();
+  for (int b1 = 0; b1 < nb; ++b1) {
+    expect_close(a.pair_counts[b1], b.pair_counts[b1], rel, abs_floor,
+                 "pair_counts[" + std::to_string(b1) + "]");
+    for (int l = 0; l <= a.lmax; ++l)
+      expect_close(a.xi_raw_at(l, b1), b.xi_raw_at(l, b1), rel, abs_floor,
+                   "xi_raw l=" + std::to_string(l));
+  }
+  for (int b1 = 0; b1 < nb; ++b1)
+    for (int b2 = b1; b2 < nb; ++b2)
+      for (int l = 0; l <= a.lmax; ++l)
+        for (int lp = 0; lp <= a.lmax; ++lp)
+          for (int m = 0; m <= std::min(l, lp); ++m) {
+            const auto za = a.zeta_m(b1, b2, l, lp, m);
+            const auto zb = b.zeta_m(b1, b2, l, lp, m);
+            const std::string what =
+                "zeta(b1=" + std::to_string(b1) + ",b2=" + std::to_string(b2) +
+                ",l=" + std::to_string(l) + ",lp=" + std::to_string(lp) +
+                ",m=" + std::to_string(m) + ")";
+            expect_close(za.real(), zb.real(), rel, abs_floor, what + ".re");
+            expect_close(za.imag(), zb.imag(), rel, abs_floor, what + ".im");
+          }
+}
+
+// Indices of galaxies at least `margin` away from every face of `box` —
+// primaries whose R_max spheres lie fully inside the data volume, so
+// shell-count expectations hold without edge corrections.
+inline std::vector<std::int64_t> interior_primaries(const sim::Catalog& c,
+                                                    const sim::Aabb& box,
+                                                    double margin) {
+  return sim::interior_indices(c, box, margin);
+}
+
+// Small clustered-ish catalog: uniform plus a few tight clumps, exercising
+// uneven bin occupancy.
+inline sim::Catalog clumpy_catalog(std::size_t n, double side,
+                                   std::uint64_t seed) {
+  math::Rng rng(seed);
+  sim::Catalog c;
+  c.reserve(n);
+  const std::size_t nclump = std::max<std::size_t>(1, n / 10);
+  std::size_t i = 0;
+  while (i < n) {
+    // Clump center.
+    const double cx = rng.uniform(0, side);
+    const double cy = rng.uniform(0, side);
+    const double cz = rng.uniform(0, side);
+    const std::size_t k = std::min<std::size_t>(n - i, 1 + rng.uniform_u64(8));
+    for (std::size_t j = 0; j < k; ++j, ++i) {
+      c.push_back(std::clamp(cx + rng.normal(0, side / 30), 0.0, side),
+                  std::clamp(cy + rng.normal(0, side / 30), 0.0, side),
+                  std::clamp(cz + rng.normal(0, side / 30), 0.0, side),
+                  0.5 + rng.uniform());  // nontrivial weights
+    }
+    (void)nclump;
+  }
+  return c;
+}
+
+}  // namespace galactos::testing

@@ -1,0 +1,137 @@
+// I/O round trips and file-format sanity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "io/catalog_io.hpp"
+#include "io/zeta_io.hpp"
+#include "sim/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace c = galactos::core;
+namespace io = galactos::io;
+namespace s = galactos::sim;
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("galactos_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+}  // namespace
+
+TEST(CatalogIo, TextRoundTrip) {
+  TempDir dir;
+  s::Catalog cat = s::uniform_box(200, s::Aabb::cube(50), 3);
+  cat.w[5] = -2.5;
+  io::write_catalog_text(cat, dir.file("cat.txt"));
+  const s::Catalog back = io::read_catalog_text(dir.file("cat.txt"));
+  ASSERT_EQ(back.size(), cat.size());
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.x[i], cat.x[i]);
+    EXPECT_DOUBLE_EQ(back.y[i], cat.y[i]);
+    EXPECT_DOUBLE_EQ(back.z[i], cat.z[i]);
+    EXPECT_DOUBLE_EQ(back.w[i], cat.w[i]);
+  }
+}
+
+TEST(CatalogIo, TextAcceptsCommasAndDefaults) {
+  TempDir dir;
+  {
+    std::ofstream f(dir.file("mixed.csv"));
+    f << "# header comment\n";
+    f << "1.0, 2.0, 3.0\n";        // CSV, no weight
+    f << "4 5 6 0.5\n";            // whitespace, weight
+    f << "\n";                     // blank line
+  }
+  const s::Catalog c = io::read_catalog_text(dir.file("mixed.csv"));
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.w[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.w[1], 0.5);
+  EXPECT_DOUBLE_EQ(c.y[1], 5.0);
+}
+
+TEST(CatalogIo, BinaryRoundTrip) {
+  TempDir dir;
+  const s::Catalog cat = galactos::testing::clumpy_catalog(500, 40.0, 9);
+  io::write_catalog_binary(cat, dir.file("cat.bin"));
+  const s::Catalog back = io::read_catalog_binary(dir.file("cat.bin"));
+  ASSERT_EQ(back.size(), cat.size());
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_EQ(back.x[i], cat.x[i]);
+    EXPECT_EQ(back.w[i], cat.w[i]);
+  }
+}
+
+TEST(CatalogIo, BinaryRejectsGarbage) {
+  TempDir dir;
+  {
+    std::ofstream f(dir.file("junk.bin"), std::ios::binary);
+    f << "not a catalog";
+  }
+  EXPECT_THROW(io::read_catalog_binary(dir.file("junk.bin")),
+               std::logic_error);
+  EXPECT_THROW(io::read_catalog_text(dir.file("missing.txt")),
+               std::logic_error);
+}
+
+TEST(ZetaIo, BinaryRoundTripPreservesEverything) {
+  TempDir dir;
+  const s::Catalog cat = s::uniform_box(300, s::Aabb::cube(40), 11);
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(2.0, 20.0, 3);
+  cfg.lmax = 3;
+  const c::ZetaResult res = c::Engine(cfg).run(cat);
+  io::write_zeta_binary(res, dir.file("z.bin"));
+  const c::ZetaResult back = io::read_zeta_binary(dir.file("z.bin"));
+  galactos::testing::expect_results_match(res, back, 0.0, 1e-300);
+  EXPECT_EQ(back.bins.rmin(), res.bins.rmin());
+  EXPECT_EQ(back.bins.count(), res.bins.count());
+}
+
+TEST(ZetaIo, CsvFilesHaveExpectedShape) {
+  TempDir dir;
+  const s::Catalog cat = s::uniform_box(200, s::Aabb::cube(30), 13);
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(1.0, 15.0, 2);
+  cfg.lmax = 2;
+  const c::ZetaResult res = c::Engine(cfg).run(cat);
+
+  io::write_zeta_csv(res, dir.file("zeta.csv"));
+  io::write_isotropic_map_csv(res, 0, dir.file("map.csv"));
+  io::write_xi_csv(res, dir.file("xi.csv"));
+
+  auto count_lines = [](const std::string& p) {
+    std::ifstream f(p);
+    std::string line;
+    int n = 0;
+    while (std::getline(f, line)) ++n;
+    return n;
+  };
+  // zeta.csv: header + binpairs(3) * sum_{l,lp} (min+1)
+  int nllm = 0;
+  for (int l = 0; l <= 2; ++l)
+    for (int lp = 0; lp <= 2; ++lp) nllm += std::min(l, lp) + 1;
+  EXPECT_EQ(count_lines(dir.file("zeta.csv")), 1 + 3 * nllm);
+  // map.csv: header + nbins^2
+  EXPECT_EQ(count_lines(dir.file("map.csv")), 1 + 4);
+  // xi.csv: header + nbins
+  EXPECT_EQ(count_lines(dir.file("xi.csv")), 1 + 2);
+}

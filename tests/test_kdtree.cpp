@@ -1,0 +1,162 @@
+// k-d tree: correctness against brute-force neighbor search, across
+// precisions, leaf sizes and degenerate inputs (property-style sweeps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "math/rng.hpp"
+#include "sim/generators.hpp"
+#include "tree/kdtree.hpp"
+
+namespace s = galactos::sim;
+namespace t = galactos::tree;
+
+namespace {
+
+// Brute-force reference: indices of points with |p - q| <= r (double math).
+std::set<std::int64_t> brute_neighbors(const s::Catalog& c, double qx,
+                                       double qy, double qz, double r) {
+  std::set<std::int64_t> out;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double dx = c.x[i] - qx, dy = c.y[i] - qy, dz = c.z[i] - qz;
+    if (dx * dx + dy * dy + dz * dz <= r * r)
+      out.insert(static_cast<std::int64_t>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+struct KdTreeCase {
+  int n;
+  int leaf;
+  std::uint64_t seed;
+};
+
+class KdTreeProperty : public ::testing::TestWithParam<KdTreeCase> {};
+
+TEST_P(KdTreeProperty, DoubleTreeMatchesBruteForce) {
+  const auto [n, leaf, seed] = GetParam();
+  const s::Catalog c = s::uniform_box(n, s::Aabb::cube(100), seed);
+  t::KdTree<double>::BuildParams bp;
+  bp.leaf_size = leaf;
+  const t::KdTree<double> tree(c, bp);
+  EXPECT_EQ(tree.size(), c.size());
+
+  galactos::math::Rng rng(seed + 1);
+  t::NeighborList<double> nl;
+  for (int q = 0; q < 20; ++q) {
+    const double qx = rng.uniform(-10, 110);
+    const double qy = rng.uniform(-10, 110);
+    const double qz = rng.uniform(-10, 110);
+    const double r = rng.uniform(1.0, 40.0);
+    nl.clear();
+    tree.gather_neighbors(qx, qy, qz, r, nl);
+    std::set<std::int64_t> got(nl.idx.begin(), nl.idx.end());
+    EXPECT_EQ(got.size(), nl.size());  // no duplicates
+    EXPECT_EQ(got, brute_neighbors(c, qx, qy, qz, r));
+    EXPECT_EQ(tree.count_within(qx, qy, qz, r), nl.size());
+    // Separations and r2 are consistent.
+    for (std::size_t i = 0; i < nl.size(); ++i) {
+      const double rr =
+          nl.dx[i] * nl.dx[i] + nl.dy[i] * nl.dy[i] + nl.dz[i] * nl.dz[i];
+      EXPECT_NEAR(nl.r2[i], rr, 1e-12);
+      EXPECT_LE(rr, r * r * (1 + 1e-12));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeProperty,
+    ::testing::Values(KdTreeCase{100, 1, 1}, KdTreeCase{100, 8, 2},
+                      KdTreeCase{1000, 16, 3}, KdTreeCase{1000, 32, 4},
+                      KdTreeCase{5000, 32, 5}, KdTreeCase{5000, 64, 6},
+                      KdTreeCase{317, 7, 7}, KdTreeCase{4096, 32, 8}));
+
+TEST(KdTree, FloatTreeMatchesBruteForceAwayFromBoundary) {
+  // Float rounding can flip membership of points within ~1e-5 relative of
+  // the query radius; exclude a shell of width eps when comparing.
+  const s::Catalog c = s::uniform_box(4000, s::Aabb::cube(1000), 17);
+  const t::KdTree<float> tree(c);
+  galactos::math::Rng rng(18);
+  t::NeighborList<float> nl;
+  for (int q = 0; q < 15; ++q) {
+    const double qx = rng.uniform(0, 1000), qy = rng.uniform(0, 1000),
+                 qz = rng.uniform(0, 1000);
+    const double r = rng.uniform(50, 200);
+    const double eps = 1e-3 * r;
+    nl.clear();
+    tree.gather_neighbors(qx, qy, qz, r, nl);
+    const std::set<std::int64_t> got(nl.idx.begin(), nl.idx.end());
+    const auto inner = brute_neighbors(c, qx, qy, qz, r - eps);
+    const auto outer = brute_neighbors(c, qx, qy, qz, r + eps);
+    for (std::int64_t i : inner) EXPECT_TRUE(got.count(i)) << i;
+    for (std::int64_t i : got) EXPECT_TRUE(outer.count(i)) << i;
+  }
+}
+
+TEST(KdTree, EmptyAndSingleton) {
+  const s::Catalog empty;
+  const t::KdTree<double> te(empty);
+  t::NeighborList<double> nl;
+  te.gather_neighbors(0, 0, 0, 10, nl);
+  EXPECT_EQ(nl.size(), 0u);
+
+  s::Catalog one;
+  one.push_back(1, 2, 3, 5.0);
+  const t::KdTree<double> t1(one);
+  t1.gather_neighbors(1, 2, 3, 0.5, nl);
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_EQ(nl.idx[0], 0);
+  EXPECT_DOUBLE_EQ(nl.w[0], 5.0);
+  EXPECT_DOUBLE_EQ(nl.r2[0], 0.0);
+}
+
+TEST(KdTree, DuplicatePointsAllReturned) {
+  s::Catalog c;
+  for (int i = 0; i < 100; ++i) c.push_back(5, 5, 5, i);
+  for (int i = 0; i < 50; ++i) c.push_back(8, 8, 8);
+  const t::KdTree<double> tree(c);
+  t::NeighborList<double> nl;
+  tree.gather_neighbors(5, 5, 5, 1.0, nl);
+  EXPECT_EQ(nl.size(), 100u);
+  nl.clear();
+  tree.gather_neighbors(6.5, 6.5, 6.5, 10.0, nl);
+  EXPECT_EQ(nl.size(), 150u);
+}
+
+TEST(KdTree, WeightsAndIndicesPreserved) {
+  s::Catalog c;
+  for (int i = 0; i < 500; ++i)
+    c.push_back(i * 0.1, 0, 0, 1000.0 + i);
+  const t::KdTree<double> tree(c);
+  t::NeighborList<double> nl;
+  tree.gather_neighbors(25.0, 0, 0, 1.05, nl);
+  ASSERT_GT(nl.size(), 0u);
+  for (std::size_t i = 0; i < nl.size(); ++i)
+    EXPECT_DOUBLE_EQ(nl.w[i], 1000.0 + nl.idx[i]);
+}
+
+TEST(KdTree, RadiusZeroReturnsOnlyCoincident) {
+  const s::Catalog c = s::uniform_box(100, s::Aabb::cube(10), 3);
+  const t::KdTree<double> tree(c);
+  t::NeighborList<double> nl;
+  tree.gather_neighbors(c.x[7], c.y[7], c.z[7], 0.0, nl);
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_EQ(nl.idx[0], 7);
+}
+
+TEST(KdTree, ClusteredDataDeepTree) {
+  // Highly clustered data stresses the splitting logic.
+  const s::Aabb box = s::Aabb::cube(50);
+  s::LevyFlightParams p;
+  p.r0 = 0.01;
+  const s::Catalog c = s::levy_flight(3000, box, 23, p);
+  const t::KdTree<double> tree(c, {4});
+  t::NeighborList<double> nl;
+  tree.gather_neighbors(25, 25, 25, 5.0, nl);
+  EXPECT_EQ(std::set<std::int64_t>(nl.idx.begin(), nl.idx.end()),
+            brute_neighbors(c, 25, 25, 25, 5.0));
+}

@@ -1,0 +1,113 @@
+// Line-of-sight rotation: orthonormality, the defining R(p_hat) = z, and
+// invariance of the physical quantities the estimator depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/los.hpp"
+#include "math/rng.hpp"
+
+namespace c = galactos::core;
+namespace s = galactos::sim;
+
+namespace {
+
+void expect_rotation_valid(const c::Rotation& r) {
+  // Rows orthonormal, determinant +1.
+  const double* m = r.m;
+  auto dot = [&](int i, int j) {
+    return m[3 * i] * m[3 * j] + m[3 * i + 1] * m[3 * j + 1] +
+           m[3 * i + 2] * m[3 * j + 2];
+  };
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(dot(i, j), i == j ? 1.0 : 0.0, 1e-12) << i << "," << j;
+  const double det =
+      m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6]) +
+      m[2] * (m[3] * m[7] - m[4] * m[6]);
+  EXPECT_NEAR(det, 1.0, 1e-12);
+}
+
+}  // namespace
+
+TEST(Rotation, MapsPrimaryDirectionToZ) {
+  galactos::math::Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    double x, y, z;
+    rng.unit_vector(x, y, z);
+    const double scale = rng.uniform(0.1, 100.0);
+    const c::Rotation r = c::rotation_to_z({x * scale, y * scale, z * scale});
+    expect_rotation_valid(r);
+    double px = x, py = y, pz = z;
+    r.apply(px, py, pz);
+    EXPECT_NEAR(px, 0.0, 1e-12);
+    EXPECT_NEAR(py, 0.0, 1e-12);
+    EXPECT_NEAR(pz, 1.0, 1e-12);
+  }
+}
+
+TEST(Rotation, DegenerateDirections) {
+  {
+    const c::Rotation r = c::rotation_to_z({0, 0, 3.0});
+    expect_rotation_valid(r);
+    double x = 1, y = 2, z = 3;
+    r.apply(x, y, z);
+    EXPECT_DOUBLE_EQ(x, 1.0);
+    EXPECT_DOUBLE_EQ(y, 2.0);
+    EXPECT_DOUBLE_EQ(z, 3.0);
+  }
+  {
+    const c::Rotation r = c::rotation_to_z({0, 0, -2.0});
+    expect_rotation_valid(r);
+    double x = 0, y = 0, z = -1;
+    r.apply(x, y, z);
+    EXPECT_NEAR(z, 1.0, 1e-15);
+  }
+  EXPECT_THROW(c::rotation_to_z({0, 0, 0}), std::logic_error);
+}
+
+TEST(Rotation, PreservesLengthsAndAngles) {
+  galactos::math::Rng rng(6);
+  for (int t = 0; t < 50; ++t) {
+    double px, py, pz;
+    rng.unit_vector(px, py, pz);
+    const c::Rotation r = c::rotation_to_z({px, py, pz});
+    double ax = rng.normal(), ay = rng.normal(), az = rng.normal();
+    double bx = rng.normal(), by = rng.normal(), bz = rng.normal();
+    const double len_a = ax * ax + ay * ay + az * az;
+    const double dot_ab = ax * bx + ay * by + az * bz;
+    r.apply(ax, ay, az);
+    r.apply(bx, by, bz);
+    EXPECT_NEAR(ax * ax + ay * ay + az * az, len_a, 1e-10 * (1 + len_a));
+    EXPECT_NEAR(ax * bx + ay * by + az * bz, dot_ab,
+                1e-10 * (1 + std::abs(dot_ab)));
+  }
+}
+
+TEST(Rotation, AngleToLosBecomesAngleToZ) {
+  // The angle between a separation vector and the LOS direction p_hat must
+  // equal the angle between the rotated separation and z.
+  galactos::math::Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    double px, py, pz;
+    rng.unit_vector(px, py, pz);
+    double dx = rng.normal(), dy = rng.normal(), dz = rng.normal();
+    const double norm = std::sqrt(dx * dx + dy * dy + dz * dz);
+    const double mu_before = (dx * px + dy * py + dz * pz) / norm;
+    const c::Rotation r = c::rotation_to_z({px, py, pz});
+    r.apply(dx, dy, dz);
+    const double mu_after = dz / std::sqrt(dx * dx + dy * dy + dz * dz);
+    EXPECT_NEAR(mu_before, mu_after, 1e-12);
+  }
+}
+
+TEST(Rotation, NearPoleStability) {
+  // Directions within ~1e-8 of +/-z must still produce valid rotations.
+  for (double eps : {1e-8, -1e-8}) {
+    const c::Rotation r = c::rotation_to_z({eps, 0, 1.0});
+    expect_rotation_valid(r);
+    double x = eps, y = 0, z = 1;
+    r.apply(x, y, z);
+    EXPECT_NEAR(z, std::sqrt(1 + eps * eps), 1e-12);
+  }
+}

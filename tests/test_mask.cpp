@@ -1,0 +1,69 @@
+// Survey masks and the data-minus-randoms combination (paper §6.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/generators.hpp"
+#include "sim/mask.hpp"
+
+namespace s = galactos::sim;
+
+TEST(ShellSectorMask, RadialLimits) {
+  s::ShellSectorMask mask({0, 0, 0}, 10.0, 20.0, M_PI);
+  EXPECT_FALSE(mask.observed({0, 0, 5}));   // too close
+  EXPECT_TRUE(mask.observed({0, 0, 15}));
+  EXPECT_TRUE(mask.observed({0, 0, -15}));  // full sphere cap
+  EXPECT_FALSE(mask.observed({0, 0, 25}));  // too far
+  EXPECT_FALSE(mask.observed({0, 0, 0}));   // at center
+}
+
+TEST(ShellSectorMask, AngularCap) {
+  s::ShellSectorMask mask({0, 0, 0}, 1.0, 100.0, M_PI / 4);
+  EXPECT_TRUE(mask.observed({0, 0, 50}));          // on axis
+  EXPECT_TRUE(mask.observed({10, 0, 50}));         // ~11 deg off axis
+  EXPECT_FALSE(mask.observed({50, 0, 10}));        // ~79 deg off axis
+  EXPECT_FALSE(mask.observed({0, 0, -50}));        // opposite hemisphere
+}
+
+TEST(ShellSectorMask, Holes) {
+  s::ShellSectorMask mask({0, 0, 0}, 1.0, 100.0, M_PI / 2);
+  mask.add_hole({0, 0, 1}, 0.1);  // punch out the pole
+  EXPECT_FALSE(mask.observed({0, 0, 50}));
+  EXPECT_TRUE(mask.observed({20, 0, 40}));
+}
+
+TEST(Mask, ApplyMaskFilters) {
+  const s::Catalog c = s::uniform_box(20000, s::Aabb::cube(100), 3);
+  s::ShellSectorMask mask({50, 50, 50}, 5.0, 40.0, M_PI / 2);
+  const s::Catalog obs = s::apply_mask(c, mask);
+  EXPECT_LT(obs.size(), c.size());
+  EXPECT_GT(obs.size(), 0u);
+  for (std::size_t i = 0; i < obs.size(); ++i)
+    EXPECT_TRUE(mask.observed(obs.position(i)));
+}
+
+TEST(Mask, RandomInMaskRespectsGeometry) {
+  s::ShellSectorMask mask({50, 50, 50}, 10.0, 45.0, M_PI / 3);
+  const s::Catalog r =
+      s::random_in_mask(5000, s::Aabb::cube(100), mask, 17);
+  ASSERT_EQ(r.size(), 5000u);
+  for (std::size_t i = 0; i < r.size(); ++i)
+    EXPECT_TRUE(mask.observed(r.position(i)));
+}
+
+TEST(Mask, RandomInMaskImpossibleGeometryThrows) {
+  // Shell entirely outside the sampling bounds -> acceptance 0.
+  s::ShellSectorMask mask({1000, 1000, 1000}, 1.0, 2.0, M_PI);
+  EXPECT_THROW(s::random_in_mask(10, s::Aabb::cube(10), mask, 1),
+               std::logic_error);
+}
+
+TEST(Mask, DataMinusRandomsWeightsCancel) {
+  const s::Catalog data = s::uniform_box(1000, s::Aabb::cube(50), 5);
+  const s::Catalog randoms = s::uniform_box(3000, s::Aabb::cube(50), 6);
+  const s::Catalog comb = s::data_minus_randoms(data, randoms);
+  ASSERT_EQ(comb.size(), 4000u);
+  EXPECT_NEAR(comb.total_weight(), 0.0, 1e-9);
+  // Randoms carry uniform negative weight -N_D/N_R.
+  EXPECT_NEAR(comb.w[1000], -1.0 / 3.0, 1e-12);
+}

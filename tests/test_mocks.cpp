@@ -1,0 +1,190 @@
+// Mock-catalog substrate: power spectrum model, Gaussian fields, lognormal
+// sampling, RSD displacement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mocks/gaussian_field.hpp"
+#include "mocks/lognormal.hpp"
+#include "mocks/power_spectrum.hpp"
+#include "mocks/rsd.hpp"
+#include "sim/box.hpp"
+
+namespace mo = galactos::mocks;
+namespace s = galactos::sim;
+
+TEST(PowerSpectrum, BasicShape) {
+  mo::BaoPowerSpectrum P;
+  EXPECT_EQ(P(0.0), 0.0);
+  EXPECT_GT(P(0.01), 0.0);
+  // Pivot normalization.
+  EXPECT_NEAR(P(0.1), 8000.0, 8000.0 * 0.1);  // within the BAO wiggle
+  // Rises before the turnover (~0.02 h/Mpc), falls well after it.
+  EXPECT_GT(P(0.02), P(0.002));
+  EXPECT_GT(P(0.05), P(0.5));
+  // Realistic peak amplitude: O(2e4) near the turnover.
+  EXPECT_GT(P(0.02), 1.5e4);
+  EXPECT_LT(P(0.02), 4e4);
+  // BAO wiggles are a small modulation: smooth vs wiggly within ~20%.
+  mo::BaoPowerSpectrumParams nop;
+  nop.bao_amp = 0.0;
+  mo::BaoPowerSpectrum Pnw(nop);
+  for (double k : {0.01, 0.05, 0.1, 0.2})
+    EXPECT_NEAR(P(k) / Pnw(k), 1.0, 0.2) << k;
+}
+
+TEST(GaussianField, VarianceMatchesSpectrumIntegral) {
+  // sigma^2 = (1/V) sum_k P(k). Use a flat band-limited spectrum where the
+  // sum is easy: P = const for all modes => sigma^2 = P * (N^3-1)/V.
+  const std::size_t n = 16;
+  const double L = 100.0;
+  const double P0 = 25.0;
+  auto power = [&](double) { return P0; };
+  const mo::Grid g = mo::gaussian_field(n, L, power, 11);
+  double var = 0, mean = 0;
+  for (double v : g.values) mean += v;
+  mean /= static_cast<double>(g.values.size());
+  for (double v : g.values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(g.values.size());
+  const double expect =
+      P0 * (static_cast<double>(n * n * n) - 1) / (L * L * L);
+  EXPECT_NEAR(var / expect, 1.0, 0.1);
+}
+
+TEST(GaussianField, MeasuredPowerMatchesInput) {
+  const std::size_t n = 32;
+  const double L = 500.0;
+  mo::BaoPowerSpectrum P;
+  const mo::Grid g = mo::gaussian_field(n, L, [&](double k) { return P(k); },
+                                        21);
+  const mo::MeasuredPower mp = mo::measure_power(g.values, n, L, 8);
+  // Compare bins with decent mode counts; realization scatter ~ 1/sqrt(modes).
+  for (int b = 1; b < 7; ++b) {
+    if (mp.modes[b] < 100) continue;
+    const double expect = P(mp.k[b]);
+    EXPECT_NEAR(mp.pk[b] / expect, 1.0, 0.35) << "bin " << b;
+  }
+}
+
+TEST(GaussianField, Deterministic) {
+  auto power = [](double k) { return k > 0 ? 10.0 / k : 0.0; };
+  const mo::Grid a = mo::gaussian_field(8, 50.0, power, 3);
+  const mo::Grid b = mo::gaussian_field(8, 50.0, power, 3);
+  for (std::size_t i = 0; i < a.values.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+}
+
+TEST(GaussianField, DisplacementIsDivergenceConsistent) {
+  // For a single-mode field the displacement must be delta/k in magnitude
+  // and 90 degrees out of phase; test statistically: corr(psi_z dz, delta)
+  // > 0 (psi_z gradient tracks delta).
+  const std::size_t n = 16;
+  const double L = 100.0;
+  auto power = [](double k) { return k > 0 ? 1000.0 * std::exp(-k * k / 0.01) : 0.0; };
+  const auto fd = mo::gaussian_field_with_displacement(n, L, power, 9);
+  // Finite-difference d psi_z / dz should correlate with -delta... up to
+  // the transverse parts; check nonzero anti-correlation.
+  double num = 0, d1 = 0, d2 = 0;
+  const double h = L / static_cast<double>(n);
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        const std::size_t izp = (iz + 1) % n;
+        const std::size_t izm = (iz + n - 1) % n;
+        const double dpsi =
+            (fd.psi_z.at(ix, iy, izp) - fd.psi_z.at(ix, iy, izm)) / (2 * h);
+        const double delta = fd.delta.at(ix, iy, iz);
+        num += dpsi * delta;
+        d1 += dpsi * dpsi;
+        d2 += delta * delta;
+      }
+  const double corr = num / std::sqrt(d1 * d2);
+  // d psi_z/dz has spectrum (k_z/k)^2 P -> correlation with -delta is
+  // negative and sizable.
+  EXPECT_LT(corr, -0.3);
+}
+
+TEST(Lognormal, CountsMatchTargetDensity) {
+  mo::LognormalParams p;
+  p.grid_n = 32;
+  p.box_side = 400.0;
+  p.nbar = 2e-4;
+  p.seed = 5;
+  const mo::LognormalMock mock =
+      mo::lognormal_catalog(p, mo::BaoPowerSpectrum{});
+  const double expect = p.nbar * p.box_side * p.box_side * p.box_side;
+  EXPECT_NEAR(static_cast<double>(mock.galaxies.size()) / expect, 1.0, 0.25);
+  EXPECT_EQ(mock.galaxies.size(), mock.psi_z.size());
+  // All galaxies inside the box.
+  const s::Aabb box = s::Aabb::cube(p.box_side);
+  for (std::size_t i = 0; i < mock.galaxies.size(); ++i)
+    EXPECT_TRUE(box.contains_closed(mock.galaxies.position(i)));
+}
+
+TEST(Lognormal, IsClusteredRelativeToPoisson) {
+  // Count-in-cells variance exceeds the Poisson expectation.
+  mo::LognormalParams p;
+  p.grid_n = 32;
+  p.box_side = 600.0;
+  p.nbar = 5e-4;
+  p.seed = 6;
+  const mo::LognormalMock mock =
+      mo::lognormal_catalog(p, mo::BaoPowerSpectrum{});
+  const int nc = 8;
+  const double cell = p.box_side / nc;
+  std::vector<double> counts(nc * nc * nc, 0.0);
+  for (std::size_t i = 0; i < mock.galaxies.size(); ++i) {
+    const int cx = std::min(nc - 1, static_cast<int>(mock.galaxies.x[i] / cell));
+    const int cy = std::min(nc - 1, static_cast<int>(mock.galaxies.y[i] / cell));
+    const int cz = std::min(nc - 1, static_cast<int>(mock.galaxies.z[i] / cell));
+    counts[(cx * nc + cy) * nc + cz] += 1.0;
+  }
+  double mean = 0;
+  for (double c : counts) mean += c;
+  mean /= counts.size();
+  double var = 0;
+  for (double c : counts) var += (c - mean) * (c - mean);
+  var /= counts.size() - 1;
+  EXPECT_GT(var / mean, 1.5);  // super-Poisson
+}
+
+TEST(Rsd, PlaneParallelShiftsAndWraps) {
+  s::Catalog c;
+  c.push_back(1, 2, 99.5);
+  c.push_back(1, 2, 0.5);
+  std::vector<double> psi{1.0, -1.0};
+  mo::apply_plane_parallel_rsd(c, psi, 1.0, 100.0);
+  EXPECT_NEAR(c.z[0], 0.5, 1e-12);   // wrapped over the top
+  EXPECT_NEAR(c.z[1], 99.5, 1e-12);  // wrapped under the bottom
+  EXPECT_DOUBLE_EQ(c.x[0], 1.0);     // transverse untouched
+}
+
+TEST(Rsd, ZeroGrowthRateIsNoOp) {
+  s::Catalog c;
+  c.push_back(5, 5, 5);
+  std::vector<double> psi{3.0};
+  mo::apply_plane_parallel_rsd(c, psi, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(c.z[0], 5.0);
+}
+
+TEST(Rsd, RadialShiftsAlongLineOfSight) {
+  s::Catalog c;
+  c.push_back(0, 0, 10);   // LOS = +z
+  c.push_back(10, 0, 0);   // LOS = +x
+  std::vector<double> psi{2.0, 2.0};
+  mo::apply_radial_rsd(c, psi, 1.0, {0, 0, 0});
+  // First galaxy: shift = psi * rhat.z = 2 along +z.
+  EXPECT_NEAR(c.z[0], 12.0, 1e-12);
+  EXPECT_NEAR(c.x[0], 0.0, 1e-12);
+  // Second: rhat.z = 0 -> no shift.
+  EXPECT_NEAR(c.x[1], 10.0, 1e-12);
+  EXPECT_NEAR(c.z[1], 0.0, 1e-12);
+}
+
+TEST(Rsd, MismatchedSizesThrow) {
+  s::Catalog c;
+  c.push_back(1, 1, 1);
+  std::vector<double> psi;
+  EXPECT_THROW(mo::apply_plane_parallel_rsd(c, psi, 1.0, 10.0),
+               std::logic_error);
+}

@@ -1,0 +1,171 @@
+// k-d partitioning invariants (paper §3.2): exactly-once ownership, load
+// balance proportional to sub-communicator sizes, domain disjointness, and
+// — the crucial one — halo completeness: every rank holds EVERY galaxy
+// within R_max of its owned galaxies.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "dist/partition.hpp"
+#include "sim/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace d = galactos::dist;
+namespace s = galactos::sim;
+
+namespace {
+
+// Round-robin initial scatter (each galaxy to exactly one rank).
+s::Catalog scatter_slice(const s::Catalog& full, int rank, int nranks) {
+  s::Catalog mine;
+  for (std::size_t i = rank; i < full.size();
+       i += static_cast<std::size_t>(nranks))
+    mine.push_back(full.position(i), full.w[i]);
+  return mine;
+}
+
+struct PartitionOutputs {
+  std::vector<d::PartitionResult> results;
+};
+
+PartitionOutputs run_partition(const s::Catalog& full, int nranks,
+                               double rmax) {
+  PartitionOutputs out;
+  out.results.resize(nranks);
+  std::mutex mu;
+  d::run_ranks(nranks, [&](d::Comm& comm) {
+    const s::Catalog mine = scatter_slice(full, comm.rank(), comm.size());
+    d::PartitionResult res = d::kd_partition(comm, mine, rmax);
+    std::lock_guard<std::mutex> lock(mu);
+    out.results[comm.rank()] = std::move(res);
+  });
+  return out;
+}
+
+// Key for exact-match identification of galaxies.
+std::tuple<double, double, double> key(double x, double y, double z) {
+  return {x, y, z};
+}
+
+}  // namespace
+
+class PartitionInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionInvariants, OwnershipExactlyOnceAndComplete) {
+  const int nranks = GetParam();
+  const s::Catalog full = s::uniform_box(4000, s::Aabb::cube(100), 77);
+  const double rmax = 15.0;
+  const auto out = run_partition(full, nranks, rmax);
+
+  std::map<std::tuple<double, double, double>, int> owner_count;
+  for (const auto& r : out.results)
+    for (std::size_t i = 0; i < r.local.size(); ++i)
+      if (r.owned[i])
+        owner_count[key(r.local.x[i], r.local.y[i], r.local.z[i])] += 1;
+
+  EXPECT_EQ(owner_count.size(), full.size());
+  for (const auto& [k, c] : owner_count) EXPECT_EQ(c, 1);
+}
+
+TEST_P(PartitionInvariants, OwnedGalaxiesInsideDomain) {
+  const int nranks = GetParam();
+  const s::Catalog full = s::uniform_box(3000, s::Aabb::cube(80), 78);
+  const auto out = run_partition(full, nranks, 10.0);
+  for (const auto& r : out.results)
+    for (std::size_t i = 0; i < r.local.size(); ++i)
+      if (r.owned[i])
+        EXPECT_TRUE(r.domain.contains_closed(r.local.position(i)));
+}
+
+TEST_P(PartitionInvariants, LoadBalanceProportional) {
+  const int nranks = GetParam();
+  const s::Catalog full = s::uniform_box(8000, s::Aabb::cube(100), 79);
+  const auto out = run_partition(full, nranks, 8.0);
+  // The recursive proportional split guarantees each rank within ~1 galaxy
+  // per level of the exact proportional share; allow 1%.
+  const double share = static_cast<double>(full.size()) / nranks;
+  for (const auto& r : out.results)
+    EXPECT_NEAR(static_cast<double>(r.owned_count()) / share, 1.0, 0.01)
+        << "rank owns " << r.owned_count();
+}
+
+TEST_P(PartitionInvariants, HaloCompleteness) {
+  // For every owned galaxy, every other galaxy of the full catalog within
+  // rmax must be present locally (owned or halo).
+  const int nranks = GetParam();
+  const s::Catalog full = s::uniform_box(1500, s::Aabb::cube(60), 80);
+  const double rmax = 12.0;
+  const auto out = run_partition(full, nranks, rmax);
+
+  for (const auto& r : out.results) {
+    std::set<std::tuple<double, double, double>> present;
+    for (std::size_t i = 0; i < r.local.size(); ++i)
+      present.insert(key(r.local.x[i], r.local.y[i], r.local.z[i]));
+
+    for (std::size_t i = 0; i < r.local.size(); ++i) {
+      if (!r.owned[i]) continue;
+      const s::Vec3 p = r.local.position(i);
+      for (std::size_t j = 0; j < full.size(); ++j) {
+        const double d2 = (full.position(j) - p).norm2();
+        if (d2 <= rmax * rmax)
+          EXPECT_TRUE(present.count(key(full.x[j], full.y[j], full.z[j])))
+              << "rank missing neighbor at distance " << std::sqrt(d2);
+      }
+    }
+  }
+}
+
+TEST_P(PartitionInvariants, HaloGalaxiesAreNearDomain) {
+  // No rank should hold galaxies far outside its expanded domain.
+  const int nranks = GetParam();
+  const s::Catalog full = s::uniform_box(2000, s::Aabb::cube(70), 81);
+  const double rmax = 9.0;
+  const auto out = run_partition(full, nranks, rmax);
+  for (const auto& r : out.results) {
+    const s::Aabb expanded = r.domain.expanded(rmax * 1.0000001);
+    for (std::size_t i = 0; i < r.local.size(); ++i)
+      EXPECT_TRUE(expanded.contains_closed(r.local.position(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, PartitionInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+TEST(Partition, WeightsSurviveExchange) {
+  const int nranks = 3;
+  s::Catalog full = s::uniform_box(500, s::Aabb::cube(40), 82);
+  for (std::size_t i = 0; i < full.size(); ++i)
+    full.w[i] = 1.0 + static_cast<double>(i % 7);
+  const auto out = run_partition(full, nranks, 6.0);
+  // Total owned weight preserved.
+  double total = 0;
+  for (const auto& r : out.results)
+    for (std::size_t i = 0; i < r.local.size(); ++i)
+      if (r.owned[i]) total += r.local.w[i];
+  EXPECT_NEAR(total, full.total_weight(), 1e-9);
+}
+
+TEST(Partition, SingleRankKeepsEverything) {
+  const s::Catalog full = s::uniform_box(300, s::Aabb::cube(30), 83);
+  const auto out = run_partition(full, 1, 5.0);
+  EXPECT_EQ(out.results[0].owned_count(), full.size());
+  EXPECT_EQ(out.results[0].halo_count(), 0u);
+  EXPECT_EQ(out.results[0].levels, 0);
+}
+
+TEST(DistributedSplitPoint, FindsMedian) {
+  d::run_ranks(4, [](d::Comm& comm) {
+    // Values 0..99 strided across 4 ranks; target 50 => cut ~ 50.
+    std::vector<double> mine;
+    for (int v = comm.rank(); v < 100; v += 4) mine.push_back(v);
+    const double cut =
+        d::distributed_split_point(comm, mine, -1.0, 101.0, 50, 7000);
+    std::int64_t less = 0;
+    for (double v : mine)
+      if (v < cut) ++less;
+    const auto total = comm.allreduce_sum_value<std::int64_t>(less, 7100);
+    EXPECT_EQ(total, 50);
+  });
+}

@@ -1,0 +1,136 @@
+// RNG: reproducibility, stream independence, distribution moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+
+using galactos::math::Rng;
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng root(99);
+  Rng c1 = root.split(0);
+  Rng c2 = root.split(1);
+  Rng c1b = Rng(99).split(0);
+  for (int i = 0; i < 100; ++i) {
+    const auto v1 = c1.next_u64();
+    EXPECT_EQ(v1, c1b.next_u64());
+    EXPECT_NE(v1, c2.next_u64());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng rng(6);
+  const int n = 200000;
+  double s = 0, s2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    s += u;
+    s2 += u * u;
+  }
+  EXPECT_NEAR(s / n, 0.5, 5e-3);
+  EXPECT_NEAR(s2 / n - 0.25, 1.0 / 12, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  const int n = 200000;
+  double s = 0, s2 = 0, s3 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    s += x;
+    s2 += x * x;
+    s3 += x * x * x;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.03);
+  EXPECT_NEAR(s3 / n, 0.0, 0.1);
+}
+
+TEST(Rng, PoissonMomentsSmallLambda) {
+  Rng rng(8);
+  const double lambda = 3.7;
+  const int n = 100000;
+  double s = 0, s2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double k = static_cast<double>(rng.poisson(lambda));
+    s += k;
+    s2 += k * k;
+  }
+  const double mean = s / n;
+  EXPECT_NEAR(mean, lambda, 0.05);
+  EXPECT_NEAR(s2 / n - mean * mean, lambda, 0.15);
+}
+
+TEST(Rng, PoissonMomentsLargeLambda) {
+  Rng rng(9);
+  const double lambda = 250.0;
+  const int n = 50000;
+  double s = 0, s2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double k = static_cast<double>(rng.poisson(lambda));
+    s += k;
+    s2 += k * k;
+  }
+  const double mean = s / n;
+  EXPECT_NEAR(mean / lambda, 1.0, 0.01);
+  EXPECT_NEAR((s2 / n - mean * mean) / lambda, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, UnitVectorIsUnitAndIsotropic) {
+  Rng rng(11);
+  const int n = 50000;
+  double sx = 0, sy = 0, sz = 0;
+  for (int i = 0; i < n; ++i) {
+    double x, y, z;
+    rng.unit_vector(x, y, z);
+    EXPECT_NEAR(x * x + y * y + z * z, 1.0, 1e-12);
+    sx += x;
+    sy += y;
+    sz += z;
+  }
+  EXPECT_NEAR(sx / n, 0.0, 0.02);
+  EXPECT_NEAR(sy / n, 0.0, 0.02);
+  EXPECT_NEAR(sz / n, 0.0, 0.02);
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_u64(17), 17u);
+  // All residues hit for a small modulus.
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.uniform_u64(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}

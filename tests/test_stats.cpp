@@ -1,0 +1,87 @@
+// Statistics toolbox: descriptive stats, power-law fits, jackknife.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace m = galactos::math;
+
+TEST(Stats, MeanVariance) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(m::mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(m::variance(v), 2.5);
+  EXPECT_DOUBLE_EQ(m::stddev(v), std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(m::min_of(v), 1.0);
+  EXPECT_DOUBLE_EQ(m::max_of(v), 5.0);
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  std::vector<double> v;
+  EXPECT_THROW(m::mean(v), std::logic_error);
+}
+
+TEST(Stats, PowerLawFitExact) {
+  // y = 3 x^2 exactly.
+  std::vector<double> x{1, 2, 4, 8, 16}, y;
+  for (double xi : x) y.push_back(3.0 * xi * xi);
+  const auto fit = m::fit_power_law(x, y);
+  EXPECT_NEAR(fit.amplitude, 3.0, 1e-10);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, PowerLawFitNoisy) {
+  m::Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * std::pow(i, 1.5) * std::exp(0.02 * rng.normal()));
+  }
+  const auto fit = m::fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.5, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(Stats, PowerLawRejectsNonPositive) {
+  std::vector<double> x{1, 2}, y{1, -1};
+  EXPECT_THROW(m::fit_power_law(x, y), std::logic_error);
+}
+
+TEST(Stats, JackknifeVarianceOfMeanMatchesClassic) {
+  // For the sample mean, delete-one jackknife variance equals s^2/n.
+  m::Rng rng(9);
+  const int k = 50;
+  std::vector<std::vector<double>> samples(k, std::vector<double>(1));
+  std::vector<double> flat(k);
+  for (int i = 0; i < k; ++i) {
+    flat[i] = rng.normal(10.0, 2.0);
+    samples[i][0] = flat[i];
+  }
+  const auto cov = m::jackknife_covariance(samples);
+  ASSERT_EQ(cov.size(), 1u);
+  EXPECT_NEAR(cov[0], m::variance(flat) / k, 1e-10);
+}
+
+TEST(Stats, JackknifeCovarianceSignOfCorrelatedComponents) {
+  m::Rng rng(10);
+  const int k = 200;
+  std::vector<std::vector<double>> samples(k, std::vector<double>(2));
+  for (int i = 0; i < k; ++i) {
+    const double a = rng.normal();
+    samples[i][0] = a + 0.1 * rng.normal();
+    samples[i][1] = -a + 0.1 * rng.normal();  // anti-correlated
+  }
+  const auto cov = m::jackknife_covariance(samples);
+  ASSERT_EQ(cov.size(), 4u);
+  EXPECT_GT(cov[0], 0.0);
+  EXPECT_GT(cov[3], 0.0);
+  EXPECT_LT(cov[1], 0.0);
+  EXPECT_NEAR(cov[1], cov[2], 1e-15);
+}
+
+TEST(Stats, JackknifeNeedsTwoRegions) {
+  std::vector<std::vector<double>> one(1, std::vector<double>(3, 1.0));
+  EXPECT_THROW(m::jackknife_covariance(one), std::logic_error);
+}

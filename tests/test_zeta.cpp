@@ -1,0 +1,216 @@
+// Zeta accumulation: LlmIndex, bin-pair layout, symmetry, merging,
+// result arithmetic and the isotropic projection identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "core/zeta.hpp"
+#include "math/legendre.hpp"
+#include "math/rng.hpp"
+#include "math/sph_table.hpp"
+
+namespace c = galactos::core;
+namespace m = galactos::math;
+using cd = std::complex<double>;
+
+TEST(LlmIndex, SizeMatchesClosedForm) {
+  // sum over m of (lmax+1-m)^2.
+  for (int lmax : {0, 1, 2, 4, 10}) {
+    c::LlmIndex llm(lmax);
+    int expect = 0;
+    for (int mm = 0; mm <= lmax; ++mm)
+      expect += (lmax + 1 - mm) * (lmax + 1 - mm);
+    EXPECT_EQ(llm.size(), expect);
+  }
+  EXPECT_EQ(c::LlmIndex(10).size(), 506);
+}
+
+TEST(LlmIndex, RoundTripAndAlmIndices) {
+  c::LlmIndex llm(6);
+  for (int i = 0; i < llm.size(); ++i) {
+    const auto t = llm.at(i);
+    EXPECT_EQ(llm.index(t.l, t.lp, t.m), i);
+    EXPECT_LE(t.m, std::min(t.l, t.lp));
+    EXPECT_EQ(llm.alm_index_1()[i], m::lm_index(t.l, t.m));
+    EXPECT_EQ(llm.alm_index_2()[i], m::lm_index(t.lp, t.m));
+  }
+}
+
+TEST(ZetaAccumulator, BinPairLayout) {
+  c::ZetaAccumulator z(2, 4);
+  EXPECT_EQ(c::ZetaAccumulator::bin_pair_count(4), 10);
+  int expect = 0;
+  for (int b1 = 0; b1 < 4; ++b1)
+    for (int b2 = b1; b2 < 4; ++b2) EXPECT_EQ(z.bin_pair(b1, b2), expect++);
+}
+
+namespace {
+
+// Builds alm arrays for a synthetic set of per-bin weighted directions and
+// returns the expected zeta via explicit double loops.
+struct Synthetic {
+  std::vector<cd> alm;             // [nbins][nlm]
+  std::vector<std::uint8_t> touched;
+};
+
+Synthetic make_synthetic(int lmax, int nbins, std::uint64_t seed) {
+  m::SphHarmTable table(lmax);
+  m::Rng rng(seed);
+  Synthetic s;
+  const int nlm = m::nlm(lmax);
+  s.alm.assign(static_cast<std::size_t>(nbins) * nlm, cd{0, 0});
+  s.touched.assign(nbins, 0);
+  for (int b = 0; b < nbins; ++b) {
+    if (b == 1) continue;  // leave a hole
+    s.touched[b] = 1;
+    const int npts = 3 + static_cast<int>(rng.uniform_u64(5));
+    for (int p = 0; p < npts; ++p) {
+      double x, y, z;
+      rng.unit_vector(x, y, z);
+      const double w = rng.uniform(0.5, 1.5);
+      for (int l = 0; l <= lmax; ++l)
+        for (int mm = 0; mm <= l; ++mm)
+          s.alm[static_cast<std::size_t>(b) * nlm + m::lm_index(l, mm)] +=
+              w * std::conj(table.eval(l, mm, x, y, z));
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(ZetaAccumulator, AddPrimaryMatchesExplicitProducts) {
+  const int lmax = 3, nbins = 3;
+  const int nlm = m::nlm(lmax);
+  c::ZetaAccumulator z(lmax, nbins);
+  const Synthetic s = make_synthetic(lmax, nbins, 42);
+  const double wp = 1.7;
+  z.add_primary(wp, s.alm.data(), s.touched.data());
+  EXPECT_EQ(z.primaries(), 1u);
+  EXPECT_DOUBLE_EQ(z.sum_weight(), wp);
+
+  for (int b1 = 0; b1 < nbins; ++b1)
+    for (int b2 = 0; b2 < nbins; ++b2)
+      for (int l = 0; l <= lmax; ++l)
+        for (int lp = 0; lp <= lmax; ++lp)
+          for (int mm = 0; mm <= std::min(l, lp); ++mm) {
+            cd expect{0, 0};
+            if (s.touched[b1] && s.touched[b2])
+              expect = wp *
+                       s.alm[static_cast<std::size_t>(b1) * nlm +
+                             m::lm_index(l, mm)] *
+                       std::conj(s.alm[static_cast<std::size_t>(b2) * nlm +
+                                       m::lm_index(lp, mm)]);
+            const cd got = z.raw(b1, b2, l, lp, mm);
+            EXPECT_NEAR(std::abs(got - expect), 0.0, 1e-12)
+                << b1 << b2 << " " << l << lp << mm;
+          }
+}
+
+TEST(ZetaAccumulator, SymmetryUnderBinSwap) {
+  const int lmax = 4, nbins = 4;
+  c::ZetaAccumulator z(lmax, nbins);
+  const Synthetic s = make_synthetic(lmax, nbins, 7);
+  z.add_primary(1.0, s.alm.data(), s.touched.data());
+  for (int b1 = 0; b1 < nbins; ++b1)
+    for (int b2 = 0; b2 < nbins; ++b2)
+      for (int l = 0; l <= lmax; ++l)
+        for (int lp = 0; lp <= lmax; ++lp)
+          for (int mm = 0; mm <= std::min(l, lp); ++mm) {
+            const cd a = z.raw(b1, b2, l, lp, mm);
+            const cd b = z.raw(b2, b1, lp, l, mm);
+            EXPECT_NEAR(std::abs(a - std::conj(b)), 0.0, 1e-13);
+          }
+}
+
+TEST(ZetaAccumulator, MergeEqualsSequential) {
+  const int lmax = 2, nbins = 3;
+  c::ZetaAccumulator a(lmax, nbins), b(lmax, nbins), both(lmax, nbins);
+  const Synthetic s1 = make_synthetic(lmax, nbins, 1);
+  const Synthetic s2 = make_synthetic(lmax, nbins, 2);
+  a.add_primary(1.0, s1.alm.data(), s1.touched.data());
+  b.add_primary(2.0, s2.alm.data(), s2.touched.data());
+  both.add_primary(1.0, s1.alm.data(), s1.touched.data());
+  both.add_primary(2.0, s2.alm.data(), s2.touched.data());
+  a.merge(b);
+  EXPECT_EQ(a.primaries(), both.primaries());
+  EXPECT_DOUBLE_EQ(a.sum_weight(), both.sum_weight());
+  const auto sa = a.snapshot(), sb = both.snapshot();
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_NEAR(std::abs(sa[i] - sb[i]), 0.0, 1e-13);
+}
+
+TEST(ZetaAccumulator, MergeRejectsMismatchedShapes) {
+  c::ZetaAccumulator a(2, 3), b(3, 3), cc(2, 4);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+  EXPECT_THROW(a.merge(cc), std::logic_error);
+}
+
+TEST(ZetaResult, IsotropicProjectionMatchesAdditionTheorem) {
+  // Single primary with two secondaries in different bins: the isotropic
+  // multipole must equal 4pi/(2l+1) * (2l+1)/(4pi) * P_l(u1.u2) = P_l(mu).
+  const int lmax = 6, nbins = 2;
+  m::SphHarmTable table(lmax);
+  const int nlm = m::nlm(lmax);
+  m::Rng rng(12);
+  double x1, y1, z1, x2, y2, z2;
+  rng.unit_vector(x1, y1, z1);
+  rng.unit_vector(x2, y2, z2);
+  std::vector<cd> alm(static_cast<std::size_t>(nbins) * nlm, cd{0, 0});
+  std::vector<std::uint8_t> touched(nbins, 1);
+  for (int l = 0; l <= lmax; ++l)
+    for (int mm = 0; mm <= l; ++mm) {
+      alm[m::lm_index(l, mm)] = std::conj(table.eval(l, mm, x1, y1, z1));
+      alm[nlm + m::lm_index(l, mm)] = std::conj(table.eval(l, mm, x2, y2, z2));
+    }
+  c::ZetaAccumulator z(lmax, nbins);
+  z.add_primary(1.0, alm.data(), touched.data());
+
+  c::ZetaResult res;
+  res.bins = c::RadialBins(1, 3, nbins);
+  res.lmax = lmax;
+  res.zeta_data = z.snapshot();
+  res.sum_primary_weight = 1.0;
+  res.n_primaries = 1;
+  res.pair_counts.assign(nbins, 0.0);
+  res.xi_raw.assign((lmax + 1) * nbins, 0.0);
+
+  const double mu = x1 * x2 + y1 * y2 + z1 * z2;
+  for (int l = 0; l <= lmax; ++l)
+    EXPECT_NEAR(res.isotropic(l, 0, 1), m::legendre_p(l, mu), 1e-10) << l;
+}
+
+TEST(ZetaResult, AccumulateAddsEverything) {
+  c::ZetaResult a, b;
+  a.bins = b.bins = c::RadialBins(1, 10, 2);
+  a.lmax = b.lmax = 1;
+  a.n_primaries = 3;
+  b.n_primaries = 4;
+  a.sum_primary_weight = 1.5;
+  b.sum_primary_weight = 2.5;
+  a.n_pairs = 10;
+  b.n_pairs = 20;
+  c::LlmIndex llm(1);
+  a.zeta_data.assign(3 * llm.size(), cd{1, 1});
+  b.zeta_data.assign(3 * llm.size(), cd{2, -1});
+  a.pair_counts = {1, 2};
+  b.pair_counts = {10, 20};
+  a.xi_raw.assign(4, 1.0);
+  b.xi_raw.assign(4, 3.0);
+  a.accumulate(b);
+  EXPECT_EQ(a.n_primaries, 7u);
+  EXPECT_DOUBLE_EQ(a.sum_primary_weight, 4.0);
+  EXPECT_EQ(a.n_pairs, 30u);
+  EXPECT_EQ(a.zeta_data[0], (cd{3, 0}));
+  EXPECT_DOUBLE_EQ(a.pair_counts[1], 22.0);
+  EXPECT_DOUBLE_EQ(a.xi_raw[2], 4.0);
+}
+
+TEST(ZetaResult, AccumulateRejectsMismatch) {
+  c::ZetaResult a, b;
+  a.bins = c::RadialBins(1, 10, 2);
+  b.bins = c::RadialBins(1, 10, 3);
+  a.lmax = b.lmax = 1;
+  EXPECT_THROW(a.accumulate(b), std::logic_error);
+}
