@@ -208,6 +208,10 @@ Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   GLX_CHECK(cfg_.bins.count() >= 1);
 }
 
+ZetaResult Engine::empty_result() const {
+  return ZetaResult::zero_like(cfg_.bins, cfg_.lmax);
+}
+
 ZetaResult Engine::run(const sim::Catalog& catalog,
                        const std::vector<std::int64_t>* primaries,
                        EngineStats* stats) const {

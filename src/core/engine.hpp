@@ -83,6 +83,12 @@ class Engine {
                  const std::vector<std::int64_t>* primaries = nullptr,
                  EngineStats* stats = nullptr) const;
 
+  // Zero-valued result with this configuration's shape — what a run over an
+  // empty primary list would produce. The distributed runner uses it for
+  // ranks that own no primaries, so they still participate in the
+  // reduction.
+  ZetaResult empty_result() const;
+
  private:
   EngineConfig cfg_;
 };

@@ -180,6 +180,45 @@ void ZetaResult::check_compatible(const ZetaResult& other) const {
   GLX_CHECK(other.xi_raw.size() == xi_raw.size());
 }
 
+ZetaResult ZetaResult::zero_like(const RadialBins& bins, int lmax) {
+  ZetaResult r;
+  r.bins = bins;
+  r.lmax = lmax;
+  const std::size_t npairs =
+      static_cast<std::size_t>(ZetaAccumulator::bin_pair_count(bins.count()));
+  r.zeta_data.assign(npairs * LlmIndex(lmax).size(), {0.0, 0.0});
+  r.pair_counts.assign(static_cast<std::size_t>(bins.count()), 0.0);
+  r.xi_raw.assign(static_cast<std::size_t>(lmax + 1) * bins.count(), 0.0);
+  return r;
+}
+
+std::vector<double> ZetaResult::reduce_payload() const {
+  std::vector<double> p;
+  p.reserve(1 + 2 * zeta_data.size() + pair_counts.size() + xi_raw.size());
+  p.push_back(sum_primary_weight);
+  for (const std::complex<double>& z : zeta_data) {
+    p.push_back(z.real());
+    p.push_back(z.imag());
+  }
+  p.insert(p.end(), pair_counts.begin(), pair_counts.end());
+  p.insert(p.end(), xi_raw.begin(), xi_raw.end());
+  return p;
+}
+
+void ZetaResult::set_reduce_payload(const std::vector<double>& payload) {
+  GLX_CHECK(payload.size() ==
+            1 + 2 * zeta_data.size() + pair_counts.size() + xi_raw.size());
+  std::size_t k = 0;
+  sum_primary_weight = payload[k++];
+  for (std::complex<double>& z : zeta_data) {
+    const double re = payload[k++];
+    const double im = payload[k++];
+    z = {re, im};
+  }
+  for (double& v : pair_counts) v = payload[k++];
+  for (double& v : xi_raw) v = payload[k++];
+}
+
 void ZetaResult::accumulate(const ZetaResult& other) {
   check_compatible(other);
   n_primaries += other.n_primaries;

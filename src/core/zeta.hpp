@@ -137,6 +137,16 @@ struct ZetaResult {
   void check_compatible(const ZetaResult& other) const;
   // Element-wise accumulation (used by reductions over ranks/jackknife).
   void accumulate(const ZetaResult& other);
+
+  // --- distributed-reduction hooks (dist/runner.cpp) ---
+  // Zero-valued result of the shape implied by (bins, lmax): the reduction
+  // identity, and the contribution of a rank that owns no primaries.
+  static ZetaResult zero_like(const RadialBins& bins, int lmax);
+  // Flat additive payload (summed weight, zeta planes, pair counts, 2PCF
+  // moments) for an elementwise allreduce across ranks; the integer
+  // counters (n_primaries, n_pairs) travel separately to stay exact.
+  std::vector<double> reduce_payload() const;
+  void set_reduce_payload(const std::vector<double>& payload);
 };
 
 }  // namespace galactos::core

@@ -1,0 +1,135 @@
+#include "dist/comm.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+namespace galactos::dist {
+
+namespace detail {
+
+// One mailbox per world: FIFO queues keyed by (src, dst, tag) in world
+// ranks. A single mutex + condition variable serve all ranks — traffic is
+// tiny compared to the compute between messages, and simplicity keeps the
+// FIFO/ordering guarantees trivially correct.
+struct World {
+  explicit World(int n) : nranks(n) {}
+
+  using Key = std::tuple<int, int, int>;  // (src, dst, tag)
+
+  void push(const Key& key, std::vector<unsigned char> bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queues[key].push_back(std::move(bytes));
+    }
+    cv.notify_all();
+  }
+
+  std::vector<unsigned char> pop(const Key& key) {
+    std::unique_lock<std::mutex> lock(mu);
+    auto ready = [&] {
+      if (aborted) return true;
+      auto it = queues.find(key);
+      return it != queues.end() && !it->second.empty();
+    };
+    cv.wait(lock, ready);
+    if (aborted) {
+      auto it = queues.find(key);
+      if (it == queues.end() || it->second.empty())
+        throw std::runtime_error(
+            "minimpi: world aborted while waiting for a message "
+            "(a peer rank threw)");
+    }
+    auto& q = queues[key];
+    std::vector<unsigned char> bytes = std::move(q.front());
+    q.pop_front();
+    return bytes;
+  }
+
+  void abort(std::exception_ptr err) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = err;
+      aborted = true;
+    }
+    cv.notify_all();
+  }
+
+  const int nranks;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<Key, std::deque<std::vector<unsigned char>>> queues;
+  bool aborted = false;
+  std::exception_ptr first_error;
+};
+
+}  // namespace detail
+
+Comm::Comm(std::shared_ptr<detail::World> world, std::vector<int> group,
+           int rank)
+    : world_(std::move(world)), group_(std::move(group)), rank_(rank) {}
+
+void Comm::send_bytes(int dest, int tag, const void* data,
+                      std::size_t nbytes) {
+  GLX_CHECK_MSG(dest >= 0 && dest < size() && dest != rank_,
+                "send: bad destination rank " << dest);
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  world_->push({world_rank(), group_[static_cast<std::size_t>(dest)], tag},
+               std::vector<unsigned char>(p, p + nbytes));
+}
+
+std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
+  GLX_CHECK_MSG(src >= 0 && src < size() && src != rank_,
+                "recv: bad source rank " << src);
+  return world_->pop(
+      {group_[static_cast<std::size_t>(src)], world_rank(), tag});
+}
+
+void Comm::barrier(int tag) {
+  if (size() == 1) return;
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) (void)recv<unsigned char>(r, tag);
+    for (int r = 1; r < size(); ++r)
+      send<unsigned char>(r, tag, {});
+  } else {
+    send<unsigned char>(0, tag, {});
+    (void)recv<unsigned char>(0, tag);
+  }
+}
+
+Comm Comm::sub_range(int begin, int end) const {
+  GLX_CHECK_MSG(begin >= 0 && begin < end && end <= size(),
+                "sub_range: bad range [" << begin << ", " << end << ")");
+  GLX_CHECK_MSG(rank_ >= begin && rank_ < end,
+                "sub_range: caller rank " << rank_ << " not a member");
+  std::vector<int> group(group_.begin() + begin, group_.begin() + end);
+  return Comm(world_, std::move(group), rank_ - begin);
+}
+
+void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {
+  GLX_CHECK_MSG(nranks >= 1, "run_ranks: nranks must be >= 1");
+  auto world = std::make_shared<detail::World>(nranks);
+  std::vector<int> group(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) group[static_cast<std::size_t>(r)] = r;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&fn, world, group, r] {
+      Comm comm(world, group, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        world->abort(std::current_exception());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (world->first_error) std::rethrow_exception(world->first_error);
+}
+
+}  // namespace galactos::dist

@@ -1,0 +1,195 @@
+// "minimpi" — a thread-backed message-passing runtime with MPI-shaped
+// semantics (paper §3.2 runs on Cori with MPI; here every rank is a thread
+// of one process so multi-rank behavior is exercised under plain ctest).
+//
+// * run_ranks(n, fn) spawns n ranks and runs fn(comm) on each; an exception
+//   thrown by any rank aborts the world and is rethrown to the caller.
+// * Point-to-point messages are typed, tagged and FIFO per (src, dst, tag):
+//   different tags are independent channels, same-tag messages arrive in
+//   send order. Sends never block (buffered); recv blocks.
+// * Collectives (barrier, allreduce, gather, allgather) are built on the
+//   p2p layer and take an explicit tag so user traffic never collides.
+// * sub_range() carves a contiguous sub-communicator out of this one with
+//   local re-ranking — the recursive k-d partitioner halves communicators
+//   this way at every level (dist/partition.cpp).
+//
+// The interface is deliberately a strict subset of MPI semantics so a real
+// MPI backend can slot in behind `Comm` without touching callers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace galactos::dist {
+
+namespace detail {
+struct World;  // shared mailbox state, defined in comm.cpp
+}
+
+class Comm {
+ public:
+  // Rank within this communicator, [0, size()).
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  // Rank within the original run_ranks() world.
+  int world_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
+
+  // --- point-to-point -----------------------------------------------------
+
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "minimpi messages must be trivially copyable");
+    send_bytes(dest, tag, data.data(), data.size() * sizeof(T));
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, &v, sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<unsigned char> bytes = recv_bytes(src, tag);
+    GLX_CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<unsigned char> bytes = recv_bytes(src, tag);
+    GLX_CHECK(bytes.size() == sizeof(T));
+    T v;
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return v;
+  }
+
+  // --- collectives (every member must call with the same tag) -------------
+
+  // Releases no rank until every rank has entered.
+  void barrier(int tag);
+
+  // Elementwise sum / max across ranks; every rank ends with the same
+  // values. Rank 0 combines in rank order, so the result is deterministic
+  // and identical on all ranks regardless of arrival timing.
+  template <typename T>
+  void allreduce_sum(std::vector<T>& v, int tag) {
+    allreduce(v, tag, [](T& acc, const T& x) { acc += x; });
+  }
+
+  template <typename T>
+  T allreduce_sum_value(T v, int tag) {
+    std::vector<T> one{v};
+    allreduce_sum(one, tag);
+    return one[0];
+  }
+
+  template <typename T>
+  void allreduce_max(std::vector<T>& v, int tag) {
+    allreduce(v, tag, [](T& acc, const T& x) {
+      if (x > acc) acc = x;
+    });
+  }
+
+  template <typename T>
+  T allreduce_max_value(T v, int tag) {
+    std::vector<T> one{v};
+    allreduce_max(one, tag);
+    return one[0];
+  }
+
+  // Rank 0 returns all contributions in rank order (own at index 0);
+  // other ranks return an empty vector.
+  template <typename T>
+  std::vector<std::vector<T>> gather(const std::vector<T>& mine, int tag) {
+    std::vector<std::vector<T>> all;
+    if (rank_ == 0) {
+      all.resize(static_cast<std::size_t>(size()));
+      all[0] = mine;
+      for (int r = 1; r < size(); ++r) all[static_cast<std::size_t>(r)] =
+          recv<T>(r, tag);
+    } else {
+      send(0, tag, mine);
+    }
+    return all;
+  }
+
+  // Every rank returns all contributions in rank order.
+  template <typename T>
+  std::vector<std::vector<T>> allgather(const std::vector<T>& mine, int tag) {
+    std::vector<std::vector<T>> all = gather(mine, tag);
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r)
+        for (int q = 0; q < size(); ++q)
+          send(r, tag, all[static_cast<std::size_t>(q)]);
+    } else {
+      all.resize(static_cast<std::size_t>(size()));
+      for (int q = 0; q < size(); ++q)
+        all[static_cast<std::size_t>(q)] = recv<T>(0, tag);
+    }
+    return all;
+  }
+
+  // --- sub-communicators --------------------------------------------------
+
+  // Communicator over this comm's ranks [begin, end); the caller must be a
+  // member. Purely local (rank renumbering), like MPI_Comm_split on a
+  // contiguous color.
+  Comm sub_range(int begin, int end) const;
+
+ private:
+  friend void run_ranks(int nranks, const std::function<void(Comm&)>& fn);
+
+  // Shared gather-combine-broadcast protocol behind the allreduce family:
+  // rank 0 folds contributions into `v` in rank order with `combine(acc, x)`
+  // and broadcasts the result.
+  template <typename T, typename Combine>
+  void allreduce(std::vector<T>& v, int tag, Combine combine) {
+    if (size() == 1) return;
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r) {
+        const std::vector<T> other = recv<T>(r, tag);
+        GLX_CHECK_MSG(other.size() == v.size(),
+                      "allreduce: mismatched lengths");
+        for (std::size_t i = 0; i < v.size(); ++i) combine(v[i], other[i]);
+      }
+      for (int r = 1; r < size(); ++r) send(r, tag, v);
+    } else {
+      send(0, tag, v);
+      v = recv<T>(0, tag);
+    }
+  }
+
+  Comm(std::shared_ptr<detail::World> world, std::vector<int> group,
+       int rank);
+
+  // dest/src are ranks of THIS communicator; the mailbox is keyed by world
+  // ranks so sub-communicator traffic cannot collide across groups... by
+  // construction tags + (src,dst) world pairs identify a channel.
+  void send_bytes(int dest, int tag, const void* data, std::size_t nbytes);
+  std::vector<unsigned char> recv_bytes(int src, int tag);
+
+  std::shared_ptr<detail::World> world_;
+  std::vector<int> group_;  // group rank -> world rank
+  int rank_;
+};
+
+// Spawns `nranks` threads, each running `fn` with its own Comm over the
+// world communicator, and joins them. If any rank throws, the world is
+// aborted (blocked receives wake up and fail) and the first exception is
+// rethrown here.
+void run_ranks(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace galactos::dist

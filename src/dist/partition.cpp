@@ -1,0 +1,184 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace galactos::dist {
+
+namespace {
+
+// Internal tag space, far above anything user code or the tests use. Each
+// collective phase gets its own tag; FIFO per (src, dst, tag) makes reuse
+// across recursion levels safe because the calls are sequentially matched.
+constexpr int kTagBase = 1 << 22;
+constexpr int kTagBbox = kTagBase + 0;
+constexpr int kTagCount = kTagBase + 1;
+constexpr int kTagSplit = kTagBase + 2;
+constexpr int kTagLeftToRight = kTagBase + 3;
+constexpr int kTagRightToLeft = kTagBase + 4;
+constexpr int kTagDomains = kTagBase + 5;
+constexpr int kTagHalo = kTagBase + 6;  // + sender world rank
+
+double& aabb_coord(sim::Vec3& v, int dim) {
+  return dim == 0 ? v.x : (dim == 1 ? v.y : v.z);
+}
+
+// (x, y, z, w) quadruples — the wire format for galaxy exchanges.
+std::vector<double> pack(const sim::Catalog& c,
+                         const std::vector<std::uint32_t>& idx) {
+  std::vector<double> buf;
+  buf.reserve(idx.size() * 4);
+  for (std::uint32_t i : idx) {
+    buf.push_back(c.x[i]);
+    buf.push_back(c.y[i]);
+    buf.push_back(c.z[i]);
+    buf.push_back(c.w[i]);
+  }
+  return buf;
+}
+
+void append_packed(sim::Catalog& c, const std::vector<double>& buf) {
+  GLX_CHECK(buf.size() % 4 == 0);
+  for (std::size_t i = 0; i < buf.size(); i += 4)
+    c.push_back(buf[i], buf[i + 1], buf[i + 2], buf[i + 3]);
+}
+
+// Bounding box of the union of all ranks' points (valid even when some
+// ranks are empty: the identity extents survive the max-reduction).
+sim::Aabb global_bbox(Comm& comm, const sim::Catalog& mine) {
+  sim::Aabb local = sim::Aabb::of(mine);
+  std::vector<double> ext{-local.lo.x, -local.lo.y, -local.lo.z,
+                          local.hi.x,  local.hi.y,  local.hi.z};
+  comm.allreduce_max(ext, kTagBbox);
+  sim::Aabb out;
+  out.lo = {-ext[0], -ext[1], -ext[2]};
+  out.hi = {ext[3], ext[4], ext[5]};
+  return out;
+}
+
+}  // namespace
+
+double distributed_split_point(Comm& comm, const std::vector<double>& values,
+                               double lo, double hi, std::int64_t target,
+                               int tag) {
+  // Degenerate interval (single galaxy, or all galaxies coincident along
+  // this dimension): cut at lo, which puts every value on the right side
+  // (v < cut is false) — ownership stays exactly-once, one side just ends
+  // up empty.
+  if (!(lo < hi)) return lo;
+  double cut = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 200; ++iter) {
+    cut = 0.5 * (lo + hi);
+    if (!(cut > lo && cut < hi)) break;  // interval exhausted (FP limit)
+    std::int64_t below = 0;
+    for (double v : values)
+      if (v < cut) ++below;
+    const std::int64_t total = comm.allreduce_sum_value(below, tag);
+    if (total == target) break;  // identical on all ranks: joint exit
+    if (total < target)
+      lo = cut;
+    else
+      hi = cut;
+  }
+  return cut;
+}
+
+PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
+                             double rmax) {
+  GLX_CHECK(rmax > 0);
+  sim::Catalog pts = mine;
+  sim::Aabb domain = global_bbox(comm, mine);
+  Comm c = comm;
+  int levels = 0;
+
+  while (c.size() > 1) {
+    const int P = c.size();
+    const int PL = P / 2;
+    const int PR = P - PL;
+    const int dim = domain.widest_dim();
+
+    const std::int64_t total = c.allreduce_sum_value(
+        static_cast<std::int64_t>(pts.size()), kTagCount);
+    const std::int64_t target = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(total) * PL / P));
+
+    const std::vector<double>& coords =
+        dim == 0 ? pts.x : (dim == 1 ? pts.y : pts.z);
+    const double cut = distributed_split_point(
+        c, coords, aabb_coord(domain.lo, dim), aabb_coord(domain.hi, dim),
+        target, kTagSplit);
+
+    const bool left = c.rank() < PL;
+    std::vector<std::uint32_t> keep_idx, give_idx;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      const bool is_left = coords[i] < cut;  // boundary galaxies go right
+      (is_left == left ? keep_idx : give_idx).push_back(i);
+    }
+
+    // Ship off-side galaxies to a fixed partner in the other half; sends
+    // are buffered, so everyone sends first and then drains its inbox.
+    sim::Catalog next;
+    next.reserve(keep_idx.size());
+    for (std::uint32_t i : keep_idx)
+      next.push_back(pts.position(i), pts.w[i]);
+    if (left) {
+      c.send(PL + (c.rank() % PR), kTagLeftToRight, pack(pts, give_idx));
+      for (int j = 0; j < PR; ++j)
+        if (j % PL == c.rank())
+          append_packed(next, c.recv<double>(PL + j, kTagRightToLeft));
+    } else {
+      const int me = c.rank() - PL;
+      c.send(me % PL, kTagRightToLeft, pack(pts, give_idx));
+      for (int i = 0; i < PL; ++i)
+        if (i % PR == me)
+          append_packed(next, c.recv<double>(i, kTagLeftToRight));
+    }
+    pts = std::move(next);
+
+    if (left) {
+      aabb_coord(domain.hi, dim) = cut;
+      c = c.sub_range(0, PL);
+    } else {
+      aabb_coord(domain.lo, dim) = cut;
+      c = c.sub_range(PL, P);
+    }
+    ++levels;
+  }
+
+  PartitionResult res;
+  res.domain = domain;
+  res.levels = levels;
+  res.local = std::move(pts);
+  res.owned.assign(res.local.size(), 1);
+
+  // Halo exchange over the full communicator: every rank publishes its leaf
+  // domain, then ships each owned galaxy to every rank whose domain it lies
+  // within rmax of (distance to the box, the tight criterion — the shipped
+  // set is exactly the potential secondaries of that rank's primaries).
+  if (comm.size() > 1) {
+    std::vector<double> mybox{res.domain.lo.x, res.domain.lo.y,
+                              res.domain.lo.z, res.domain.hi.x,
+                              res.domain.hi.y, res.domain.hi.z};
+    const auto boxes = comm.allgather(mybox, kTagDomains);
+    const double r2 = rmax * rmax;
+    const std::size_t nown = res.local.size();
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == comm.rank()) continue;
+      sim::Aabb box;
+      box.lo = {boxes[r][0], boxes[r][1], boxes[r][2]};
+      box.hi = {boxes[r][3], boxes[r][4], boxes[r][5]};
+      std::vector<std::uint32_t> ship;
+      for (std::uint32_t i = 0; i < nown; ++i)
+        if (box.dist2(res.local.position(i)) <= r2) ship.push_back(i);
+      comm.send(r, kTagHalo + comm.rank(), pack(res.local, ship));
+    }
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == comm.rank()) continue;
+      append_packed(res.local, comm.recv<double>(r, kTagHalo + r));
+    }
+    res.owned.resize(res.local.size(), 0);
+  }
+  return res;
+}
+
+}  // namespace galactos::dist

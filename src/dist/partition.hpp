@@ -1,0 +1,68 @@
+// Distributed k-d domain decomposition with halo exchange (paper §3.2).
+//
+// Starting from an arbitrary scatter of the catalog over ranks, the
+// communicator is recursively split in two (floor(P/2) / ceil(P/2) ranks)
+// along the widest dimension of the current domain; the cut plane is placed
+// by distributed bisection so the galaxy count on each side is proportional
+// to its sub-communicator size, and every rank ships its off-side galaxies
+// to a partner in the other half. After log2(P) levels each rank owns the
+// galaxies inside a private axis-aligned domain:
+//
+//   * exactly-once: domains tile space half-open along every cut
+//     ([lo, cut) | [cut, hi)), so each galaxy lands on exactly one rank;
+//   * balance: each cut hits its proportional count exactly when
+//     coordinates are distinct (bisection to the order statistic);
+//   * halo completeness: a final neighbor exchange ships every owned galaxy
+//     to each rank whose domain it is within R_max of, so every rank sees
+//     ALL secondaries of its owned primaries (§3.3: halo copies are
+//     secondaries only; they are never primaries anywhere but home).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/comm.hpp"
+#include "sim/box.hpp"
+#include "sim/catalog.hpp"
+
+namespace galactos::dist {
+
+struct PartitionResult {
+  // Owned galaxies first, then halo copies.
+  sim::Catalog local;
+  std::vector<std::uint8_t> owned;  // parallel to `local`
+  sim::Aabb domain;                 // this rank's leaf domain
+  int levels = 0;                   // k-d recursion depth experienced
+
+  std::size_t owned_count() const {
+    std::size_t n = 0;
+    for (std::uint8_t o : owned) n += o ? 1u : 0u;
+    return n;
+  }
+  std::size_t halo_count() const { return owned.size() - owned_count(); }
+
+  // Indices into `local` usable as the engine's primary list.
+  std::vector<std::int64_t> owned_indices() const {
+    std::vector<std::int64_t> idx;
+    idx.reserve(owned.size());
+    for (std::size_t i = 0; i < owned.size(); ++i)
+      if (owned[i]) idx.push_back(static_cast<std::int64_t>(i));
+    return idx;
+  }
+};
+
+// Collective over `comm`: redistributes the union of every rank's `mine`
+// into k-d domains and performs the R_max halo exchange. `rmax` must be
+// identical on all ranks.
+PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
+                             double rmax);
+
+// Collective: bisects [lo, hi] for a cut with exactly `target` of the
+// ranks' combined `values` strictly below it (achievable when values are
+// distinct; otherwise converges to the nearest attainable count). All
+// communication uses `tag`.
+double distributed_split_point(Comm& comm, const std::vector<double>& values,
+                               double lo, double hi, std::int64_t target,
+                               int tag);
+
+}  // namespace galactos::dist

@@ -1,0 +1,91 @@
+#include "dist/runner.hpp"
+
+#include "util/timer.hpp"
+
+namespace galactos::dist {
+
+namespace {
+
+constexpr int kTagReducePayload = (1 << 23) + 0;
+constexpr int kTagReduceCounts = (1 << 23) + 1;
+
+sim::Catalog round_robin_slice(const sim::Catalog& full, int rank,
+                               int nranks) {
+  sim::Catalog mine;
+  mine.reserve(full.size() / static_cast<std::size_t>(nranks) + 1);
+  for (std::size_t i = static_cast<std::size_t>(rank); i < full.size();
+       i += static_cast<std::size_t>(nranks))
+    mine.push_back(full.position(i), full.w[i]);
+  return mine;
+}
+
+}  // namespace
+
+core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
+                          const core::EngineConfig& engine_cfg,
+                          RankReport* report) {
+  Timer total;
+
+  Timer tpart;
+  PartitionResult part = kd_partition(comm, mine, engine_cfg.bins.rmax());
+  const double partition_seconds = tpart.seconds();
+
+  const core::Engine engine(engine_cfg);
+  const std::vector<std::int64_t> primaries = part.owned_indices();
+
+  Timer teng;
+  core::EngineStats stats;
+  core::ZetaResult local = primaries.empty()
+                               ? engine.empty_result()
+                               : engine.run(part.local, &primaries, &stats);
+  const double engine_seconds = teng.seconds();
+
+  // Reduce: one allreduce for the additive double payload, one for the
+  // integer counters. Rank 0 sums in rank order, so every rank ends with
+  // the same deterministic totals.
+  std::vector<double> payload = local.reduce_payload();
+  comm.allreduce_sum(payload, kTagReducePayload);
+  std::vector<std::uint64_t> counts{local.n_primaries, local.n_pairs};
+  comm.allreduce_sum(counts, kTagReduceCounts);
+
+  core::ZetaResult out =
+      core::ZetaResult::zero_like(engine_cfg.bins, engine_cfg.lmax);
+  out.set_reduce_payload(payload);
+  out.n_primaries = counts[0];
+  out.n_pairs = counts[1];
+
+  if (report) {
+    report->rank = comm.rank();
+    report->owned = part.owned_count();
+    report->held = part.local.size();
+    report->pairs = stats.pairs;
+    report->levels = part.levels;
+    report->partition_seconds = partition_seconds;
+    report->engine_seconds = engine_seconds;
+    report->total_seconds = total.seconds();
+  }
+  return out;
+}
+
+core::ZetaResult run_distributed(const sim::Catalog& catalog,
+                                 const DistRunConfig& cfg,
+                                 std::vector<RankReport>* reports) {
+  GLX_CHECK_MSG(cfg.ranks >= 1, "run_distributed: ranks must be >= 1");
+  GLX_CHECK_MSG(!catalog.empty(), "run_distributed: empty catalog");
+
+  core::ZetaResult result;
+  std::vector<RankReport> ranks_out(static_cast<std::size_t>(cfg.ranks));
+  run_ranks(cfg.ranks, [&](Comm& comm) {
+    const sim::Catalog mine =
+        round_robin_slice(catalog, comm.rank(), comm.size());
+    RankReport report;
+    core::ZetaResult reduced = run_rank(comm, mine, cfg.engine, &report);
+    // Each rank writes only its own slot; run_ranks joins before we read.
+    ranks_out[static_cast<std::size_t>(comm.rank())] = report;
+    if (comm.rank() == 0) result = std::move(reduced);
+  });
+  if (reports) *reports = std::move(ranks_out);
+  return result;
+}
+
+}  // namespace galactos::dist
