@@ -6,7 +6,10 @@
 // rest; §5.4 cross-checks 58-61 % per-node kernel fractions at full scale.
 //
 // Here: same density, laptop-scaled N and R_max, full-thread single "node".
-// The phase shares are printed exactly like the figure's legend.
+// Both traversal drivers run on the same catalog so the leaf-blocked
+// amortization of the neighbor-query phase is measured head to head; the
+// breakdowns are printed like the figure's legend and emitted as
+// machine-readable JSON (--json, default BENCH_fig4.json) for CI artifacts.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -20,6 +23,8 @@ int main(int argc, char** argv) {
   const std::size_t n = args.get<std::size_t>("n", 120000);
   const double rmax = args.get<double>("rmax", 24.0);
   const int threads = args.get<int>("threads", 0);
+  const int lmax = args.get<int>("lmax", 10);
+  const std::string json_path = args.get_str("json", "BENCH_fig4.json");
   args.finish();
 
   print_header("Fig. 4 analog — single-node runtime breakdown");
@@ -27,24 +32,65 @@ int main(int argc, char** argv) {
   print_kv("number density (Mpc/h)^-3", fmt(sim::kOuterRimDensity, "%.4f"));
   print_kv("R_max (Mpc/h)", fmt(rmax, "%.1f"));
   print_kv("expected pairs/primary", fmt(pairs_per_primary(rmax), "%.0f"));
-  print_kv("lmax", "10 (286 power sums)");
+  print_kv("lmax", fmt(lmax, "%.0f"));
 
   const sim::Catalog cat = outer_rim_scaled(n, 1234);
   core::EngineConfig cfg = paper_engine_config(rmax, 10, threads);
-  core::EngineStats stats;
-  const core::ZetaResult res = core::Engine(cfg).run(cat, nullptr, &stats);
+  cfg.lmax = lmax;
 
-  std::printf("\nPhase breakdown (wall-equivalent shares):\n%s\n",
-              stats.phases.report().c_str());
+  auto run_mode = [&](core::TraversalMode mode, const char* name,
+                      core::EngineStats& stats) {
+    cfg.traversal = mode;
+    const core::ZetaResult res = core::Engine(cfg).run(cat, nullptr, &stats);
+    std::printf("\n[%s] phase breakdown (wall-equivalent shares):\n%s\n",
+                name, stats.phases.report().c_str());
+    const double kern = stats.phases.get("multipole kernel");
+    print_kv("multipole kernel share",
+             fmt(100.0 * kern / stats.phases.total(), "%.1f%%"));
+    print_kv("neighbor query share",
+             fmt(100.0 * stats.phases.get("neighbor query") /
+                     stats.phases.total(),
+                 "%.1f%%"));
+    print_kv("pairs processed", fmt(static_cast<double>(stats.pairs), "%.3e"));
+    print_kv("kernel GFLOP/s (paper acct.)",
+             fmt(stats.kernel_flop_count / kern / 1e9, "%.2f"));
+    print_kv("wall time (s)", fmt(stats.wall_seconds, "%.3f"));
+    print_kv("primaries", fmt(static_cast<double>(res.n_primaries), "%.0f"));
+  };
 
-  const double kern = stats.phases.get("multipole kernel");
-  const double frac = kern / stats.phases.total();
-  print_kv("multipole kernel share", fmt(100.0 * frac, "%.1f%%"));
-  print_kv("paper single-node share", "55% (Fig. 4); 58-61% at full scale");
-  print_kv("pairs processed", fmt(static_cast<double>(stats.pairs), "%.3e"));
-  print_kv("kernel GFLOP/s (paper acct.)",
-           fmt(stats.kernel_flop_count / kern / 1e9, "%.2f"));
-  print_kv("wall time (s)", fmt(stats.wall_seconds, "%.3f"));
-  print_kv("primaries", fmt(static_cast<double>(res.n_primaries), "%.0f"));
+  core::EngineStats per_primary, leaf_blocked;
+  run_mode(core::TraversalMode::kPerPrimary, "per-primary", per_primary);
+  run_mode(core::TraversalMode::kLeafBlocked, "leaf-blocked (default)",
+           leaf_blocked);
+
+  std::printf("\npaper single-node kernel share: 55%% (Fig. 4); 58-61%% at "
+              "full scale\n");
+  const double q_pp = per_primary.phases.get("neighbor query");
+  const double q_lb = leaf_blocked.phases.get("neighbor query");
+  print_kv("neighbor query speedup",
+           fmt(q_lb > 0 ? q_pp / q_lb : 0.0, "%.2fx"));
+  print_kv("end-to-end speedup",
+           fmt(leaf_blocked.wall_seconds > 0
+                   ? per_primary.wall_seconds / leaf_blocked.wall_seconds
+                   : 0.0,
+               "%.2fx"));
+
+  if (!json_path.empty()) {
+    JsonObject config;
+    config.add("n", static_cast<std::uint64_t>(n))
+        .add("rmax", rmax)
+        .add("lmax", lmax)
+        .add("nbins", cfg.bins.count())
+        .add("threads", threads)
+        .add("precision", "mixed")
+        .add("index", "kdtree");
+    JsonObject root;
+    root.add("bench", "fig4_breakdown")
+        .add_raw("config", config.str(2))
+        .add_raw("per_primary", phases_json(per_primary).str(2))
+        .add_raw("leaf_blocked", phases_json(leaf_blocked).str(2))
+        .add("neighbor_query_speedup", q_lb > 0 ? q_pp / q_lb : 0.0);
+    write_json_file(json_path, root.str());
+  }
   return 0;
 }

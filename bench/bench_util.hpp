@@ -8,6 +8,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -57,6 +60,83 @@ inline std::string fmt(double v, const char* f = "%.3f") {
   char buf[64];
   std::snprintf(buf, sizeof(buf), f, v);
   return buf;
+}
+
+// Minimal JSON object builder for machine-readable bench output (the CI
+// uploads these as artifacts so the perf trajectory is tracked over time).
+// Values are either numbers, strings, or nested objects added as raw JSON.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return add_raw(key, buf);
+  }
+  JsonObject& add(const std::string& key, std::uint64_t value) {
+    return add_raw(key, std::to_string(value));
+  }
+  JsonObject& add(const std::string& key, int value) {
+    return add_raw(key, std::to_string(value));
+  }
+  JsonObject& add(const std::string& key, const std::string& value) {
+    std::string esc = "\"";
+    for (char ch : value) {
+      if (ch == '"' || ch == '\\') esc += '\\';
+      esc += ch;
+    }
+    esc += '"';
+    return add_raw(key, esc);
+  }
+  JsonObject& add_raw(const std::string& key, const std::string& json) {
+    entries_.emplace_back(key, json);
+    return *this;
+  }
+
+  std::string str(int indent = 0) const {
+    const std::string pad(indent + 2, ' ');
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      os << (i ? "," : "") << "\n" << pad << "\"" << entries_[i].first
+         << "\": " << entries_[i].second;
+    }
+    os << "\n" << std::string(indent, ' ') << "}";
+    return os.str();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// JSON object of the engine's phase breakdown plus throughput — the
+// machine-readable mirror of PhaseTimer::report().
+inline JsonObject phases_json(const core::EngineStats& stats) {
+  JsonObject o;
+  for (const auto& [phase, seconds] : stats.phases.sorted())
+    o.add(phase, seconds);
+  o.add("total_seconds", stats.phases.total());
+  o.add("wall_seconds", stats.wall_seconds);
+  o.add("pairs", stats.pairs);
+  o.add("candidates", stats.candidates);
+  const double kern = stats.phases.get("multipole kernel");
+  o.add("pairs_per_second",
+        stats.wall_seconds > 0
+            ? static_cast<double>(stats.pairs) / stats.wall_seconds
+            : 0.0);
+  o.add("kernel_gflops", kern > 0 ? stats.kernel_flop_count / kern / 1e9 : 0.0);
+  return o;
+}
+
+inline void write_json_file(const std::string& path,
+                            const std::string& content) {
+  std::ofstream out(path);
+  out << content << "\n";
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("  wrote %s\n", path.c_str());
 }
 
 // Simple aligned table printer.

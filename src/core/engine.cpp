@@ -10,6 +10,7 @@
 #include "core/twopcf.hpp"
 #include "tree/cellgrid.hpp"
 #include "tree/kdtree.hpp"
+#include "util/aligned.hpp"
 
 namespace galactos::core {
 
@@ -25,6 +26,64 @@ Index make_index(const sim::Catalog& catalog, const EngineConfig& cfg) {
     return tree::CellGrid<Real>(catalog, cfg.bins.rmax());
   }
 }
+
+// Per-bin staging for the leaf-blocked driver's batch-binning pass: one
+// bucket_capacity-sized SoA segment per bin, drained to the kernel
+// bucket-at-a-time through push_block. A drain always hands over a full
+// bucket on an empty bucket, so push_block runs the kernel directly on
+// this memory — zero extra copies on the hot path.
+class BinStage {
+ public:
+  BinStage(int nbins, int capacity)
+      : cap_(capacity),
+        data_(static_cast<std::size_t>(nbins) * 4 * capacity),
+        fill_(nbins, 0),
+        listed_(nbins, 0) {
+    touched_.reserve(nbins);
+  }
+
+  int capacity() const { return cap_; }
+
+  // Appends one accepted pair; drains the bin when its segment fills.
+  void add(int bin, double ux, double uy, double uz, double w,
+           MultipoleAccumulator& acc) {
+    if (!listed_[bin]) {
+      listed_[bin] = 1;
+      touched_.push_back(bin);
+    }
+    double* sb = data_.data() + static_cast<std::size_t>(bin) * 4 * cap_;
+    const int f = fill_[bin];
+    sb[f] = ux;
+    sb[cap_ + f] = uy;
+    sb[2 * cap_ + f] = uz;
+    sb[3 * cap_ + f] = w;
+    if ((fill_[bin] = f + 1) == cap_) drain(bin, acc);
+  }
+
+  // Drains every bin with staged pairs; call once per primary.
+  void finish(MultipoleAccumulator& acc) {
+    for (const int bin : touched_) {
+      if (fill_[bin] > 0) drain(bin, acc);
+      listed_[bin] = 0;
+    }
+    touched_.clear();
+  }
+
+ private:
+  void drain(int bin, MultipoleAccumulator& acc) {
+    const double* sb =
+        data_.data() + static_cast<std::size_t>(bin) * 4 * cap_;
+    acc.push_block(bin, sb, sb + cap_, sb + 2 * cap_, sb + 3 * cap_,
+                   fill_[bin]);
+    fill_[bin] = 0;
+  }
+
+  int cap_;
+  AlignedBuffer<double> data_;  // [nbins][4][cap]
+  std::vector<int> fill_;
+  std::vector<std::uint8_t> listed_;
+  std::vector<int> touched_;
+};
 
 template <typename Real, typename Index>
 void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
@@ -48,6 +107,23 @@ void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
   const int nthreads =
       cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
 
+  // Too few leaves starve a leaf-parallel run (e.g. a CellGrid whose
+  // extent is a handful of R_max cells); the per-primary driver computes
+  // the same answer, so fall back to it rather than idle most threads.
+  TraversalMode traversal = cfg.traversal;
+  if (traversal == TraversalMode::kLeafBlocked &&
+      index.leaf_count() < 2 * static_cast<std::size_t>(nthreads))
+    traversal = TraversalMode::kPerPrimary;
+
+  // Membership mask for the leaf-blocked driver: leaves hold points in
+  // index order, so a subset of primaries is tested per point.
+  std::vector<std::uint8_t> is_primary;
+  if (primaries && traversal == TraversalMode::kLeafBlocked) {
+    is_primary.assign(catalog.size(), 0);
+    for (std::int64_t p : *primaries)
+      is_primary[static_cast<std::size_t>(p)] = 1;
+  }
+
   // Per-thread partial accumulators, merged in thread-id order after the
   // parallel region so results are bit-identical run to run.
   std::vector<std::unique_ptr<ZetaAccumulator>> zeta_parts(nthreads);
@@ -68,7 +144,6 @@ void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
     kc.scheme = cfg.scheme;
     kc.ilp = cfg.ilp;
     MultipoleAccumulator acc(kc);
-    tree::NeighborList<Real> nl;
     std::vector<std::complex<double>> alm(
         static_cast<std::size_t>(nbins) * nlm);
     std::vector<std::uint8_t> touched(nbins, 0);
@@ -79,50 +154,23 @@ void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
     double q_time = 0, k_time = 0, z_time = 0;
     std::uint64_t my_cand = 0, my_skip = 0;
 
-    auto process = [&](std::int64_t pi) {
-      const std::int64_t p = primaries ? (*primaries)[pi] : pi;
-      const sim::Vec3 pos = catalog.position(static_cast<std::size_t>(p));
-
-      Rotation rot;
-      bool rotate = false;
+    // LOS setup shared by both drivers; returns false when the primary
+    // must be skipped (radial mode, primary at the observer).
+    auto make_rotation = [&](std::int64_t p, Rotation& rot, bool& rotate) {
+      rotate = false;
       if (cfg.los == LineOfSight::kRadial) {
-        const sim::Vec3 rel = pos - cfg.observer;
-        if (rel.norm2() == 0.0) {
-          ++my_skip;
-          return;
-        }
+        const sim::Vec3 rel =
+            catalog.position(static_cast<std::size_t>(p)) - cfg.observer;
+        if (rel.norm2() == 0.0) return false;
         rot = rotation_to_z(rel);
         rotate = true;
       }
+      return true;
+    };
 
-      Timer tq;
-      nl.clear();
-      index.gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(), nl);
-      q_time += tq.seconds();
-
-      Timer tk;
-      acc.start_primary();
-      if (sp) sp->start_primary();
-      const std::size_t count = nl.size();
-      for (std::size_t j = 0; j < count; ++j) {
-        if (nl.idx[j] == p) continue;
-        double dx = static_cast<double>(nl.dx[j]);
-        double dy = static_cast<double>(nl.dy[j]);
-        double dz = static_cast<double>(nl.dz[j]);
-        if (rotate) rot.apply(dx, dy, dz);
-        const double r2 = dx * dx + dy * dy + dz * dz;
-        if (r2 <= 0.0) continue;  // coincident galaxies: direction undefined
-        const double r = std::sqrt(r2);
-        const int bin = cfg.bins.bin_of(r);
-        if (bin < 0) continue;
-        const double inv = 1.0 / r;
-        acc.push(bin, dx * inv, dy * inv, dz * inv, nl.w[j]);
-        if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, nl.w[j]);
-      }
-      acc.finish_primary();
-      k_time += tk.seconds();
-      my_cand += count;
-
+    // a_lm assembly + zeta/xi accumulation after the kernel has consumed
+    // one primary's pairs; identical for both drivers.
+    auto finish_primary = [&](std::int64_t p) {
       Timer tz;
       compute_alm(table, acc, alm.data(), touched.data());
       const double wp = catalog.w[static_cast<std::size_t>(p)];
@@ -136,12 +184,173 @@ void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
       z_time += tz.seconds();
     };
 
-    if (cfg.schedule == OmpSchedule::kDynamic) {
+    if (traversal == TraversalMode::kPerPrimary) {
+      tree::NeighborList<Real> nl;
+
+      auto process = [&](std::int64_t pi) {
+        const std::int64_t p = primaries ? (*primaries)[pi] : pi;
+        const sim::Vec3 pos = catalog.position(static_cast<std::size_t>(p));
+
+        Rotation rot;
+        bool rotate = false;
+        if (!make_rotation(p, rot, rotate)) {
+          ++my_skip;
+          return;
+        }
+
+        Timer tq;
+        nl.clear();
+        index.gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(), nl);
+        q_time += tq.seconds();
+
+        Timer tk;
+        acc.start_primary();
+        if (sp) sp->start_primary();
+        const std::size_t count = nl.size();
+        for (std::size_t j = 0; j < count; ++j) {
+          if (nl.idx[j] == p) continue;
+          // The index already computed r2 (in Real); rotation preserves
+          // the norm, so bin on the stored value instead of recomputing.
+          const double r2 = static_cast<double>(nl.r2[j]);
+          if (r2 <= 0.0) continue;  // coincident galaxies: direction undefined
+          const double r = std::sqrt(r2);
+          const int bin = cfg.bins.bin_of(r);
+          if (bin < 0) continue;
+          double dx = static_cast<double>(nl.dx[j]);
+          double dy = static_cast<double>(nl.dy[j]);
+          double dz = static_cast<double>(nl.dz[j]);
+          if (rotate) rot.apply(dx, dy, dz);
+          const double inv = 1.0 / r;
+          acc.push(bin, dx * inv, dy * inv, dz * inv, nl.w[j]);
+          if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, nl.w[j]);
+        }
+        acc.finish_primary();
+        k_time += tk.seconds();
+        my_cand += count;
+
+        finish_primary(p);
+      };
+
+      if (cfg.schedule == OmpSchedule::kDynamic) {
 #pragma omp for schedule(dynamic, 4)
-      for (std::int64_t i = 0; i < np; ++i) process(i);
-    } else {
+        for (std::int64_t i = 0; i < np; ++i) process(i);
+      } else {
 #pragma omp for schedule(static)
-      for (std::int64_t i = 0; i < np; ++i) process(i);
+        for (std::int64_t i = 0; i < np; ++i) process(i);
+      }
+    } else {
+      // Leaf-blocked driver: one gather per source leaf, amortized over
+      // the ~leaf_size primaries it stores; the shared block stays hot in
+      // cache while each primary forms its separations by SIMD
+      // subtraction, range-filters on the Real r2 (bitwise the same
+      // accept set and order as a per-primary index query) and drains the
+      // accepted pairs bucket-at-a-time into the kernel.
+      tree::NeighborBlock<Real> block;
+      std::vector<Real> sdx, sdy, sdz, sr2;
+      std::vector<std::size_t> leaf_prims;
+      BinStage stage(nbins, cfg.bucket_capacity);
+      const Real r2max = static_cast<Real>(cfg.bins.rmax()) *
+                         static_cast<Real>(cfg.bins.rmax());
+
+      auto process_leaf = [&](std::int64_t l) {
+        const std::size_t leaf = static_cast<std::size_t>(l);
+        const std::int64_t begin =
+            static_cast<std::int64_t>(index.leaf_begin(leaf));
+        const std::int64_t end =
+            static_cast<std::int64_t>(index.leaf_end(leaf));
+
+        leaf_prims.clear();
+        for (std::int64_t t = begin; t < end; ++t) {
+          const std::int64_t p =
+              index.original_index(static_cast<std::size_t>(t));
+          if (!is_primary.empty() &&
+              !is_primary[static_cast<std::size_t>(p)])
+            continue;
+          leaf_prims.push_back(static_cast<std::size_t>(t));
+        }
+        if (leaf_prims.empty()) return;
+
+        Timer tq;
+        block.clear();
+        index.gather_leaf_neighbors(leaf, cfg.bins.rmax(), block);
+        const std::size_t m = block.size();
+        sdx.resize(m);
+        sdy.resize(m);
+        sdz.resize(m);
+        sr2.resize(m);
+        q_time += tq.seconds();
+
+        for (const std::size_t t : leaf_prims) {
+          const std::int64_t p = index.original_index(t);
+
+          Rotation rot;
+          bool rotate = false;
+          if (!make_rotation(p, rot, rotate)) {
+            ++my_skip;
+            continue;
+          }
+
+          // Separation formation is neighbor-search work (the per-primary
+          // gather loop used to do it inside the index), so it counts
+          // toward the "neighbor query" phase.
+          Timer tsep;
+          const Real px = index.x(t), py = index.y(t), pz = index.z(t);
+          const Real* __restrict bx = block.x.data();
+          const Real* __restrict by = block.y.data();
+          const Real* __restrict bz = block.z.data();
+          Real* __restrict dxv = sdx.data();
+          Real* __restrict dyv = sdy.data();
+          Real* __restrict dzv = sdz.data();
+          Real* __restrict r2v = sr2.data();
+#pragma omp simd
+          for (std::size_t j = 0; j < m; ++j) {
+            const Real ddx = bx[j] - px;
+            const Real ddy = by[j] - py;
+            const Real ddz = bz[j] - pz;
+            dxv[j] = ddx;
+            dyv[j] = ddy;
+            dzv[j] = ddz;
+            r2v[j] = ddx * ddx + ddy * ddy + ddz * ddz;
+          }
+          q_time += tsep.seconds();
+
+          Timer tk;
+          acc.start_primary();
+          if (sp) sp->start_primary();
+          for (std::size_t j = 0; j < m; ++j) {
+            if (!(r2v[j] <= r2max)) continue;  // the index's range filter
+            if (block.idx[j] == p) continue;
+            const double r2 = static_cast<double>(r2v[j]);
+            if (r2 <= 0.0) continue;  // coincident: direction undefined
+            const double r = std::sqrt(r2);
+            const int bin = cfg.bins.bin_of(r);
+            if (bin < 0) continue;
+            double dx = static_cast<double>(dxv[j]);
+            double dy = static_cast<double>(dyv[j]);
+            double dz = static_cast<double>(dzv[j]);
+            if (rotate) rot.apply(dx, dy, dz);
+            const double inv = 1.0 / r;
+            stage.add(bin, dx * inv, dy * inv, dz * inv, block.w[j], acc);
+            if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, block.w[j]);
+          }
+          stage.finish(acc);
+          acc.finish_primary();
+          k_time += tk.seconds();
+          my_cand += m;
+
+          finish_primary(p);
+        }
+      };
+
+      const std::int64_t nleaves =
+          static_cast<std::int64_t>(index.leaf_count());
+      if (cfg.schedule == OmpSchedule::kDynamic) {
+#pragma omp for schedule(dynamic, 1)
+        for (std::int64_t l = 0; l < nleaves; ++l) process_leaf(l);
+      } else {
+#pragma omp for schedule(static)
+        for (std::int64_t l = 0; l < nleaves; ++l) process_leaf(l);
+      }
     }
 
     zeta_parts[tid] = std::make_unique<ZetaAccumulator>(std::move(zeta));
@@ -216,10 +425,16 @@ ZetaResult Engine::run(const sim::Catalog& catalog,
                        const std::vector<std::int64_t>* primaries,
                        EngineStats* stats) const {
   GLX_CHECK_MSG(!catalog.empty(), "empty catalog");
-  if (primaries)
-    for (std::int64_t p : *primaries)
+  if (primaries) {
+    std::vector<std::uint8_t> seen(catalog.size(), 0);
+    for (std::int64_t p : *primaries) {
       GLX_CHECK_MSG(p >= 0 && p < static_cast<std::int64_t>(catalog.size()),
                     "primary index out of range: " << p);
+      GLX_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
+                    "duplicate primary index: " << p);
+      seen[static_cast<std::size_t>(p)] = 1;
+    }
+  }
 
   ZetaResult result;
   EngineStats local_stats;

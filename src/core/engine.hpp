@@ -6,10 +6,24 @@
 //     bin pairs into radial shells, bucket them, run the multipole kernel
 //     assemble a_lm per shell; accumulate zeta^m_ll'(r1,r2) and xi_l(r)
 //
-// Primaries are distributed over OpenMP threads with dynamic scheduling
+// Two traversal drivers implement the outer loop (§3.3):
+//
+// * kPerPrimary — one index query per primary (the literal Algorithm 1).
+// * kLeafBlocked (default) — primaries are processed a leaf at a time: one
+//   pruned node-vs-node traversal per source leaf emits a shared candidate
+//   block that ~leaf_size primaries drain while it is hot in cache;
+//   per-primary separations are SIMD subtractions from the block, and
+//   accepted pairs reach the kernel through batched push_block calls.
+//   Per-primary pair sequences are bitwise identical to kPerPrimary; only
+//   the cross-primary accumulation order differs (FP reassociation).
+//   Runs with fewer than 2x nthreads leaves (tiny catalogs, coarse grids)
+//   fall back to the per-primary driver so threads don't sit idle.
+//
+// Work is distributed over OpenMP threads with dynamic scheduling
 // (paper §3.3: "a significant performance boost over a static schedule" —
-// both are available here for the ablation bench). Each thread owns private
-// accumulators merged once at the end.
+// both are available here for the ablation bench), over primaries in
+// kPerPrimary mode and over leaves in kLeafBlocked mode. Each thread owns
+// private accumulators merged once at the end.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +46,7 @@ enum class TreePrecision {
 
 enum class NeighborIndex { kKdTree, kCellGrid };
 enum class OmpSchedule { kDynamic, kStatic };
+enum class TraversalMode { kPerPrimary, kLeafBlocked };
 
 struct EngineConfig {
   RadialBins bins{1.0, 200.0, 10};
@@ -41,6 +56,7 @@ struct EngineConfig {
 
   TreePrecision precision = TreePrecision::kDouble;
   NeighborIndex index = NeighborIndex::kKdTree;
+  TraversalMode traversal = TraversalMode::kLeafBlocked;
   int leaf_size = 32;
 
   KernelScheme scheme = KernelScheme::kRunningProduct;
@@ -61,7 +77,10 @@ struct EngineStats {
                       // alm+zeta / merge — phase names in engine.cpp
   double wall_seconds = 0.0;
   std::uint64_t pairs = 0;      // kernel pairs (inside R_max and bins)
-  std::uint64_t candidates = 0; // pairs returned by the index queries
+  // Candidate pairs examined per primary: index-query results in
+  // kPerPrimary mode, shared-block entries scanned in kLeafBlocked mode
+  // (the block is gathered once per leaf but scanned by every primary).
+  std::uint64_t candidates = 0;
   std::uint64_t primaries_skipped = 0;  // e.g. primary at the observer
   std::vector<std::uint64_t> pairs_per_thread;
   // Kernel FLOPs using the paper's accounting (2 FLOPs per monomial per
@@ -78,7 +97,9 @@ class Engine {
   // Computes the anisotropic 3PCF of `catalog`. If `primaries` is given,
   // only those indices act as primaries (the distributed runner passes the
   // rank-owned galaxies; halo copies are secondaries only — paper §3.3).
-  // All points always act as secondaries.
+  // All points always act as secondaries. The list must not contain
+  // duplicates (the leaf-blocked driver tests membership per point);
+  // duplicates are rejected like out-of-range indices.
   ZetaResult run(const sim::Catalog& catalog,
                  const std::vector<std::int64_t>* primaries = nullptr,
                  EngineStats* stats = nullptr) const;

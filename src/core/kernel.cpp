@@ -222,6 +222,21 @@ void MultipoleAccumulator::touch(int bin) {
   touched_list_.push_back(bin);
 }
 
+void MultipoleAccumulator::run_kernel(int bin, const double* ux,
+                                      const double* uy, const double* uz,
+                                      const double* w, int padded) {
+  double* a = acc_.data() + static_cast<std::size_t>(bin) * n_mono_ * kLanes;
+  const bool overwrite = first_flush_[bin] != 0;
+  first_flush_[bin] = 0;
+  if (cfg_.scheme == KernelScheme::kRunningProduct) {
+    kernel_running_product(ux, uy, uz, w, padded, cfg_.lmax, a, cfg_.ilp,
+                           overwrite);
+  } else {
+    kernel_zbuffered(ux, uy, uz, w, padded, cfg_.lmax, a, zscratch_.data(),
+                     overwrite);
+  }
+}
+
 void MultipoleAccumulator::flush(int bin) {
   const int cap = cfg_.bucket_capacity;
   double* bu = bucket_.data() + static_cast<std::size_t>(bin) * 4 * cap;
@@ -236,16 +251,7 @@ void MultipoleAccumulator::flush(int bin) {
     bu[2 * cap + i] = 0.0;
     bu[3 * cap + i] = 0.0;
   }
-  double* a = acc_.data() + static_cast<std::size_t>(bin) * n_mono_ * kLanes;
-  const bool overwrite = first_flush_[bin] != 0;
-  first_flush_[bin] = 0;
-  if (cfg_.scheme == KernelScheme::kRunningProduct) {
-    kernel_running_product(bu, bu + cap, bu + 2 * cap, bu + 3 * cap, padded,
-                           cfg_.lmax, a, cfg_.ilp, overwrite);
-  } else {
-    kernel_zbuffered(bu, bu + cap, bu + 2 * cap, bu + 3 * cap, padded,
-                     cfg_.lmax, a, zscratch_.data(), overwrite);
-  }
+  run_kernel(bin, bu, bu + cap, bu + 2 * cap, bu + 3 * cap, padded);
   fill_[bin] = 0;
 }
 

@@ -24,7 +24,9 @@
 //     monomial (the paper's cache-blocked variant).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 
 #include "math/sph_table.hpp"
 #include "util/aligned.hpp"
@@ -96,6 +98,41 @@ class MultipoleAccumulator {
     if ((fill_[bin] = f + 1) == cfg_.bucket_capacity) flush(bin);
   }
 
+  // Adds `count` pairs bound for one bin in a single call — the batched
+  // entry point of the leaf-blocked engine path. Full-bucket chunks
+  // arriving on an empty bucket run the kernel directly on the caller's
+  // arrays (zero copy); ragged head/tail chunks go through the bucket
+  // with memcpy. Chunk boundaries match `count` scalar push() calls
+  // exactly, so results are bitwise identical.
+  void push_block(int bin, const double* ux, const double* uy,
+                  const double* uz, const double* w, int count) {
+    GLX_DCHECK(bin >= 0 && bin < cfg_.nbins);
+    if (count <= 0) return;
+    if (!touched_[bin]) touch(bin);
+    const int cap = cfg_.bucket_capacity;
+    double* bu =
+        bucket_.data() + static_cast<std::size_t>(bin) * 4 * cap;
+    int done = 0;
+    while (done < count) {
+      const int f = fill_[bin];
+      if (f == 0 && count - done >= cap) {
+        pairs_ += static_cast<std::uint64_t>(cap);
+        run_kernel(bin, ux + done, uy + done, uz + done, w + done, cap);
+        done += cap;
+        continue;
+      }
+      const int take = std::min(cap - f, count - done);
+      const std::size_t bytes = static_cast<std::size_t>(take) * sizeof(double);
+      std::memcpy(bu + f, ux + done, bytes);
+      std::memcpy(bu + cap + f, uy + done, bytes);
+      std::memcpy(bu + 2 * cap + f, uz + done, bytes);
+      std::memcpy(bu + 3 * cap + f, w + done, bytes);
+      fill_[bin] = f + take;
+      done += take;
+      if (fill_[bin] == cap) flush(bin);
+    }
+  }
+
   void finish_primary();
 
   // Power sums S[a,b,c] for `bin` in MonomialMap order; valid after
@@ -111,6 +148,10 @@ class MultipoleAccumulator {
  private:
   void touch(int bin);
   void flush(int bin);
+  // Runs the configured bucket kernel on `padded` pairs (a multiple of
+  // kLanes) from any memory, honoring the bin's first-flush overwrite.
+  void run_kernel(int bin, const double* ux, const double* uy,
+                  const double* uz, const double* w, int padded);
 
   KernelConfig cfg_;
   int n_mono_;

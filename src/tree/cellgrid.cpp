@@ -41,6 +41,10 @@ CellGrid<Real>::CellGrid(const sim::Catalog& catalog, double rmax_hint,
   zs_.resize(n);
   ws_.resize(n);
   orig_.resize(n);
+  for (std::size_t c = 0; c < ncells; ++c)
+    if (starts_[c + 1] > starts_[c])
+      leaf_cells_.push_back(static_cast<std::int64_t>(c));
+
   std::vector<std::int64_t> cursor(starts_.begin(), starts_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
     const std::int64_t dst = cursor[cell_idx[i]]++;
@@ -96,6 +100,31 @@ void CellGrid<Real>::gather_neighbors(double qx, double qy, double qz,
           const Real rr = dx * dx + dy * dy + dz * dz;
           if (rr <= r2max) out.push(dx, dy, dz, rr, ws_[i], orig_[i]);
         }
+      }
+}
+
+template <typename Real>
+void CellGrid<Real>::gather_leaf_neighbors(std::size_t leaf, double rmax,
+                                           NeighborBlock<Real>& out) const {
+  GLX_DCHECK(leaf < leaf_cells_.size());
+  const std::int64_t c = leaf_cells_[leaf];
+  const int reach = static_cast<int>(std::ceil(rmax / cell_));
+  // Decompose the flat id back into integer cell coordinates; these equal
+  // the per-primary query's center cell for every point stored here.
+  const int cz = static_cast<int>(c % nz_);
+  const int cy = static_cast<int>((c / nz_) % ny_);
+  const int cx = static_cast<int>(c / (static_cast<std::int64_t>(ny_) * nz_));
+
+  for (int ix = std::max(0, cx - reach); ix <= std::min(nx_ - 1, cx + reach);
+       ++ix)
+    for (int iy = std::max(0, cy - reach);
+         iy <= std::min(ny_ - 1, cy + reach); ++iy)
+      for (int iz = std::max(0, cz - reach);
+           iz <= std::min(nz_ - 1, cz + reach); ++iz) {
+        const std::size_t cc =
+            (static_cast<std::size_t>(ix) * ny_ + iy) * nz_ + iz;
+        for (std::int64_t i = starts_[cc]; i < starts_[cc + 1]; ++i)
+          out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
       }
 }
 

@@ -30,6 +30,41 @@ class CellGrid {
   void gather_neighbors(double qx, double qy, double qz, double rmax,
                         NeighborList<Real>& out) const;
 
+  // --- Leaf-blocked traversal --------------------------------------------
+  //
+  // A "leaf" is a non-empty grid cell; its points are a contiguous CSR
+  // range. One gather per cell visits exactly the cells a per-primary
+  // query from any point stored in the cell would visit: the query's
+  // unclamped floor((v - lo)/cell) equals the stored (clamped) cell
+  // coordinate for every catalog point, because FP subtraction and
+  // division are monotone, so lo <= v <= hi bounds the quotient inside
+  // [0, nx) — cell_of's clamp never actually engages. The block is
+  // therefore an exact superset of each per-primary gather in the same
+  // candidate order.
+  std::size_t leaf_count() const { return leaf_cells_.size(); }
+  std::int64_t leaf_begin(std::size_t leaf) const {
+    return starts_[leaf_cells_[leaf]];
+  }
+  std::int64_t leaf_end(std::size_t leaf) const {
+    return starts_[leaf_cells_[leaf] + 1];
+  }
+  void gather_leaf_neighbors(std::size_t leaf, double rmax,
+                             NeighborBlock<Real>& out) const;
+
+  // Visits fn(leaf_id, begin, end) for every non-empty cell.
+  template <typename Fn>
+  void for_each_leaf(Fn&& fn) const {
+    for (std::size_t l = 0; l < leaf_cells_.size(); ++l)
+      fn(l, leaf_begin(l), leaf_end(l));
+  }
+
+  // Storage-order access (mirrors KdTree's tree-order accessors).
+  Real x(std::size_t i) const { return xs_[i]; }
+  Real y(std::size_t i) const { return ys_[i]; }
+  Real z(std::size_t i) const { return zs_[i]; }
+  double weight(std::size_t i) const { return ws_[i]; }
+  std::int64_t original_index(std::size_t i) const { return orig_[i]; }
+
  private:
   std::size_t cell_of(double x, double y, double z) const;
 
@@ -38,6 +73,7 @@ class CellGrid {
   int nx_ = 0, ny_ = 0, nz_ = 0;
   // CSR layout: points of cell c live at [starts_[c], starts_[c+1]).
   std::vector<std::int64_t> starts_;
+  std::vector<std::int64_t> leaf_cells_;  // non-empty cell ids, ascending
   std::vector<Real> xs_, ys_, zs_;
   std::vector<double> ws_;
   std::vector<std::int64_t> orig_;

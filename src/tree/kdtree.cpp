@@ -77,7 +77,10 @@ std::int32_t KdTree<Real>::build(std::int32_t begin, std::int32_t end,
     nd.end = end;
   }
 
-  if (end - begin <= leaf_size) return id;
+  if (end - begin <= leaf_size) {
+    leaves_.push_back(id);
+    return id;
+  }
 
   // Median split along the widest dimension.
   int dim = 0;
@@ -87,7 +90,10 @@ std::int32_t KdTree<Real>::build(std::int32_t begin, std::int32_t end,
       best = hi[d] - lo[d];
       dim = d;
     }
-  if (best == 0.0) return id;  // all points coincide; keep as (large) leaf
+  if (best == 0.0) {  // all points coincide; keep as (large) leaf
+    leaves_.push_back(id);
+    return id;
+  }
 
   const std::int32_t mid = begin + (end - begin) / 2;
   const auto key = [&](std::int32_t p) {
@@ -119,31 +125,36 @@ Real box_dist2(const Real q[3], const Real lo[3], const Real hi[3]) {
   return d2;
 }
 
+// Minimum squared distance between two boxes [alo, ahi] and [blo, bhi].
+// Monotone float arithmetic guarantees the value never exceeds the
+// point-box distance of any point contained in the first box.
+template <typename Real>
+Real box_box_dist2(const Real alo[3], const Real ahi[3], const Real blo[3],
+                   const Real bhi[3]) {
+  Real d2 = 0;
+  for (int d = 0; d < 3; ++d) {
+    Real diff = 0;
+    if (bhi[d] < alo[d]) diff = alo[d] - bhi[d];
+    else if (blo[d] > ahi[d]) diff = blo[d] - ahi[d];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
 }  // namespace
 
 template <typename Real>
-void KdTree<Real>::gather_neighbors(double qx, double qy, double qz,
-                                    double rmax,
-                                    NeighborList<Real>& out) const {
+template <typename Prune, typename LeafFn>
+void KdTree<Real>::traverse(Prune&& prune, LeafFn&& leaf_fn) const {
   if (root_ < 0) return;
-  const Real q[3] = {static_cast<Real>(qx), static_cast<Real>(qy),
-                     static_cast<Real>(qz)};
-  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
-
   std::int32_t stack[128];
   int sp = 0;
   stack[sp++] = root_;
   while (sp > 0) {
     const Node& nd = nodes_[stack[--sp]];
-    if (box_dist2<Real>(q, nd.lo, nd.hi) > r2max) continue;
+    if (prune(nd)) continue;
     if (nd.left < 0) {
-      for (std::int32_t i = nd.begin; i < nd.end; ++i) {
-        const Real dx = xs_[i] - q[0];
-        const Real dy = ys_[i] - q[1];
-        const Real dz = zs_[i] - q[2];
-        const Real rr = dx * dx + dy * dy + dz * dz;
-        if (rr <= r2max) out.push(dx, dy, dz, rr, ws_[i], orig_[i]);
-      }
+      leaf_fn(nd);
     } else {
       GLX_DCHECK(sp + 2 <= 128);
       stack[sp++] = nd.left;
@@ -153,32 +164,59 @@ void KdTree<Real>::gather_neighbors(double qx, double qy, double qz,
 }
 
 template <typename Real>
+void KdTree<Real>::gather_neighbors(double qx, double qy, double qz,
+                                    double rmax,
+                                    NeighborList<Real>& out) const {
+  const Real q[3] = {static_cast<Real>(qx), static_cast<Real>(qy),
+                     static_cast<Real>(qz)};
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  traverse(
+      [&](const Node& nd) { return box_dist2<Real>(q, nd.lo, nd.hi) > r2max; },
+      [&](const Node& nd) {
+        for (std::int32_t i = nd.begin; i < nd.end; ++i) {
+          const Real dx = xs_[i] - q[0];
+          const Real dy = ys_[i] - q[1];
+          const Real dz = zs_[i] - q[2];
+          const Real rr = dx * dx + dy * dy + dz * dz;
+          if (rr <= r2max) out.push(dx, dy, dz, rr, ws_[i], orig_[i]);
+        }
+      });
+}
+
+template <typename Real>
 std::size_t KdTree<Real>::count_within(double qx, double qy, double qz,
                                        double rmax) const {
-  if (root_ < 0) return 0;
   const Real q[3] = {static_cast<Real>(qx), static_cast<Real>(qy),
                      static_cast<Real>(qz)};
   const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
   std::size_t count = 0;
-  std::int32_t stack[128];
-  int sp = 0;
-  stack[sp++] = root_;
-  while (sp > 0) {
-    const Node& nd = nodes_[stack[--sp]];
-    if (box_dist2<Real>(q, nd.lo, nd.hi) > r2max) continue;
-    if (nd.left < 0) {
-      for (std::int32_t i = nd.begin; i < nd.end; ++i) {
-        const Real dx = xs_[i] - q[0];
-        const Real dy = ys_[i] - q[1];
-        const Real dz = zs_[i] - q[2];
-        if (dx * dx + dy * dy + dz * dz <= r2max) ++count;
-      }
-    } else {
-      stack[sp++] = nd.left;
-      stack[sp++] = nd.right;
-    }
-  }
+  traverse(
+      [&](const Node& nd) { return box_dist2<Real>(q, nd.lo, nd.hi) > r2max; },
+      [&](const Node& nd) {
+        for (std::int32_t i = nd.begin; i < nd.end; ++i) {
+          const Real dx = xs_[i] - q[0];
+          const Real dy = ys_[i] - q[1];
+          const Real dz = zs_[i] - q[2];
+          if (dx * dx + dy * dy + dz * dz <= r2max) ++count;
+        }
+      });
   return count;
+}
+
+template <typename Real>
+void KdTree<Real>::gather_leaf_neighbors(std::size_t leaf, double rmax,
+                                         NeighborBlock<Real>& out) const {
+  GLX_DCHECK(leaf < leaves_.size());
+  const Node& src = nodes_[leaves_[leaf]];
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  traverse(
+      [&](const Node& nd) {
+        return box_box_dist2<Real>(src.lo, src.hi, nd.lo, nd.hi) > r2max;
+      },
+      [&](const Node& nd) {
+        for (std::int32_t i = nd.begin; i < nd.end; ++i)
+          out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
+      });
 }
 
 template class KdTree<float>;

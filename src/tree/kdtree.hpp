@@ -37,6 +37,32 @@ class KdTree {
   std::size_t count_within(double qx, double qy, double qz,
                            double rmax) const;
 
+  // --- Leaf-blocked traversal (paper §3.3) ---------------------------------
+  //
+  // Leaves are contiguous tree-order ranges; one pruned node-vs-node
+  // traversal per source leaf collects every point within rmax of the
+  // leaf's bounding box, so a single gather serves all ~leaf_size
+  // primaries stored in the leaf. Pruning uses box-box distance, which in
+  // Real arithmetic never exceeds any contained point's point-box
+  // distance, so the block is an exact superset of each per-primary
+  // gather and the engine's r2 filter recovers identical pair sets.
+  std::size_t leaf_count() const { return leaves_.size(); }
+  std::int32_t leaf_begin(std::size_t leaf) const {
+    return nodes_[leaves_[leaf]].begin;
+  }
+  std::int32_t leaf_end(std::size_t leaf) const {
+    return nodes_[leaves_[leaf]].end;
+  }
+  void gather_leaf_neighbors(std::size_t leaf, double rmax,
+                             NeighborBlock<Real>& out) const;
+
+  // Visits fn(leaf_id, begin, end) for every leaf, in tree order.
+  template <typename Fn>
+  void for_each_leaf(Fn&& fn) const {
+    for (std::size_t l = 0; l < leaves_.size(); ++l)
+      fn(l, leaf_begin(l), leaf_end(l));
+  }
+
   // Tree-order access (for iteration over all points).
   Real x(std::size_t i) const { return xs_[i]; }
   Real y(std::size_t i) const { return ys_[i]; }
@@ -56,7 +82,16 @@ class KdTree {
                      std::vector<std::int32_t>& perm,
                      const sim::Catalog& catalog, int leaf_size);
 
+  // Single traversal core shared by all queries: depth-first from the
+  // root, skipping subtrees where prune(node) is true and handing reached
+  // leaves to leaf_fn(node). All queries therefore visit surviving leaves
+  // in one canonical order — the property the leaf-blocked engine relies
+  // on for bitwise equivalence with the per-primary path.
+  template <typename Prune, typename LeafFn>
+  void traverse(Prune&& prune, LeafFn&& leaf_fn) const;
+
   std::vector<Node> nodes_;
+  std::vector<std::int32_t> leaves_;  // leaf node ids, tree order
   std::vector<Real> xs_, ys_, zs_;
   std::vector<double> ws_;
   std::vector<std::int64_t> orig_;

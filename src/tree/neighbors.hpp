@@ -12,6 +12,35 @@
 
 namespace galactos::tree {
 
+// Shared candidate block for the leaf-blocked traversal (paper §3.3): one
+// pruned node-vs-node search per *source leaf* fills this with the absolute
+// positions of every secondary any primary in the leaf could see within
+// R_max. Primaries then form their separations by subtracting their own
+// position from the block — SIMD-friendly, and the block stays hot in cache
+// while ~leaf_size primaries drain it.
+template <typename Real>
+struct NeighborBlock {
+  std::vector<Real> x, y, z;     // absolute positions (index precision)
+  std::vector<double> w;         // weight
+  std::vector<std::int64_t> idx; // index into the source catalog
+
+  void clear() {
+    x.clear();
+    y.clear();
+    z.clear();
+    w.clear();
+    idx.clear();
+  }
+  std::size_t size() const { return x.size(); }
+  void push(Real px, Real py, Real pz, double weight, std::int64_t index) {
+    x.push_back(px);
+    y.push_back(py);
+    z.push_back(pz);
+    w.push_back(weight);
+    idx.push_back(index);
+  }
+};
+
 template <typename Real>
 struct NeighborList {
   std::vector<Real> dx, dy, dz;  // separation: secondary - primary

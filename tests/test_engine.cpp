@@ -41,7 +41,7 @@ TEST(Engine, DeterministicAcrossRunsDynamicSchedule) {
   c::Engine engine(small_config());
   const c::ZetaResult a = engine.run(cat);
   const c::ZetaResult b = engine.run(cat);
-  expect_results_match(a, b, 1e-11, 1e-11);
+  expect_results_match(a, b, 1e-10, 1e-10);
 }
 
 TEST(Engine, ThreadCountDoesNotChangeResult) {
@@ -52,7 +52,7 @@ TEST(Engine, ThreadCountDoesNotChangeResult) {
   cfg.threads = 4;
   const c::ZetaResult four = c::Engine(cfg).run(cat);
   // Merge order differs => only FP-reassociation differences allowed.
-  expect_results_match(one, four, 1e-11, 1e-11);
+  expect_results_match(one, four, 1e-10, 1e-10);
 }
 
 TEST(Engine, ScheduleDoesNotChangeResult) {
@@ -62,7 +62,7 @@ TEST(Engine, ScheduleDoesNotChangeResult) {
   const c::ZetaResult dyn = c::Engine(cfg).run(cat);
   cfg.schedule = c::OmpSchedule::kStatic;
   const c::ZetaResult sta = c::Engine(cfg).run(cat);
-  expect_results_match(dyn, sta, 1e-11, 1e-11);
+  expect_results_match(dyn, sta, 1e-10, 1e-10);
 }
 
 TEST(Engine, CellGridIndexMatchesKdTree) {
@@ -72,7 +72,7 @@ TEST(Engine, CellGridIndexMatchesKdTree) {
   const c::ZetaResult kd = c::Engine(cfg).run(cat);
   cfg.index = c::NeighborIndex::kCellGrid;
   const c::ZetaResult grid = c::Engine(cfg).run(cat);
-  expect_results_match(kd, grid, 1e-11, 1e-11);
+  expect_results_match(kd, grid, 1e-10, 1e-10);
 }
 
 TEST(Engine, KernelSchemesAgree) {
@@ -135,7 +135,7 @@ TEST(Engine, PrimarySubsetMatchesManualSplit) {
   const c::ZetaResult ro = engine.run(cat, &odds);
   const c::ZetaResult all = engine.run(cat);
   re.accumulate(ro);
-  expect_results_match(re, all, 1e-11, 1e-11);
+  expect_results_match(re, all, 1e-10, 1e-10);
 }
 
 TEST(Engine, WeightsScaleLinearly) {
@@ -215,6 +215,8 @@ TEST(Engine, RejectsInvalidInput) {
   const s::Catalog cat = s::uniform_box(10, s::Aabb::cube(5), 1);
   std::vector<std::int64_t> bad{42};
   EXPECT_THROW(engine.run(cat, &bad), std::logic_error);
+  std::vector<std::int64_t> dup{3, 3};
+  EXPECT_THROW(engine.run(cat, &dup), std::logic_error);
   cfg.lmax = -1;
   EXPECT_THROW(c::Engine{cfg}, std::logic_error);
 }

@@ -202,6 +202,55 @@ TEST(Accumulator, RejectsBadConfig) {
   EXPECT_THROW(c::MultipoleAccumulator{cfg}, std::logic_error);
 }
 
+TEST(Accumulator, PushBlockMatchesScalarPushBitwise) {
+  // push_block chunks through the same bucket with the same flush
+  // boundaries as scalar push, so the power sums must agree bitwise — the
+  // property the leaf-blocked engine path relies on.
+  c::KernelConfig cfg;
+  cfg.lmax = 5;
+  cfg.nbins = 4;
+  cfg.bucket_capacity = 24;  // force mid-block flushes
+  c::MultipoleAccumulator scalar(cfg), blocked(cfg);
+  const int nmono = m::monomial_count(cfg.lmax);
+  m::Rng rng(77);
+
+  const int npairs = 500;
+  PairSet p = random_pairs(npairs, 66);
+  std::vector<int> bin(npairs);
+  for (int i = 0; i < npairs; ++i)
+    bin[i] = static_cast<int>(rng.uniform_u64(cfg.nbins));
+
+  scalar.start_primary();
+  for (int i = 0; i < npairs; ++i)
+    scalar.push(bin[i], p.ux[i], p.uy[i], p.uz[i], p.w[i]);
+  scalar.finish_primary();
+
+  // Stable per-bin grouping preserves each bin's pair order.
+  blocked.start_primary();
+  for (int b = 0; b < cfg.nbins; ++b) {
+    std::vector<double> ux, uy, uz, w;
+    for (int i = 0; i < npairs; ++i) {
+      if (bin[i] != b) continue;
+      ux.push_back(p.ux[i]);
+      uy.push_back(p.uy[i]);
+      uz.push_back(p.uz[i]);
+      w.push_back(p.w[i]);
+    }
+    blocked.push_block(b, ux.data(), uy.data(), uz.data(), w.data(),
+                       static_cast<int>(ux.size()));
+  }
+  blocked.finish_primary();
+
+  EXPECT_EQ(scalar.pairs_processed(), blocked.pairs_processed());
+  for (int b = 0; b < cfg.nbins; ++b) {
+    ASSERT_EQ(scalar.bin_touched(b), blocked.bin_touched(b));
+    if (!scalar.bin_touched(b)) continue;
+    for (int t = 0; t < nmono; ++t)
+      EXPECT_EQ(scalar.power_sums(b)[t], blocked.power_sums(b)[t])
+          << "bin=" << b << " t=" << t;
+  }
+}
+
 TEST(Accumulator, ManyFlushesExactlyAccumulate) {
   // Push far more pairs than one bucket to force repeated flushes.
   c::KernelConfig cfg;
