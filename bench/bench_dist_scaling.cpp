@@ -1,0 +1,267 @@
+// Distributed pipeline scaling bench (paper §3.2 / Fig. 7 story):
+//
+// Section 1 — rank scaling on a CLUSTERED catalog (a dominant clump plus a
+// uniform background, the geometry where pair imbalance bites): per-rank
+// pairs, pipeline phase seconds (partition / halo wait / index build /
+// traversal / reduce) and the max/mean pair imbalance for BOTH partition
+// policies over 1..max-ranks — kPairWeighted must sit below
+// kPrimaryBalanced.
+//
+// Section 2 — pipeline A/B: the same partition + halo exchange + index
+// build, 2 ranks with a skewed initial scatter (realistic ingest skew, so
+// one rank genuinely lags), run with the overlapped pipeline (halo in
+// flight during the owned-index build) versus the sequential order (drain
+// halo, then build). Reports the median rank critical path
+// (halo wait + index build) over many repeats; overlap must shrink it.
+// On a single-core host the A/B is throughput-bound (total CPU is
+// conserved, so the margin is structural: one fewer block/wake on the
+// critical path and staggered builds); multi-core hosts — e.g. the CI
+// runners that upload this JSON — additionally hide the halo wait itself.
+//
+// Emits BENCH_dist.json (--json) for the CI artifact trail, like
+// BENCH_fig4.json.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dist/runner.hpp"
+#include "util/argparse.hpp"
+
+using namespace galactos;
+using namespace galactos::bench;
+
+namespace {
+
+// Half the galaxies in a corner clump covering 1/512 of the volume — the
+// regime where primary-balanced cuts produce strong pair imbalance.
+sim::Catalog clustered_catalog(std::size_t n, double side) {
+  sim::Catalog cat = sim::uniform_box(
+      n / 2, sim::Aabb{{0, 0, 0}, {side / 8, side / 8, side / 8}}, 404);
+  cat.append(sim::uniform_box(n - n / 2, sim::Aabb::cube(side), 405));
+  return cat;
+}
+
+struct RunSummary {
+  int ranks = 0;
+  std::string policy;
+  double elapsed_seconds = 0;
+  double pair_imbalance = 0;
+  double halo_max_seconds = 0;
+  double index_build_max_seconds = 0;
+  double reduce_max_seconds = 0;
+  std::vector<dist::RankReport> reports;
+};
+
+RunSummary run_once(const sim::Catalog& cat, const core::EngineConfig& ecfg,
+                    int ranks, dist::PartitionPolicy policy) {
+  dist::DistRunConfig dcfg;
+  dcfg.engine = ecfg;
+  dcfg.ranks = ranks;
+  dcfg.partition = policy;
+
+  RunSummary s;
+  s.ranks = ranks;
+  s.policy = policy == dist::PartitionPolicy::kPairWeighted
+                 ? "pair_weighted"
+                 : "primary_balanced";
+
+  Timer t;
+  (void)dist::run_distributed(cat, dcfg, &s.reports);
+  s.elapsed_seconds = t.seconds();
+
+  for (const auto& r : s.reports) {
+    s.pair_imbalance = r.pair_imbalance;  // identical on every rank
+    s.halo_max_seconds = std::max(s.halo_max_seconds, r.halo_seconds);
+    s.index_build_max_seconds =
+        std::max(s.index_build_max_seconds, r.index_build_seconds);
+    s.reduce_max_seconds = std::max(s.reduce_max_seconds, r.reduce_seconds);
+  }
+  return s;
+}
+
+JsonObject summary_json(const RunSummary& s) {
+  JsonObject o;
+  o.add("ranks", s.ranks)
+      .add("policy", s.policy)
+      .add("elapsed_seconds", s.elapsed_seconds)
+      .add("pair_imbalance", s.pair_imbalance)
+      .add("halo_max_seconds", s.halo_max_seconds)
+      .add("index_build_max_seconds", s.index_build_max_seconds)
+      .add("reduce_max_seconds", s.reduce_max_seconds);
+  std::string pairs = "[", part = "[", halo = "[", build = "[", engine = "[",
+              reduce = "[";
+  for (std::size_t i = 0; i < s.reports.size(); ++i) {
+    const auto& r = s.reports[i];
+    const char* sep = i ? ", " : "";
+    pairs += sep + std::to_string(r.pairs);
+    part += sep + fmt(r.partition_seconds, "%.6f");
+    halo += sep + fmt(r.halo_seconds, "%.6f");
+    build += sep + fmt(r.index_build_seconds, "%.6f");
+    engine += sep + fmt(r.engine_seconds, "%.6f");
+    reduce += sep + fmt(r.reduce_seconds, "%.6f");
+  }
+  o.add_raw("per_rank_pairs", pairs + "]")
+      .add_raw("per_rank_partition_seconds", part + "]")
+      .add_raw("per_rank_halo_seconds", halo + "]")
+      .add_raw("per_rank_index_build_seconds", build + "]")
+      .add_raw("per_rank_engine_seconds", engine + "]")
+      .add_raw("per_rank_reduce_seconds", reduce + "]");
+  return o;
+}
+
+// One A/B measurement through the production run_rank pipeline: 2 ranks,
+// rank 0 seeded with 95% of the catalog (skewed ingest), lmax = 0 so the
+// traversal is cheap relative to partition + halo + build. Returns the
+// rank critical path max(halo wait + index build).
+double pipeline_critical_path(const sim::Catalog& cat,
+                              const core::EngineConfig& ecfg, bool overlap) {
+  dist::DistRunConfig dcfg;
+  dcfg.engine = ecfg;
+  dcfg.ranks = 2;
+  dcfg.overlap_halo = overlap;
+  const std::size_t cutoff = cat.size() * 19 / 20;  // 95% / 5% scatter
+
+  std::vector<dist::RankReport> reports(2);
+  dist::run_ranks(2, [&](dist::Comm& comm) {
+    sim::Catalog mine;
+    for (std::size_t i = 0; i < cat.size(); ++i)
+      if ((i < cutoff) == (comm.rank() == 0))
+        mine.push_back(cat.position(i), cat.w[i]);
+    dist::RankReport rep;
+    (void)dist::run_rank(comm, mine, dcfg, &rep);
+    reports[static_cast<std::size_t>(comm.rank())] = rep;
+  });
+  double crit = 0;
+  for (const auto& r : reports)
+    crit = std::max(crit, r.halo_seconds + r.index_build_seconds);
+  return crit;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::size_t n = args.get<std::size_t>("n", 40000);
+  const double rmax = args.get<double>("rmax", 12.0);
+  const double side = args.get<double>("side", 220.0);
+  const int lmax = args.get<int>("lmax", 5);
+  const int max_ranks = args.get<int>("max-ranks", 16);
+  const std::size_t ab_n = args.get<std::size_t>("ab-n", 200000);
+  const int ab_repeats = std::max(1, args.get<int>("ab-repeats", 9));
+  const std::string json_path = args.get_str("json", "BENCH_dist.json");
+  args.finish();
+
+  print_header("Distributed pipeline scaling (clustered catalog)");
+  print_kv("galaxies", fmt(static_cast<double>(n), "%.0f"));
+  print_kv("R_max (Mpc/h)", fmt(rmax, "%.1f"));
+  print_kv("lmax", fmt(lmax, "%.0f"));
+  print_kv("hardware threads",
+           fmt(static_cast<double>(std::thread::hardware_concurrency()),
+               "%.0f"));
+  print_kv("paper reference",
+           "primaries balance to 0.1%, pairs diverge up to 60% (Fig. 7)");
+
+  const sim::Catalog cat = clustered_catalog(n, side);
+
+  core::EngineConfig ecfg;
+  ecfg.bins = core::RadialBins(rmax / 10, rmax, 10);
+  ecfg.lmax = lmax;
+  ecfg.threads = 1;  // one engine thread per rank: ranks scale, not OpenMP
+  ecfg.precision = core::TreePrecision::kMixed;
+
+  // --- Section 1: rank scaling, both policies ----------------------------
+  std::vector<RunSummary> results;
+  Table t({"# ranks", "policy", "time (s)", "pair imbalance",
+           "halo max (ms)", "build max (ms)", "reduce max (ms)"});
+  for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
+    for (auto policy : {dist::PartitionPolicy::kPrimaryBalanced,
+                        dist::PartitionPolicy::kPairWeighted}) {
+      RunSummary s = run_once(cat, ecfg, ranks, policy);
+      t.add_row({fmt(ranks, "%.0f"), s.policy, fmt(s.elapsed_seconds, "%.3f"),
+                 fmt(s.pair_imbalance, "%.3f"),
+                 fmt(1e3 * s.halo_max_seconds, "%.2f"),
+                 fmt(1e3 * s.index_build_max_seconds, "%.2f"),
+                 fmt(1e3 * s.reduce_max_seconds, "%.2f")});
+      results.push_back(std::move(s));
+    }
+  }
+  std::printf("\n");
+  t.print();
+
+  const RunSummary* bal = nullptr;
+  const RunSummary* wgt = nullptr;
+  for (const auto& s : results)
+    if (s.ranks == results.back().ranks) {
+      if (s.policy == "primary_balanced") bal = &s;
+      if (s.policy == "pair_weighted") wgt = &s;
+    }
+  if (bal && wgt) {
+    std::printf("\n");
+    print_kv("pair imbalance, primary-balanced", fmt(bal->pair_imbalance));
+    print_kv("pair imbalance, pair-weighted", fmt(wgt->pair_imbalance));
+  }
+
+  // --- Section 2: overlapped vs sequential pipeline A/B ------------------
+  print_header("Pipeline A/B — overlapped vs sequential halo exchange");
+  print_kv("galaxies", fmt(static_cast<double>(ab_n), "%.0f"));
+  print_kv("ranks", "2 (95%/5% skewed scatter)");
+  print_kv("repeats (median)", fmt(ab_repeats, "%.0f"));
+
+  const sim::Catalog ab_cat = clustered_catalog(ab_n, 260.0);
+  core::EngineConfig ab_cfg = ecfg;
+  ab_cfg.lmax = 0;  // isolate the partition→halo→build pipeline
+
+  std::vector<double> crit_overlap, crit_sequential;
+  for (int rep = 0; rep < ab_repeats; ++rep) {
+    crit_overlap.push_back(pipeline_critical_path(ab_cat, ab_cfg, true));
+    crit_sequential.push_back(pipeline_critical_path(ab_cat, ab_cfg, false));
+  }
+  const double med_ovl = median(crit_overlap);
+  const double med_seq = median(crit_sequential);
+  print_kv("critical path, overlapped (ms)", fmt(1e3 * med_ovl, "%.2f"));
+  print_kv("critical path, sequential (ms)", fmt(1e3 * med_seq, "%.2f"));
+  print_kv("overlap speedup", fmt(med_seq / med_ovl, "%.2fx"));
+
+  if (!json_path.empty()) {
+    JsonObject config;
+    config.add("n", static_cast<std::uint64_t>(n))
+        .add("rmax", rmax)
+        .add("side", side)
+        .add("lmax", lmax)
+        .add("max_ranks", max_ranks)
+        .add("ab_n", static_cast<std::uint64_t>(ab_n))
+        .add("ab_repeats", ab_repeats)
+        .add("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+        .add("catalog", std::string("half-in-corner-clump clustered"));
+    std::string runs = "[";
+    for (std::size_t i = 0; i < results.size(); ++i)
+      runs += (i ? ",\n    " : "\n    ") + summary_json(results[i]).str(4);
+    runs += "\n  ]";
+    JsonObject ab;
+    ab.add("ranks", 2)
+        .add("critical_path_overlapped_seconds", med_ovl)
+        .add("critical_path_sequential_seconds", med_seq)
+        .add("overlap_speedup", med_seq / med_ovl);
+    if (std::thread::hardware_concurrency() < 2)
+      ab.add("note",
+             std::string("single-core host: rank threads time-share one CPU, "
+                         "so wall critical paths are throughput-bound "
+                         "(~1.0x); the overlap hides halo wait only with "
+                         ">= 2 cores (see the CI artifact)"));
+    JsonObject root;
+    root.add_raw("config", config.str(2))
+        .add_raw("runs", runs)
+        .add_raw("pipeline_ab", ab.str(2));
+    write_json_file(json_path, root.str());
+  }
+  return 0;
+}

@@ -85,10 +85,17 @@ class BinStage {
   std::vector<int> touched_;
 };
 
+// Traversal over prebuilt indexes. `catalog` holds the owned points (the
+// only ones that can act as primaries); `secondary`, when given, indexes
+// halo points that act as secondaries only — its candidates are unioned
+// with the primary index's per leaf (leaf-blocked) or per primary
+// (per-primary), with original indices offset by catalog.size() so they can
+// never collide with a primary index.
 template <typename Real, typename Index>
-void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
-              const std::vector<std::int64_t>* primaries, ZetaResult& result,
-              EngineStats& stats) {
+void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
+                      const Index& index, const Index* secondary,
+                      const std::vector<std::int64_t>* primaries,
+                      ZetaResult& result, EngineStats& stats) {
   Timer wall;
   const int nbins = cfg.bins.count();
   const int lmax = cfg.lmax;
@@ -96,9 +103,7 @@ void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
   const math::SphHarmTable table(lmax);
   const LlmIndex llm(lmax);
 
-  Timer tbuild;
-  const Index index = make_index<Real, Index>(catalog, cfg);
-  stats.phases.add("index build", tbuild.seconds());
+  const std::int64_t halo_offset = static_cast<std::int64_t>(catalog.size());
 
   const std::int64_t np =
       primaries ? static_cast<std::int64_t>(primaries->size())
@@ -201,6 +206,13 @@ void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
         Timer tq;
         nl.clear();
         index.gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(), nl);
+        if (secondary) {
+          const std::size_t before = nl.size();
+          secondary->gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(),
+                                      nl);
+          for (std::size_t j = before; j < nl.size(); ++j)
+            nl.idx[j] += halo_offset;
+        }
         q_time += tq.seconds();
 
         Timer tk;
@@ -273,6 +285,14 @@ void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
         Timer tq;
         block.clear();
         index.gather_leaf_neighbors(leaf, cfg.bins.rmax(), block);
+        if (secondary) {
+          Real blo[3], bhi[3];
+          index.leaf_box(leaf, blo, bhi);
+          const std::size_t before = block.size();
+          secondary->gather_box_neighbors(blo, bhi, cfg.bins.rmax(), block);
+          for (std::size_t j = before; j < block.size(); ++j)
+            block.idx[j] += halo_offset;
+        }
         const std::size_t m = block.size();
         sdx.resize(m);
         sdy.resize(m);
@@ -412,6 +432,67 @@ void run_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
 
 }  // namespace
 
+namespace detail {
+
+// Type-erased holder behind Engine::Staged: the (Real, Index) template
+// choice is made once at build_index time, so extend/run dispatch without
+// re-deciding precision or index kind.
+struct EngineStagedImpl {
+  virtual ~EngineStagedImpl() = default;
+  virtual void extend(const sim::Catalog& halo) = 0;
+  virtual bool has_secondary() const = 0;
+  virtual void run(const std::vector<std::int64_t>* primaries,
+                   ZetaResult& result, EngineStats& stats) const = 0;
+
+  EngineConfig cfg;
+  std::size_t owned_size = 0;
+  double build_seconds = 0.0;  // primary + secondary index build time
+};
+
+}  // namespace detail
+
+namespace {
+
+template <typename Real, typename Index>
+struct StagedImplT final : detail::EngineStagedImpl {
+  // `copy_owned` — the public staged pipeline copies the catalog (the
+  // caller's buffer may move or be freed before run_indexed; e.g. the
+  // runner's halo append reallocates it), while the fused Engine::run path
+  // references the caller's catalog, which outlives the call, to keep the
+  // hot path free of an O(N) copy.
+  StagedImplT(const EngineConfig& c, const sim::Catalog& o, bool copy_owned) {
+    cfg = c;
+    if (copy_owned) {
+      storage = o;
+      owned = &storage;
+    } else {
+      owned = &o;
+    }
+    owned_size = owned->size();
+    primary = make_index<Real, Index>(*owned, cfg);
+  }
+
+  void extend(const sim::Catalog& halo) override {
+    secondary.emplace(make_index<Real, Index>(halo, cfg));
+  }
+
+  bool has_secondary() const override { return secondary.has_value(); }
+
+  void run(const std::vector<std::int64_t>* primaries, ZetaResult& result,
+           EngineStats& stats) const override {
+    run_indexed_impl<Real, Index>(cfg, *owned, primary,
+                                  secondary ? &*secondary : nullptr,
+                                  primaries, result, stats);
+  }
+
+  sim::Catalog storage;                    // only when copy_owned
+  const sim::Catalog* owned = nullptr;     // primaries index into this
+  Index primary;
+  std::optional<Index> secondary;
+};
+
+}  // namespace
+
 Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   GLX_CHECK(cfg_.lmax >= 0 && cfg_.lmax <= 16);
   GLX_CHECK(cfg_.bins.count() >= 1);
@@ -421,15 +502,54 @@ ZetaResult Engine::empty_result() const {
   return ZetaResult::zero_like(cfg_.bins, cfg_.lmax);
 }
 
-ZetaResult Engine::run(const sim::Catalog& catalog,
-                       const std::vector<std::int64_t>* primaries,
-                       EngineStats* stats) const {
-  GLX_CHECK_MSG(!catalog.empty(), "empty catalog");
+Engine::Staged Engine::build_index(const sim::Catalog& owned) const {
+  return build_index_impl(owned, /*copy_owned=*/true);
+}
+
+Engine::Staged Engine::build_index_impl(const sim::Catalog& owned,
+                                        bool copy_owned) const {
+  GLX_CHECK_MSG(!owned.empty(), "build_index: empty catalog");
+  Timer tbuild;
+  Staged staged;
+  const bool mixed = cfg_.precision == TreePrecision::kMixed;
+  const bool grid = cfg_.index == NeighborIndex::kCellGrid;
+  if (mixed && grid)
+    staged.impl_ = std::make_shared<StagedImplT<float, tree::CellGrid<float>>>(
+        cfg_, owned, copy_owned);
+  else if (mixed)
+    staged.impl_ = std::make_shared<StagedImplT<float, tree::KdTree<float>>>(
+        cfg_, owned, copy_owned);
+  else if (grid)
+    staged.impl_ =
+        std::make_shared<StagedImplT<double, tree::CellGrid<double>>>(
+            cfg_, owned, copy_owned);
+  else
+    staged.impl_ = std::make_shared<StagedImplT<double, tree::KdTree<double>>>(
+        cfg_, owned, copy_owned);
+  staged.impl_->build_seconds = tbuild.seconds();
+  return staged;
+}
+
+void Engine::Staged::extend_with_secondaries(const sim::Catalog& halo) {
+  GLX_CHECK_MSG(impl_ != nullptr,
+                "extend_with_secondaries on an empty Staged handle");
+  GLX_CHECK_MSG(!impl_->has_secondary(),
+                "extend_with_secondaries called twice");
+  if (halo.empty()) return;
+  Timer t;
+  impl_->extend(halo);
+  impl_->build_seconds += t.seconds();
+}
+
+ZetaResult Engine::Staged::run_indexed(
+    const std::vector<std::int64_t>* primaries, EngineStats* stats) const {
+  GLX_CHECK_MSG(impl_ != nullptr, "run_indexed on an empty Staged handle");
   if (primaries) {
-    std::vector<std::uint8_t> seen(catalog.size(), 0);
+    std::vector<std::uint8_t> seen(impl_->owned_size, 0);
     for (std::int64_t p : *primaries) {
-      GLX_CHECK_MSG(p >= 0 && p < static_cast<std::int64_t>(catalog.size()),
-                    "primary index out of range: " << p);
+      GLX_CHECK_MSG(
+          p >= 0 && p < static_cast<std::int64_t>(impl_->owned_size),
+          "primary index out of range: " << p);
       GLX_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
                     "duplicate primary index: " << p);
       seen[static_cast<std::size_t>(p)] = 1;
@@ -439,21 +559,22 @@ ZetaResult Engine::run(const sim::Catalog& catalog,
   ZetaResult result;
   EngineStats local_stats;
   EngineStats& st = stats ? *stats : local_stats;
+  st.phases.add("index build", impl_->build_seconds);
+  impl_->run(primaries, result, st);
+  return result;
+}
 
-  const bool mixed = cfg_.precision == TreePrecision::kMixed;
-  const bool grid = cfg_.index == NeighborIndex::kCellGrid;
-  if (mixed && grid)
-    run_impl<float, tree::CellGrid<float>>(cfg_, catalog, primaries, result,
-                                           st);
-  else if (mixed)
-    run_impl<float, tree::KdTree<float>>(cfg_, catalog, primaries, result,
-                                         st);
-  else if (grid)
-    run_impl<double, tree::CellGrid<double>>(cfg_, catalog, primaries, result,
-                                             st);
-  else
-    run_impl<double, tree::KdTree<double>>(cfg_, catalog, primaries, result,
-                                           st);
+ZetaResult Engine::run(const sim::Catalog& catalog,
+                       const std::vector<std::int64_t>* primaries,
+                       EngineStats* stats) const {
+  GLX_CHECK_MSG(!catalog.empty(), "empty catalog");
+  Timer wall;
+  // The catalog outlives this call, so the staged handle references it
+  // instead of copying (it never escapes this scope).
+  const ZetaResult result =
+      build_index_impl(catalog, /*copy_owned=*/false)
+          .run_indexed(primaries, stats);
+  if (stats) stats->wall_seconds = wall.seconds();
   return result;
 }
 

@@ -19,6 +19,15 @@
 //   Runs with fewer than 2x nthreads leaves (tiny catalogs, coarse grids)
 //   fall back to the per-primary driver so threads don't sit idle.
 //
+// The outer API comes in two shapes: Engine::run builds the index and
+// traverses in one call; the staged pipeline (build_index →
+// extend_with_secondaries → run_indexed) splits those steps so the
+// distributed runner can build the owned-point index while the halo
+// exchange is still in flight, then index halo points into a SECONDARY
+// structure whose candidates union with the primary index's per leaf (or
+// per primary). With no secondaries the staged path is bitwise identical
+// to Engine::run.
+//
 // Work is distributed over OpenMP threads with dynamic scheduling
 // (paper §3.3: "a significant performance boost over a static schedule" —
 // both are available here for the ablation bench), over primaries in
@@ -38,6 +47,10 @@
 #include "util/timer.hpp"
 
 namespace galactos::core {
+
+namespace detail {
+struct EngineStagedImpl;  // type-erased index holder, defined in engine.cpp
+}
 
 enum class TreePrecision {
   kDouble,  // everything in double
@@ -94,6 +107,44 @@ class Engine {
 
   const EngineConfig& config() const { return cfg_; }
 
+  // Staged pipeline handle (see build_index): the primary spatial index is
+  // built eagerly; halo secondaries can be indexed later into a secondary
+  // structure whose candidates union with the primary index's during the
+  // traversal. Copyable (shared state); default-constructed handles are
+  // empty until assigned.
+  class Staged {
+   public:
+    Staged() = default;
+
+    bool valid() const { return impl_ != nullptr; }
+
+    // Indexes `halo` points as secondaries-only (they never act as
+    // primaries and primary indices never refer to them). Call at most
+    // once; an empty halo is a no-op.
+    void extend_with_secondaries(const sim::Catalog& halo);
+
+    // Runs the traversal over the prebuilt indexes. `primaries` indexes
+    // into the owned catalog passed to build_index (same contract as
+    // Engine::run: no duplicates, all owned points act as primaries when
+    // omitted). With no secondaries this is bitwise identical to
+    // Engine::run on the owned catalog. stats->wall_seconds covers the
+    // traversal only; the "index build" phase reports the staged build
+    // time (primary + secondary).
+    ZetaResult run_indexed(const std::vector<std::int64_t>* primaries = nullptr,
+                           EngineStats* stats = nullptr) const;
+
+   private:
+    friend class Engine;
+    std::shared_ptr<detail::EngineStagedImpl> impl_;
+  };
+
+  // Stage 1 of the pipelined API: build the spatial index over the `owned`
+  // points now, so e.g. the distributed runner can do it while its halo
+  // exchange is still in flight, then extend_with_secondaries(halo) and
+  // run_indexed (paper §3.2–3.3 overlap). The handle keeps its own copy of
+  // `owned`, so the caller's buffer is free to move afterwards.
+  Staged build_index(const sim::Catalog& owned) const;
+
   // Computes the anisotropic 3PCF of `catalog`. If `primaries` is given,
   // only those indices act as primaries (the distributed runner passes the
   // rank-owned galaxies; halo copies are secondaries only — paper §3.3).
@@ -111,6 +162,10 @@ class Engine {
   ZetaResult empty_result() const;
 
  private:
+  // copy_owned = false references the caller's catalog instead of copying
+  // (the fused run() path, where the catalog outlives the handle).
+  Staged build_index_impl(const sim::Catalog& owned, bool copy_owned) const;
+
   EngineConfig cfg_;
 };
 

@@ -50,6 +50,24 @@ struct World {
     return bytes;
   }
 
+  // Non-blocking pop: claims the front message of `key` into `out` if one
+  // is queued. Mirrors pop()'s abort semantics: once the world is aborted
+  // and no message can ever arrive, probing is an error too.
+  bool try_pop(const Key& key, std::vector<unsigned char>& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = queues.find(key);
+    if (it != queues.end() && !it->second.empty()) {
+      out = std::move(it->second.front());
+      it->second.pop_front();
+      return true;
+    }
+    if (aborted)
+      throw std::runtime_error(
+          "minimpi: world aborted while a receive was posted "
+          "(a peer rank threw)");
+    return false;
+  }
+
   void abort(std::exception_ptr err) {
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -66,6 +84,37 @@ struct World {
   bool aborted = false;
   std::exception_ptr first_error;
 };
+
+// One posted non-blocking operation. `payload` is valid once `claimed`;
+// requests on the same channel each claim their own message (the claim pops
+// the queue under the world lock), so completion can be observed in any
+// order across requests without ever double-delivering.
+struct RequestState {
+  std::shared_ptr<World> world;
+  World::Key key;
+  bool claimed = false;  // a message has been popped into `payload`
+  bool taken = false;    // the payload has been handed to the caller
+  std::vector<unsigned char> payload;
+};
+
+bool request_test(RequestState& s) {
+  if (s.claimed) return true;
+  s.claimed = s.world->try_pop(s.key, s.payload);
+  return s.claimed;
+}
+
+void request_wait(RequestState& s) {
+  if (s.claimed) return;
+  s.payload = s.world->pop(s.key);
+  s.claimed = true;
+}
+
+std::vector<unsigned char> request_take(RequestState& s) {
+  GLX_CHECK_MSG(s.claimed, "request_take before completion");
+  GLX_CHECK_MSG(!s.taken, "RecvRequest::get called twice");
+  s.taken = true;
+  return std::move(s.payload);
+}
 
 }  // namespace detail
 
@@ -87,6 +136,41 @@ std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
                 "recv: bad source rank " << src);
   return world_->pop(
       {group_[static_cast<std::size_t>(src)], world_rank(), tag});
+}
+
+std::shared_ptr<detail::RequestState> Comm::post_recv(int src, int tag) {
+  GLX_CHECK_MSG(src >= 0 && src < size() && src != rank_,
+                "irecv: bad source rank " << src);
+  auto state = std::make_shared<detail::RequestState>();
+  state->world = world_;
+  state->key = {group_[static_cast<std::size_t>(src)], world_rank(), tag};
+  return state;
+}
+
+// Binomial-tree broadcast rooted at `root`: rank distance from the root
+// (mod P) determines the tree position, so any root works; O(log P) depth,
+// P - 1 messages.
+void Comm::bcast_bytes(std::vector<unsigned char>& bytes, int root, int tag) {
+  const int P = size();
+  GLX_CHECK_MSG(root >= 0 && root < P, "bcast: bad root rank " << root);
+  if (P == 1) return;
+  const int rr = (rank_ - root + P) % P;  // relative rank; root -> 0
+  const auto abs_rank = [&](int r) { return (r + root) % P; };
+
+  int mask = 1;
+  while (mask < P) {
+    if (rr & mask) {
+      bytes = recv_bytes(abs_rank(rr - mask), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rr + mask < P)
+      send_bytes(abs_rank(rr + mask), tag, bytes.data(), bytes.size());
+    mask >>= 1;
+  }
 }
 
 void Comm::barrier(int tag) {

@@ -7,8 +7,15 @@
 // * Point-to-point messages are typed, tagged and FIFO per (src, dst, tag):
 //   different tags are independent channels, same-tag messages arrive in
 //   send order. Sends never block (buffered); recv blocks.
-// * Collectives (barrier, allreduce, gather, allgather) are built on the
-//   p2p layer and take an explicit tag so user traffic never collides.
+// * Non-blocking completion is explicit: isend/irecv return Request handles
+//   with test()/wait(), so callers can post receives, overlap them with
+//   compute, and drain completions in any order (the halo-exchange /
+//   tree-build pipeline in dist/partition.cpp + dist/runner.cpp).
+// * Collectives (barrier, allreduce, gather, allgather, bcast) are built on
+//   the p2p layer and take an explicit tag so user traffic never collides.
+//   The allreduce family runs a recursive halving/doubling butterfly —
+//   O(log P) depth instead of a rank-0 fan-in — with a fixed combination
+//   tree so the result is deterministic and identical on every rank.
 // * sub_range() carves a contiguous sub-communicator out of this one with
 //   local re-ranking — the recursive k-d partitioner halves communicators
 //   this way at every level (dist/partition.cpp).
@@ -30,8 +37,71 @@
 namespace galactos::dist {
 
 namespace detail {
-struct World;  // shared mailbox state, defined in comm.cpp
-}
+struct World;         // shared mailbox state, defined in comm.cpp
+struct RequestState;  // one posted non-blocking operation, defined in comm.cpp
+
+bool request_test(RequestState& s);
+void request_wait(RequestState& s);
+std::vector<unsigned char> request_take(RequestState& s);
+}  // namespace detail
+
+// Handle for a posted non-blocking operation (MPI_Request analog).
+//
+// * test() — non-blocking completion probe; sticky once true. For a posted
+//   receive, a true result means a message has been claimed by THIS
+//   request (two requests on the same channel never claim the same one).
+// * wait() — blocks until complete; throws if the world aborts first (a
+//   peer rank threw while this receive was posted).
+//
+// Matching caveat: a receive claims its message at the first test()/wait()
+// that finds one, so several outstanding requests on ONE channel map
+// messages in claim order, not post order. Real MPI matches at post time —
+// keep at most one receive outstanding per (src, tag) channel (as the halo
+// exchange does: one tag per peer) and the two backends agree.
+//
+// A default-constructed handle — and anything isend returns, since buffered
+// sends complete at post time — is trivially complete.
+class Request {
+ public:
+  Request() = default;
+
+  // True if this handle refers to a posted operation still owning state.
+  bool valid() const { return state_ != nullptr; }
+
+  bool test() { return !state_ || detail::request_test(*state_); }
+  void wait() {
+    if (state_) detail::request_wait(*state_);
+  }
+
+ protected:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+// Typed receive handle: wait for completion and take the payload.
+template <typename T>
+class RecvRequest : public Request {
+ public:
+  RecvRequest() = default;
+
+  // Blocks until the message arrives and returns it (call once).
+  std::vector<T> get() {
+    GLX_CHECK_MSG(valid(), "RecvRequest::get on an empty handle");
+    wait();
+    const std::vector<unsigned char> bytes = detail::request_take(*state_);
+    GLX_CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+ private:
+  friend class Comm;
+  using Request::Request;
+};
 
 class Comm {
  public:
@@ -76,14 +146,36 @@ class Comm {
     return v;
   }
 
+  // --- non-blocking point-to-point ---------------------------------------
+
+  // Buffered sends never block, so an isend is complete at post time; the
+  // handle exists so call sites read like the MPI they will become once a
+  // real backend slots in behind Comm.
+  template <typename T>
+  Request isend(int dest, int tag, const std::vector<T>& data) {
+    send(dest, tag, data);
+    return Request();
+  }
+
+  // Posts a receive on (src, tag) and returns immediately; the caller
+  // overlaps work with the in-flight message and collects it via test() /
+  // wait() / get(). See the Request matching caveat: keep one outstanding
+  // receive per channel for MPI-identical matching.
+  template <typename T>
+  RecvRequest<T> irecv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return RecvRequest<T>(post_recv(src, tag));
+  }
+
   // --- collectives (every member must call with the same tag) -------------
 
   // Releases no rank until every rank has entered.
   void barrier(int tag);
 
   // Elementwise sum / max across ranks; every rank ends with the same
-  // values. Rank 0 combines in rank order, so the result is deterministic
-  // and identical on all ranks regardless of arrival timing.
+  // values. The butterfly combines blocks lower-rank-first along a fixed
+  // tree, so the result is deterministic and identical on all ranks
+  // regardless of arrival timing.
   template <typename T>
   void allreduce_sum(std::vector<T>& v, int tag) {
     allreduce(v, tag, [](T& acc, const T& x) { acc += x; });
@@ -110,6 +202,25 @@ class Comm {
     return one[0];
   }
 
+  // Copies `root`'s vector to every rank along a binomial tree (O(log P)
+  // depth). Non-root contents are replaced.
+  template <typename T>
+  void bcast(std::vector<T>& v, int root, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<unsigned char> bytes;
+    if (rank_ == root) {
+      const unsigned char* p =
+          reinterpret_cast<const unsigned char*>(v.data());
+      bytes.assign(p, p + v.size() * sizeof(T));
+    }
+    bcast_bytes(bytes, root, tag);
+    if (rank_ != root) {
+      GLX_CHECK(bytes.size() % sizeof(T) == 0);
+      v.resize(bytes.size() / sizeof(T));
+      if (!v.empty()) std::memcpy(v.data(), bytes.data(), bytes.size());
+    }
+  }
+
   // Rank 0 returns all contributions in rank order (own at index 0);
   // other ranks return an empty vector.
   template <typename T>
@@ -126,18 +237,58 @@ class Comm {
     return all;
   }
 
-  // Every rank returns all contributions in rank order.
+  // Every rank returns all contributions in rank order. Gather to rank 0,
+  // flatten into one [per-rank counts | concatenated payload] buffer, and
+  // broadcast that once down the binomial tree — O(P) messages total (the
+  // old implementation had rank 0 re-send P separate per-rank messages to
+  // every rank, O(P²) messages).
   template <typename T>
   std::vector<std::vector<T>> allgather(const std::vector<T>& mine, int tag) {
+    const int P = size();
     std::vector<std::vector<T>> all = gather(mine, tag);
+    if (P == 1) return all;
+
+    std::vector<unsigned char> flat;
     if (rank_ == 0) {
-      for (int r = 1; r < size(); ++r)
-        for (int q = 0; q < size(); ++q)
-          send(r, tag, all[static_cast<std::size_t>(q)]);
-    } else {
-      all.resize(static_cast<std::size_t>(size()));
-      for (int q = 0; q < size(); ++q)
-        all[static_cast<std::size_t>(q)] = recv<T>(0, tag);
+      std::vector<std::uint64_t> counts(static_cast<std::size_t>(P));
+      std::size_t total = 0;
+      for (int r = 0; r < P; ++r) {
+        counts[static_cast<std::size_t>(r)] =
+            all[static_cast<std::size_t>(r)].size();
+        total += all[static_cast<std::size_t>(r)].size();
+      }
+      flat.resize(static_cast<std::size_t>(P) * sizeof(std::uint64_t) +
+                  total * sizeof(T));
+      std::memcpy(flat.data(), counts.data(),
+                  static_cast<std::size_t>(P) * sizeof(std::uint64_t));
+      unsigned char* p =
+          flat.data() + static_cast<std::size_t>(P) * sizeof(std::uint64_t);
+      for (int r = 0; r < P; ++r) {
+        const auto& part = all[static_cast<std::size_t>(r)];
+        if (!part.empty()) {
+          std::memcpy(p, part.data(), part.size() * sizeof(T));
+          p += part.size() * sizeof(T);
+        }
+      }
+    }
+    bcast_bytes(flat, 0, tag);
+    if (rank_ != 0) {
+      GLX_CHECK(flat.size() >=
+                static_cast<std::size_t>(P) * sizeof(std::uint64_t));
+      std::vector<std::uint64_t> counts(static_cast<std::size_t>(P));
+      std::memcpy(counts.data(), flat.data(),
+                  static_cast<std::size_t>(P) * sizeof(std::uint64_t));
+      all.assign(static_cast<std::size_t>(P), {});
+      const unsigned char* p =
+          flat.data() + static_cast<std::size_t>(P) * sizeof(std::uint64_t);
+      for (int r = 0; r < P; ++r) {
+        auto& part = all[static_cast<std::size_t>(r)];
+        part.resize(counts[static_cast<std::size_t>(r)]);
+        if (!part.empty()) {
+          std::memcpy(part.data(), p, part.size() * sizeof(T));
+          p += part.size() * sizeof(T);
+        }
+      }
     }
     return all;
   }
@@ -152,23 +303,51 @@ class Comm {
  private:
   friend void run_ranks(int nranks, const std::function<void(Comm&)>& fn);
 
-  // Shared gather-combine-broadcast protocol behind the allreduce family:
-  // rank 0 folds contributions into `v` in rank order with `combine(acc, x)`
-  // and broadcasts the result.
+  // Recursive halving/doubling butterfly behind the allreduce family:
+  // O(log P) depth, every rank ends with the full result. Extra ranks
+  // beyond the largest power of two fold into a partner first and receive
+  // the final result back. At every exchange the lower rank's block is the
+  // left operand of combine(acc, x), so all ranks evaluate the SAME fixed
+  // combination tree — deterministic and identical everywhere (the
+  // bracketing is balanced, e.g. ((0+1)+(2+3)), not the sequential
+  // rank-order fold a gather-to-root would compute).
   template <typename T, typename Combine>
   void allreduce(std::vector<T>& v, int tag, Combine combine) {
-    if (size() == 1) return;
-    if (rank_ == 0) {
-      for (int r = 1; r < size(); ++r) {
-        const std::vector<T> other = recv<T>(r, tag);
-        GLX_CHECK_MSG(other.size() == v.size(),
-                      "allreduce: mismatched lengths");
-        for (std::size_t i = 0; i < v.size(); ++i) combine(v[i], other[i]);
+    const int P = size();
+    if (P == 1) return;
+    int m = 1;
+    while (2 * m <= P) m *= 2;
+    const int rem = P - m;
+
+    auto fold = [&](std::vector<T>& acc, const std::vector<T>& x) {
+      GLX_CHECK_MSG(acc.size() == x.size(), "allreduce: mismatched lengths");
+      for (std::size_t i = 0; i < acc.size(); ++i) combine(acc[i], x[i]);
+    };
+
+    if (rank_ >= m) {
+      send(rank_ - m, tag, v);
+    } else if (rank_ < rem) {
+      fold(v, recv<T>(rank_ + m, tag));
+    }
+
+    if (rank_ < m) {
+      for (int dist = 1; dist < m; dist *= 2) {
+        const int partner = rank_ ^ dist;
+        send(partner, tag, v);
+        std::vector<T> other = recv<T>(partner, tag);
+        if (partner > rank_) {
+          fold(v, other);
+        } else {
+          fold(other, v);
+          v = std::move(other);
+        }
       }
-      for (int r = 1; r < size(); ++r) send(r, tag, v);
-    } else {
-      send(0, tag, v);
-      v = recv<T>(0, tag);
+    }
+
+    if (rank_ >= m) {
+      v = recv<T>(rank_ - m, tag);
+    } else if (rank_ < rem) {
+      send(rank_ + m, tag, v);
     }
   }
 
@@ -180,6 +359,8 @@ class Comm {
   // construction tags + (src,dst) world pairs identify a channel.
   void send_bytes(int dest, int tag, const void* data, std::size_t nbytes);
   std::vector<unsigned char> recv_bytes(int src, int tag);
+  std::shared_ptr<detail::RequestState> post_recv(int src, int tag);
+  void bcast_bytes(std::vector<unsigned char>& bytes, int root, int tag);
 
   std::shared_ptr<detail::World> world_;
   std::vector<int> group_;  // group rank -> world rank

@@ -17,7 +17,9 @@ constexpr int kTagSplit = kTagBase + 2;
 constexpr int kTagLeftToRight = kTagBase + 3;
 constexpr int kTagRightToLeft = kTagBase + 4;
 constexpr int kTagDomains = kTagBase + 5;
-constexpr int kTagHalo = kTagBase + 6;  // + sender world rank
+constexpr int kTagCost = kTagBase + 6;
+constexpr int kTagHalo = kTagBase + 7;  // + sender rank — keep this LAST
+                                        // (open-ended tag range)
 
 double& aabb_coord(sim::Vec3& v, int dim) {
   return dim == 0 ? v.x : (dim == 1 ? v.y : v.z);
@@ -56,6 +58,60 @@ sim::Aabb global_bbox(Comm& comm, const sim::Catalog& mine) {
   return out;
 }
 
+// Per-galaxy pair-cost estimate for kPairWeighted cuts: the expected pair
+// count of a galaxy as primary is (local density) x (R_max ball volume).
+// Density comes from a global histogram over the current domain with cells
+// of ~rmax (capped so the reduced vector stays small); each galaxy's cost
+// is the occupancy of its cell's 3³ neighborhood — i.e. the population of
+// a box that contains its R_max ball, a direct ball-count proxy. One O(N)
+// counting pass plus one small allreduce per level; no pair formation.
+constexpr int kCostGridMax = 12;
+
+std::vector<double> pair_cost_weights(Comm& c, const sim::Catalog& pts,
+                                      const sim::Aabb& domain, double rmax) {
+  int dims[3];
+  double ext[3];
+  for (int d = 0; d < 3; ++d) {
+    ext[d] = std::max(domain.extent(d), 0.0);
+    dims[d] = std::min(
+        kCostGridMax,
+        std::max(1, static_cast<int>(std::ceil(ext[d] / rmax))));
+  }
+  auto cell_of = [&](double v, double lo, double extent, int nd) {
+    if (!(extent > 0)) return 0;
+    const int k = static_cast<int>((v - lo) / extent * nd);
+    return std::min(std::max(k, 0), nd - 1);
+  };
+
+  std::vector<double> hist(
+      static_cast<std::size_t>(dims[0]) * dims[1] * dims[2], 0.0);
+  std::vector<std::int32_t> cx(pts.size()), cy(pts.size()), cz(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    cx[i] = cell_of(pts.x[i], domain.lo.x, ext[0], dims[0]);
+    cy[i] = cell_of(pts.y[i], domain.lo.y, ext[1], dims[1]);
+    cz[i] = cell_of(pts.z[i], domain.lo.z, ext[2], dims[2]);
+    hist[(static_cast<std::size_t>(cx[i]) * dims[1] + cy[i]) * dims[2] +
+         cz[i]] += 1.0;
+  }
+  c.allreduce_sum(hist, kTagCost);
+
+  std::vector<double> cost(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    double sum = 0;
+    for (int ix = std::max(0, cx[i] - 1);
+         ix <= std::min(dims[0] - 1, cx[i] + 1); ++ix)
+      for (int iy = std::max(0, cy[i] - 1);
+           iy <= std::min(dims[1] - 1, cy[i] + 1); ++iy)
+        for (int iz = std::max(0, cz[i] - 1);
+             iz <= std::min(dims[2] - 1, cz[i] + 1); ++iz)
+          sum += hist[(static_cast<std::size_t>(ix) * dims[1] + iy) *
+                          dims[2] +
+                      iz];
+    cost[i] = sum;
+  }
+  return cost;
+}
+
 }  // namespace
 
 double distributed_split_point(Comm& comm, const std::vector<double>& values,
@@ -83,8 +139,34 @@ double distributed_split_point(Comm& comm, const std::vector<double>& values,
   return cut;
 }
 
-PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
-                             double rmax) {
+double distributed_split_point_weighted(Comm& comm,
+                                        const std::vector<double>& values,
+                                        const std::vector<double>& weights,
+                                        double lo, double hi, double target,
+                                        int tag) {
+  GLX_CHECK(values.size() == weights.size());
+  if (!(lo < hi)) return lo;
+  double cut = 0.5 * (lo + hi);
+  // Weighted targets are generally unattainable exactly, so run the
+  // bisection to FP exhaustion (~60 halvings); every rank sees the same
+  // reduced totals, so all ranks walk the same interval and exit together.
+  for (int iter = 0; iter < 100; ++iter) {
+    cut = 0.5 * (lo + hi);
+    if (!(cut > lo && cut < hi)) break;
+    double below = 0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+      if (values[i] < cut) below += weights[i];
+    const double total = comm.allreduce_sum_value(below, tag);
+    if (total < target)
+      lo = cut;
+    else
+      hi = cut;
+  }
+  return cut;
+}
+
+PendingPartition post_halo_exchange(Comm& comm, const sim::Catalog& mine,
+                                    double rmax, PartitionPolicy policy) {
   GLX_CHECK(rmax > 0);
   sim::Catalog pts = mine;
   sim::Aabb domain = global_bbox(comm, mine);
@@ -97,16 +179,27 @@ PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
     const int PR = P - PL;
     const int dim = domain.widest_dim();
 
-    const std::int64_t total = c.allreduce_sum_value(
-        static_cast<std::int64_t>(pts.size()), kTagCount);
-    const std::int64_t target = static_cast<std::int64_t>(
-        std::llround(static_cast<double>(total) * PL / P));
-
     const std::vector<double>& coords =
         dim == 0 ? pts.x : (dim == 1 ? pts.y : pts.z);
-    const double cut = distributed_split_point(
-        c, coords, aabb_coord(domain.lo, dim), aabb_coord(domain.hi, dim),
-        target, kTagSplit);
+
+    double cut;
+    if (policy == PartitionPolicy::kPairWeighted) {
+      const std::vector<double> cost = pair_cost_weights(c, pts, domain, rmax);
+      double local_cost = 0;
+      for (double w : cost) local_cost += w;
+      const double total_cost = c.allreduce_sum_value(local_cost, kTagCount);
+      cut = distributed_split_point_weighted(
+          c, coords, cost, aabb_coord(domain.lo, dim),
+          aabb_coord(domain.hi, dim), total_cost * PL / P, kTagSplit);
+    } else {
+      const std::int64_t total = c.allreduce_sum_value(
+          static_cast<std::int64_t>(pts.size()), kTagCount);
+      const std::int64_t target = static_cast<std::int64_t>(
+          std::llround(static_cast<double>(total) * PL / P));
+      cut = distributed_split_point(c, coords, aabb_coord(domain.lo, dim),
+                                    aabb_coord(domain.hi, dim), target,
+                                    kTagSplit);
+    }
 
     const bool left = c.rank() < PL;
     std::vector<std::uint32_t> keep_idx, give_idx;
@@ -145,23 +238,28 @@ PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
     ++levels;
   }
 
-  PartitionResult res;
-  res.domain = domain;
-  res.levels = levels;
-  res.local = std::move(pts);
-  res.owned.assign(res.local.size(), 1);
+  PendingPartition pend;
+  pend.result.domain = domain;
+  pend.result.levels = levels;
+  pend.result.local = std::move(pts);
+  pend.result.owned.assign(pend.result.local.size(), 1);
 
   // Halo exchange over the full communicator: every rank publishes its leaf
-  // domain, then ships each owned galaxy to every rank whose domain it lies
+  // domain, ships each owned galaxy to every rank whose domain it lies
   // within rmax of (distance to the box, the tight criterion — the shipped
-  // set is exactly the potential secondaries of that rank's primaries).
+  // set is exactly the potential secondaries of that rank's primaries), and
+  // posts the matching receives. Sends are buffered and receives are only
+  // posted here, so the exchange is in flight when this returns — the
+  // caller overlaps it with the owned-point index build.
   if (comm.size() > 1) {
-    std::vector<double> mybox{res.domain.lo.x, res.domain.lo.y,
-                              res.domain.lo.z, res.domain.hi.x,
-                              res.domain.hi.y, res.domain.hi.z};
+    const sim::Catalog& own = pend.result.local;
+    std::vector<double> mybox{pend.result.domain.lo.x, pend.result.domain.lo.y,
+                              pend.result.domain.lo.z, pend.result.domain.hi.x,
+                              pend.result.domain.hi.y,
+                              pend.result.domain.hi.z};
     const auto boxes = comm.allgather(mybox, kTagDomains);
     const double r2 = rmax * rmax;
-    const std::size_t nown = res.local.size();
+    const std::size_t nown = own.size();
     for (int r = 0; r < comm.size(); ++r) {
       if (r == comm.rank()) continue;
       sim::Aabb box;
@@ -169,16 +267,31 @@ PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
       box.hi = {boxes[r][3], boxes[r][4], boxes[r][5]};
       std::vector<std::uint32_t> ship;
       for (std::uint32_t i = 0; i < nown; ++i)
-        if (box.dist2(res.local.position(i)) <= r2) ship.push_back(i);
-      comm.send(r, kTagHalo + comm.rank(), pack(res.local, ship));
+        if (box.dist2(own.position(i)) <= r2) ship.push_back(i);
+      comm.send(r, kTagHalo + comm.rank(), pack(own, ship));
     }
     for (int r = 0; r < comm.size(); ++r) {
       if (r == comm.rank()) continue;
-      append_packed(res.local, comm.recv<double>(r, kTagHalo + r));
+      pend.peers.push_back(r);
+      pend.halo_recvs.push_back(comm.irecv<double>(r, kTagHalo + r));
     }
-    res.owned.resize(res.local.size(), 0);
   }
-  return res;
+  return pend;
+}
+
+PartitionResult complete_halo_exchange(PendingPartition& pending) {
+  for (std::size_t i = 0; i < pending.peers.size(); ++i)
+    append_packed(pending.result.local, pending.halo_recvs[i].get());
+  pending.halo_recvs.clear();
+  pending.peers.clear();
+  pending.result.owned.resize(pending.result.local.size(), 0);
+  return std::move(pending.result);
+}
+
+PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
+                             double rmax, PartitionPolicy policy) {
+  PendingPartition pend = post_halo_exchange(comm, mine, rmax, policy);
+  return complete_halo_exchange(pend);
 }
 
 }  // namespace galactos::dist

@@ -3,19 +3,28 @@
 // Starting from an arbitrary scatter of the catalog over ranks, the
 // communicator is recursively split in two (floor(P/2) / ceil(P/2) ranks)
 // along the widest dimension of the current domain; the cut plane is placed
-// by distributed bisection so the galaxy count on each side is proportional
-// to its sub-communicator size, and every rank ships its off-side galaxies
-// to a partner in the other half. After log2(P) levels each rank owns the
+// by distributed bisection and every rank ships its off-side galaxies to a
+// partner in the other half. After log2(P) levels each rank owns the
 // galaxies inside a private axis-aligned domain:
 //
 //   * exactly-once: domains tile space half-open along every cut
 //     ([lo, cut) | [cut, hi)), so each galaxy lands on exactly one rank;
-//   * balance: each cut hits its proportional count exactly when
-//     coordinates are distinct (bisection to the order statistic);
+//   * balance: what the cut equalizes is the PartitionPolicy's choice —
+//     raw galaxy counts (kPrimaryBalanced, the paper's 0.1%-tight primary
+//     balance) or an estimated pair count (kPairWeighted: each galaxy is
+//     weighted by the local density seen through a coarse global histogram,
+//     i.e. density x R_max ball volume up to a constant — the Fig. 7 fix
+//     for pair imbalance as domains shrink);
 //   * halo completeness: a final neighbor exchange ships every owned galaxy
 //     to each rank whose domain it is within R_max of, so every rank sees
 //     ALL secondaries of its owned primaries (§3.3: halo copies are
 //     secondaries only; they are never primaries anywhere but home).
+//
+// The halo exchange is split-phase: post_halo_exchange() returns with every
+// send buffered and every receive posted, so the caller can build its
+// owned-point spatial index while halo traffic is in flight and only then
+// complete_halo_exchange() to append the halo copies (dist/runner.cpp
+// overlaps exactly this way). kd_partition() is the fused convenience call.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +35,12 @@
 #include "sim/catalog.hpp"
 
 namespace galactos::dist {
+
+// What the k-d bisection equalizes between the two sides of every cut.
+enum class PartitionPolicy {
+  kPrimaryBalanced,  // galaxy counts (primaries balance to ~0.1%)
+  kPairWeighted,     // estimated pair counts (local density weighting)
+};
 
 struct PartitionResult {
   // Owned galaxies first, then halo copies.
@@ -51,11 +66,31 @@ struct PartitionResult {
   }
 };
 
+// A partition whose halo exchange is still in flight: `result.local` holds
+// exactly the owned galaxies (all sends are buffered, all receives posted);
+// complete_halo_exchange() appends the halo copies.
+struct PendingPartition {
+  PartitionResult result;
+  std::vector<int> peers;                        // comm ranks, ascending
+  std::vector<RecvRequest<double>> halo_recvs;   // parallel to `peers`
+};
+
 // Collective over `comm`: redistributes the union of every rank's `mine`
-// into k-d domains and performs the R_max halo exchange. `rmax` must be
-// identical on all ranks.
-PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
-                             double rmax);
+// into k-d domains, ships halo galaxies to every neighbor rank (buffered)
+// and posts the matching receives, returning before any halo data is
+// waited on. `rmax` must be identical on all ranks, as must `policy`.
+PendingPartition post_halo_exchange(
+    Comm& comm, const sim::Catalog& mine, double rmax,
+    PartitionPolicy policy = PartitionPolicy::kPrimaryBalanced);
+
+// Drains the posted halo receives in peer-rank order (deterministic halo
+// layout) and returns the completed partition. Call exactly once.
+PartitionResult complete_halo_exchange(PendingPartition& pending);
+
+// Fused post + complete, for callers with nothing to overlap.
+PartitionResult kd_partition(
+    Comm& comm, const sim::Catalog& mine, double rmax,
+    PartitionPolicy policy = PartitionPolicy::kPrimaryBalanced);
 
 // Collective: bisects [lo, hi] for a cut with exactly `target` of the
 // ranks' combined `values` strictly below it (achievable when values are
@@ -64,5 +99,14 @@ PartitionResult kd_partition(Comm& comm, const sim::Catalog& mine,
 double distributed_split_point(Comm& comm, const std::vector<double>& values,
                                double lo, double hi, std::int64_t target,
                                int tag);
+
+// Weighted variant: bisects for a cut with ~`target` total `weights` (one
+// per value) strictly below it. Weighted targets are generally not exactly
+// attainable, so bisection runs until the interval is exhausted.
+double distributed_split_point_weighted(Comm& comm,
+                                        const std::vector<double>& values,
+                                        const std::vector<double>& weights,
+                                        double lo, double hi, double target,
+                                        int tag);
 
 }  // namespace galactos::dist

@@ -8,6 +8,7 @@ namespace {
 
 constexpr int kTagReducePayload = (1 << 23) + 0;
 constexpr int kTagReduceCounts = (1 << 23) + 1;
+constexpr int kTagReducePairs = (1 << 23) + 2;
 
 sim::Catalog round_robin_slice(const sim::Catalog& full, int rank,
                                int nranks) {
@@ -22,31 +23,79 @@ sim::Catalog round_robin_slice(const sim::Catalog& full, int rank,
 }  // namespace
 
 core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
-                          const core::EngineConfig& engine_cfg,
-                          RankReport* report) {
+                          const DistRunConfig& cfg, RankReport* report) {
+  const core::EngineConfig& engine_cfg = cfg.engine;
   Timer total;
 
   Timer tpart;
-  PartitionResult part = kd_partition(comm, mine, engine_cfg.bins.rmax());
+  PendingPartition pending = post_halo_exchange(
+      comm, mine, engine_cfg.bins.rmax(), cfg.partition);
   const double partition_seconds = tpart.seconds();
 
   const core::Engine engine(engine_cfg);
-  const std::vector<std::int64_t> primaries = part.owned_indices();
+  const std::size_t n_owned = pending.result.local.size();
+
+  // The pipeline: halo traffic is already in flight (sends buffered,
+  // receives posted), so build the owned-point index NOW and only then
+  // block on the exchange — halo wait hides behind the build. The
+  // sequential variant (overlap_halo = false) drains the exchange first,
+  // the A/B baseline for bench_dist_scaling.
+  double halo_seconds = 0.0;
+  double index_seconds = 0.0;
+  core::Engine::Staged staged;
+
+  PartitionResult part;
+  if (cfg.overlap_halo) {
+    if (n_owned > 0) {
+      Timer ti;
+      staged = engine.build_index(pending.result.local);
+      index_seconds += ti.seconds();
+    }
+    Timer th;
+    part = complete_halo_exchange(pending);
+    halo_seconds = th.seconds();
+  } else {
+    // Snapshot the owned set before the halo append invalidates it — the
+    // same buffer the overlap branch indexes directly.
+    const sim::Catalog owned_only = pending.result.local;
+    Timer th;
+    part = complete_halo_exchange(pending);
+    halo_seconds = th.seconds();
+    if (n_owned > 0) {
+      Timer ti;
+      staged = engine.build_index(owned_only);
+      index_seconds += ti.seconds();
+    }
+  }
+
+  // Halo copies (appended after the owned block) act as secondaries only.
+  if (staged.valid() && part.local.size() > n_owned) {
+    sim::Catalog halo;
+    halo.reserve(part.local.size() - n_owned);
+    for (std::size_t i = n_owned; i < part.local.size(); ++i)
+      halo.push_back(part.local.position(i), part.local.w[i]);
+    Timer ti;
+    staged.extend_with_secondaries(halo);
+    index_seconds += ti.seconds();
+  }
 
   Timer teng;
   core::EngineStats stats;
-  core::ZetaResult local = primaries.empty()
-                               ? engine.empty_result()
-                               : engine.run(part.local, &primaries, &stats);
+  core::ZetaResult local =
+      staged.valid() ? staged.run_indexed(nullptr, &stats)
+                     : engine.empty_result();
   const double engine_seconds = teng.seconds();
 
   // Reduce: one allreduce for the additive double payload, one for the
-  // integer counters. Rank 0 sums in rank order, so every rank ends with
-  // the same deterministic totals.
+  // integer counters — each a recursive-doubling butterfly with a fixed
+  // lower-rank-first combine, so every rank ends with the same
+  // deterministic totals in O(log P) steps.
+  Timer tred;
   std::vector<double> payload = local.reduce_payload();
   comm.allreduce_sum(payload, kTagReducePayload);
   std::vector<std::uint64_t> counts{local.n_primaries, local.n_pairs};
   comm.allreduce_sum(counts, kTagReduceCounts);
+  const double reduce_seconds = tred.seconds();
 
   core::ZetaResult out =
       core::ZetaResult::zero_like(engine_cfg.bins, engine_cfg.lmax);
@@ -54,17 +103,38 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
   out.n_primaries = counts[0];
   out.n_pairs = counts[1];
 
+  // Pair-imbalance (max/mean across ranks) so Fig. 7 is readable from any
+  // single report. Collective, so it runs on every rank regardless of
+  // whether this one wants the report.
+  const double my_pairs = static_cast<double>(stats.pairs);
+  const double max_pairs = comm.allreduce_max_value(my_pairs, kTagReducePairs);
+  const double sum_pairs = comm.allreduce_sum_value(my_pairs, kTagReducePairs);
+  const double mean_pairs = sum_pairs / comm.size();
+
   if (report) {
     report->rank = comm.rank();
-    report->owned = part.owned_count();
+    report->owned = n_owned;
     report->held = part.local.size();
     report->pairs = stats.pairs;
     report->levels = part.levels;
     report->partition_seconds = partition_seconds;
+    report->halo_seconds = halo_seconds;
+    report->index_build_seconds = index_seconds;
     report->engine_seconds = engine_seconds;
+    report->reduce_seconds = reduce_seconds;
     report->total_seconds = total.seconds();
+    report->pair_imbalance = mean_pairs > 0 ? max_pairs / mean_pairs : 1.0;
   }
   return out;
+}
+
+core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
+                          const core::EngineConfig& engine_cfg,
+                          RankReport* report) {
+  DistRunConfig cfg;
+  cfg.engine = engine_cfg;
+  cfg.ranks = comm.size();
+  return run_rank(comm, mine, cfg, report);
 }
 
 core::ZetaResult run_distributed(const sim::Catalog& catalog,
@@ -79,7 +149,7 @@ core::ZetaResult run_distributed(const sim::Catalog& catalog,
     const sim::Catalog mine =
         round_robin_slice(catalog, comm.rank(), comm.size());
     RankReport report;
-    core::ZetaResult reduced = run_rank(comm, mine, cfg.engine, &report);
+    core::ZetaResult reduced = run_rank(comm, mine, cfg, &report);
     // Each rank writes only its own slot; run_ranks joins before we read.
     ranks_out[static_cast<std::size_t>(comm.rank())] = report;
     if (comm.rank() == 0) result = std::move(reduced);

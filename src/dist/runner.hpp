@@ -1,10 +1,18 @@
-// Distributed 3PCF driver (paper §3.2–3.3): scatter → k-d partition with
-// halo exchange → per-rank Engine run over rank-owned primaries (halo
-// copies act as secondaries only) → allreduce of the additive ZetaResult
-// payload. The decomposition is exact — every (primary, secondary) pair is
-// evaluated on exactly one rank — so the reduced result matches the
-// single-node engine up to floating-point summation order (bitwise for one
-// rank, ~1e-13 relative for many).
+// Distributed 3PCF driver (paper §3.2–3.3), pipelined:
+//
+//   scatter → k-d partition → [halo exchange in flight ∥ owned-index build]
+//           → secondary (halo) index → leaf-blocked traversal
+//           → O(log P) tree allreduce of the additive ZetaResult payload
+//
+// post_halo_exchange() returns with halo sends buffered and receives
+// posted, so each rank builds the spatial index over its OWNED galaxies
+// while halo traffic is in flight; the halo copies are then indexed into a
+// secondary structure that unions with the primary index inside the
+// engine's traversal (Engine::Staged). The decomposition is exact — every
+// (primary, secondary) pair is evaluated on exactly one rank — so the
+// reduced result matches the single-node engine up to floating-point
+// summation order (bitwise for one rank, ~1e-13 relative for many), under
+// either PartitionPolicy and with or without the overlap.
 #pragma once
 
 #include <cstdint>
@@ -20,25 +28,42 @@ namespace galactos::dist {
 struct DistRunConfig {
   core::EngineConfig engine;
   int ranks = 1;
+  // What the k-d cuts equalize: raw galaxy counts or estimated pair counts
+  // (the Fig. 7 imbalance fix).
+  PartitionPolicy partition = PartitionPolicy::kPrimaryBalanced;
+  // Overlap the halo exchange with the owned-index build (the pipeline);
+  // off = complete the exchange before building, for A/B measurement.
+  bool overlap_halo = true;
 };
 
 // Per-rank accounting mirrored from the paper's scaling studies: primary
 // (owned) balance is tight by construction; pair balance degrades as
-// domains shrink (Fig. 7's story).
+// domains shrink (Fig. 7's story) unless kPairWeighted counters it.
 struct RankReport {
   int rank = 0;
   std::uint64_t owned = 0;  // galaxies this rank owns (primaries)
   std::uint64_t held = 0;   // owned + halo copies
   std::uint64_t pairs = 0;  // kernel pairs evaluated on this rank
   int levels = 0;           // k-d recursion depth
-  double partition_seconds = 0.0;
-  double engine_seconds = 0.0;
+  double partition_seconds = 0.0;    // k-d exchange + halo posting
+  double halo_seconds = 0.0;         // time BLOCKED waiting on halo data
+  double index_build_seconds = 0.0;  // primary + secondary index build
+  double engine_seconds = 0.0;       // traversal (excludes index build)
+  double reduce_seconds = 0.0;       // tree allreduce of the result payload
   double total_seconds = 0.0;
+  // max/mean kernel pairs across ranks — identical on every rank, so the
+  // Fig. 7 imbalance story is readable from any single report.
+  double pair_imbalance = 0.0;
 };
 
 // Rank-level driver for callers already inside run_ranks(): partitions the
-// union of every rank's `mine`, runs the engine on owned primaries and
-// returns the reduced result on every rank.
+// union of every rank's `mine`, runs the staged engine pipeline on owned
+// primaries and returns the tree-reduced result on every rank.
+core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
+                          const DistRunConfig& cfg,
+                          RankReport* report = nullptr);
+
+// Back-compat convenience: engine config only, default policy + overlap.
 core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
                           const core::EngineConfig& engine_cfg,
                           RankReport* report = nullptr);

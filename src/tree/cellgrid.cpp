@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -124,6 +125,72 @@ void CellGrid<Real>::gather_leaf_neighbors(std::size_t leaf, double rmax,
         const std::size_t cc =
             (static_cast<std::size_t>(ix) * ny_ + iy) * nz_ + iz;
         for (std::int64_t i = starts_[cc]; i < starts_[cc + 1]; ++i)
+          out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
+      }
+}
+
+template <typename Real>
+void CellGrid<Real>::leaf_box(std::size_t leaf, Real lo[3], Real hi[3]) const {
+  GLX_DCHECK(leaf < leaf_cells_.size());
+  const std::int64_t begin = leaf_begin(leaf);
+  const std::int64_t end = leaf_end(leaf);
+  GLX_DCHECK(begin < end);
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = std::numeric_limits<Real>::max();
+    hi[d] = std::numeric_limits<Real>::lowest();
+  }
+  for (std::int64_t i = begin; i < end; ++i) {
+    lo[0] = std::min(lo[0], xs_[i]);
+    hi[0] = std::max(hi[0], xs_[i]);
+    lo[1] = std::min(lo[1], ys_[i]);
+    hi[1] = std::max(hi[1], ys_[i]);
+    lo[2] = std::min(lo[2], zs_[i]);
+    hi[2] = std::max(hi[2], zs_[i]);
+  }
+}
+
+template <typename Real>
+void CellGrid<Real>::gather_box_neighbors(const Real lo[3], const Real hi[3],
+                                          double rmax,
+                                          NeighborBlock<Real>& out) const {
+  if (xs_.empty()) return;
+  // Any point the engine's Real r2 filter could accept against a primary in
+  // the box has coordinate v in [lo - rmax, hi + rmax] up to Real rounding:
+  // the separation slop scales with rmax (|dx|² never exceeds the rounded
+  // r2) PLUS the Real rounding of the stored coordinates themselves, which
+  // scales with coordinate magnitude (cells were assigned from the double
+  // positions, the filter runs on the Real-stored ones). `reach` pads both
+  // terms with a wide margin. The stored cell index is the clamped monotone
+  // floor((v - origin)/cell), so walking the clamped cell range of the
+  // padded box visits a superset of every such cell.
+  const double max_abs =
+      std::max({std::abs(bounds_.lo.x), std::abs(bounds_.lo.y),
+                std::abs(bounds_.lo.z), std::abs(bounds_.hi.x),
+                std::abs(bounds_.hi.y), std::abs(bounds_.hi.z)});
+  const double eps =
+      static_cast<double>(std::numeric_limits<Real>::epsilon());
+  const double reach = rmax * (1.0 + 1e-5) + 8.0 * eps * (max_abs + rmax);
+  auto cell_lo = [&](double v, double origin, int nd) {
+    const int c = static_cast<int>(std::floor((v - reach - origin) / cell_));
+    return std::min(std::max(c, 0), nd - 1);
+  };
+  auto cell_hi = [&](double v, double origin, int nd) {
+    const int c = static_cast<int>(std::floor((v + reach - origin) / cell_));
+    return std::min(std::max(c, 0), nd - 1);
+  };
+  const int x0 = cell_lo(static_cast<double>(lo[0]), bounds_.lo.x, nx_);
+  const int x1 = cell_hi(static_cast<double>(hi[0]), bounds_.lo.x, nx_);
+  const int y0 = cell_lo(static_cast<double>(lo[1]), bounds_.lo.y, ny_);
+  const int y1 = cell_hi(static_cast<double>(hi[1]), bounds_.lo.y, ny_);
+  const int z0 = cell_lo(static_cast<double>(lo[2]), bounds_.lo.z, nz_);
+  const int z1 = cell_hi(static_cast<double>(hi[2]), bounds_.lo.z, nz_);
+
+  for (int ix = x0; ix <= x1; ++ix)
+    for (int iy = y0; iy <= y1; ++iy)
+      for (int iz = z0; iz <= z1; ++iz) {
+        const std::size_t c =
+            (static_cast<std::size_t>(ix) * ny_ + iy) * nz_ + iz;
+        for (std::int64_t i = starts_[c]; i < starts_[c + 1]; ++i)
           out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
       }
 }

@@ -51,6 +51,17 @@ class CellGrid {
   void gather_leaf_neighbors(std::size_t leaf, double rmax,
                              NeighborBlock<Real>& out) const;
 
+  // Bounding box of the leaf cell's stored points (exact Real min/max over
+  // the CSR range — mirrors KdTree::leaf_box for the staged engine).
+  void leaf_box(std::size_t leaf, Real lo[3], Real hi[3]) const;
+
+  // Appends every point whose cell intersects the rmax-expansion of the box
+  // [lo, hi] to `out`: the cell-range walk bounds each coordinate by
+  // monotone FP floor-division exactly as the per-point query does, so the
+  // result is a superset of any per-point gather from inside the box.
+  void gather_box_neighbors(const Real lo[3], const Real hi[3], double rmax,
+                            NeighborBlock<Real>& out) const;
+
   // Visits fn(leaf_id, begin, end) for every non-empty cell.
   template <typename Fn>
   void for_each_leaf(Fn&& fn) const {

@@ -208,10 +208,27 @@ void KdTree<Real>::gather_leaf_neighbors(std::size_t leaf, double rmax,
                                          NeighborBlock<Real>& out) const {
   GLX_DCHECK(leaf < leaves_.size());
   const Node& src = nodes_[leaves_[leaf]];
+  gather_box_neighbors(src.lo, src.hi, rmax, out);
+}
+
+template <typename Real>
+void KdTree<Real>::leaf_box(std::size_t leaf, Real lo[3], Real hi[3]) const {
+  GLX_DCHECK(leaf < leaves_.size());
+  const Node& nd = nodes_[leaves_[leaf]];
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = nd.lo[d];
+    hi[d] = nd.hi[d];
+  }
+}
+
+template <typename Real>
+void KdTree<Real>::gather_box_neighbors(const Real lo[3], const Real hi[3],
+                                        double rmax,
+                                        NeighborBlock<Real>& out) const {
   const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
   traverse(
       [&](const Node& nd) {
-        return box_box_dist2<Real>(src.lo, src.hi, nd.lo, nd.hi) > r2max;
+        return box_box_dist2<Real>(lo, hi, nd.lo, nd.hi) > r2max;
       },
       [&](const Node& nd) {
         for (std::int32_t i = nd.begin; i < nd.end; ++i)

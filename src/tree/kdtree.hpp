@@ -56,6 +56,18 @@ class KdTree {
   void gather_leaf_neighbors(std::size_t leaf, double rmax,
                              NeighborBlock<Real>& out) const;
 
+  // Bounding box of the leaf's stored points (conservative in Real). The
+  // engine hands it to a SECONDARY index's gather_box_neighbors so halo
+  // points union into the leaf's candidate block (staged distributed runs).
+  void leaf_box(std::size_t leaf, Real lo[3], Real hi[3]) const;
+
+  // Appends every point within rmax of the box [lo, hi] to `out` — the
+  // external-box generalization of gather_leaf_neighbors, same pruning
+  // arithmetic, so the block is a superset of any per-point gather from
+  // inside the box.
+  void gather_box_neighbors(const Real lo[3], const Real hi[3], double rmax,
+                            NeighborBlock<Real>& out) const;
+
   // Visits fn(leaf_id, begin, end) for every leaf, in tree order.
   template <typename Fn>
   void for_each_leaf(Fn&& fn) const {

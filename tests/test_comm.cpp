@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "dist/comm.hpp"
 
@@ -143,6 +144,147 @@ TEST(Comm, ExceptionInRankPropagates) {
   EXPECT_THROW(
       d::run_ranks(1, [](d::Comm&) { throw std::runtime_error("boom"); }),
       std::runtime_error);
+}
+
+// --- non-blocking Request API -------------------------------------------
+
+TEST(Request, IsendIrecvRoundTrip) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      d::Request s = c.isend<int>(1, 11, {4, 5, 6});
+      EXPECT_TRUE(s.test());  // buffered sends complete at post time
+      s.wait();
+    } else {
+      d::RecvRequest<int> r = c.irecv<int>(0, 11);
+      const auto v = r.get();
+      ASSERT_EQ(v.size(), 3u);
+      EXPECT_EQ(v[1], 5);
+    }
+  });
+}
+
+TEST(Request, TestPollsUntilComplete) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      // Wait for the receiver's "posted" signal before sending, so the
+      // request is genuinely incomplete for at least one test() call.
+      (void)c.recv_value<int>(1, 12);
+      c.send_value<double>(1, 13, 2.75);
+    } else {
+      d::RecvRequest<double> r = c.irecv<double>(0, 13);
+      EXPECT_FALSE(r.test());  // nothing sent yet
+      c.send_value<int>(0, 12, 1);
+      while (!r.test()) std::this_thread::yield();
+      const auto v = r.get();
+      ASSERT_EQ(v.size(), 1u);
+      EXPECT_DOUBLE_EQ(v[0], 2.75);
+    }
+  });
+}
+
+TEST(Request, OutOfOrderCompletion) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 21, 222);  // tag 21 first, tag 20 only on ack
+      (void)c.recv_value<int>(1, 22);
+      c.send_value<int>(1, 20, 111);
+    } else {
+      d::RecvRequest<int> first = c.irecv<int>(0, 20);
+      d::RecvRequest<int> second = c.irecv<int>(0, 21);
+      // The later-posted request completes first; the earlier stays open.
+      while (!second.test()) std::this_thread::yield();
+      EXPECT_FALSE(first.test());
+      c.send_value<int>(0, 22, 1);
+      EXPECT_EQ(first.get()[0], 111);
+      EXPECT_EQ(second.get()[0], 222);
+    }
+  });
+}
+
+TEST(Request, SameChannelClaimsDistinctMessages) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 30, 1);
+      c.send_value<int>(1, 30, 2);
+    } else {
+      d::RecvRequest<int> a = c.irecv<int>(0, 30);
+      d::RecvRequest<int> b = c.irecv<int>(0, 30);
+      // Messages are matched in CLAIM order (see the Request caveat), so
+      // draining in reverse post order still hands each request its own
+      // message — never the same one twice, never a lost message.
+      const auto vb = b.get();
+      const auto va = a.get();
+      ASSERT_EQ(va.size(), 1u);
+      ASSERT_EQ(vb.size(), 1u);
+      EXPECT_EQ(va[0] + vb[0], 3);
+      EXPECT_NE(va[0], vb[0]);
+    }
+  });
+}
+
+TEST(Request, AbortWhileRecvPosted) {
+  // Rank 1 blocks in wait() on a message that never comes; rank 0 throws.
+  // The posted receive must wake up and fail instead of deadlocking, and
+  // run_ranks must rethrow the ORIGINAL error.
+  try {
+    d::run_ranks(2, [](d::Comm& c) {
+      if (c.rank() == 0) throw std::runtime_error("original failure");
+      d::RecvRequest<int> r = c.irecv<int>(0, 40);
+      EXPECT_THROW(r.wait(), std::runtime_error);
+      throw std::runtime_error("secondary failure");  // expected: world dead
+    });
+    FAIL() << "run_ranks should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "original failure");
+  }
+}
+
+// --- collectives: tree allreduce / single-broadcast allgather / bcast ---
+
+TEST_P(CommCollectives, AllgatherVariableLengths) {
+  const int n = GetParam();
+  d::run_ranks(n, [n](d::Comm& c) {
+    // Rank r contributes r values (rank 0 contributes none) — exercises
+    // empty contributions through the flattened offsets header.
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(c.rank()),
+                                   c.rank() * 7);
+    const auto all = c.allgather(mine, 95);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(all[r].size(), static_cast<std::size_t>(r));
+      for (std::int32_t v : all[r]) EXPECT_EQ(v, r * 7);
+    }
+  });
+}
+
+TEST_P(CommCollectives, AllreduceIdenticalOnEveryRank) {
+  // FP sums depend on combine order; the butterfly's fixed tree must give
+  // bit-identical results on every rank (and across repeats).
+  const int n = GetParam();
+  std::vector<std::vector<double>> per_rank(static_cast<std::size_t>(n));
+  d::run_ranks(n, [&](d::Comm& c) {
+    std::vector<double> v{0.1 * (c.rank() + 1), 1e-9 / (c.rank() + 1),
+                          1e9 * (c.rank() + 1)};
+    c.allreduce_sum(v, 96);
+    per_rank[static_cast<std::size_t>(c.rank())] = v;
+  });
+  for (int r = 1; r < n; ++r)
+    for (int i = 0; i < 3; ++i)
+      EXPECT_EQ(per_rank[0][i], per_rank[r][i]) << "rank " << r;
+}
+
+TEST_P(CommCollectives, BcastFromEveryRoot) {
+  const int n = GetParam();
+  d::run_ranks(n, [n](d::Comm& c) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<int> v;
+      if (c.rank() == root) v = {root * 100, root * 100 + 1};
+      c.bcast(v, root, 97);
+      ASSERT_EQ(v.size(), 2u);
+      EXPECT_EQ(v[0], root * 100);
+      EXPECT_EQ(v[1], root * 100 + 1);
+    }
+  });
 }
 
 TEST(Comm, LargePayloadRoundTrip) {

@@ -3,6 +3,10 @@
 // is introduced by partitioning + halo exchange).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+
 #include "core/engine.hpp"
 #include "dist/runner.hpp"
 #include "sim/generators.hpp"
@@ -51,6 +55,56 @@ TEST_P(DistributedVsSingle, ResultsIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(RankSweep, DistributedVsSingle,
                          ::testing::Values(1, 2, 3, 5, 6));
+
+// The overlapped pipeline and both partition policies must leave the
+// decomposition exact: every (ranks, policy, overlap) combination matches
+// the single-node engine to 1e-10.
+class DistributedPipeline
+    : public ::testing::TestWithParam<
+          std::tuple<int, d::PartitionPolicy, bool>> {};
+
+TEST_P(DistributedPipeline, MatchesSingleNode) {
+  const auto [nranks, policy, overlap] = GetParam();
+  const s::Catalog full = galactos::testing::clumpy_catalog(1100, 65.0, 54);
+
+  const c::ZetaResult single = c::Engine(base_config()).run(full);
+
+  d::DistRunConfig dcfg;
+  dcfg.engine = base_config();
+  dcfg.ranks = nranks;
+  dcfg.partition = policy;
+  dcfg.overlap_halo = overlap;
+  std::vector<d::RankReport> reports;
+  const c::ZetaResult dist = d::run_distributed(full, dcfg, &reports);
+
+  expect_results_match(dist, single, 1e-10, 1e-10);
+
+  // Extended RankReport accounting: the pipeline phases are all measured
+  // and pair_imbalance is the same max/mean on every rank.
+  std::uint64_t max_pairs = 0, sum_pairs = 0;
+  for (const auto& r : reports) {
+    EXPECT_GE(r.halo_seconds, 0.0);
+    EXPECT_GE(r.index_build_seconds, 0.0);
+    if (r.owned > 0) EXPECT_GT(r.index_build_seconds, 0.0);
+    max_pairs = std::max(max_pairs, r.pairs);
+    sum_pairs += r.pairs;
+  }
+  const double mean_pairs =
+      static_cast<double>(sum_pairs) / static_cast<double>(nranks);
+  for (const auto& r : reports) {
+    EXPECT_GE(r.pair_imbalance, 1.0 - 1e-12);
+    EXPECT_NEAR(r.pair_imbalance,
+                static_cast<double>(max_pairs) / mean_pairs, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyOverlapSweep, DistributedPipeline,
+    ::testing::Combine(
+        ::testing::Values(2, 3, 4, 8),
+        ::testing::Values(d::PartitionPolicy::kPrimaryBalanced,
+                          d::PartitionPolicy::kPairWeighted),
+        ::testing::Values(true, false)));
 
 TEST(Distributed, ClusteredCatalogNonPowerOfTwo) {
   const s::Catalog full = galactos::testing::clumpy_catalog(900, 60.0, 56);

@@ -1,0 +1,164 @@
+// Engine staged pipeline (build_index → extend_with_secondaries →
+// run_indexed):
+//   * with no secondaries the staged path must be BITWISE identical to
+//     Engine::run over the same catalog, for every index/precision/
+//     traversal combination (it is the same code over the same index);
+//   * with halo points indexed as secondaries, the pair set must equal a
+//     fused run over the combined catalog restricted to owned primaries —
+//     only FP accumulation order may differ (candidate order changes), so
+//     results match to tight tolerance and pair counts match exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace c = galactos::core;
+namespace s = galactos::sim;
+using galactos::testing::expect_results_match;
+
+namespace {
+
+struct StagedCase {
+  c::NeighborIndex index;
+  c::TreePrecision precision;
+  c::TraversalMode traversal;
+};
+
+std::string case_name(const ::testing::TestParamInfo<StagedCase>& info) {
+  std::string n;
+  n += info.param.index == c::NeighborIndex::kKdTree ? "KdTree" : "CellGrid";
+  n += info.param.precision == c::TreePrecision::kDouble ? "Double" : "Mixed";
+  n += info.param.traversal == c::TraversalMode::kLeafBlocked ? "LeafBlocked"
+                                                              : "PerPrimary";
+  return n;
+}
+
+c::EngineConfig make_config(const StagedCase& p) {
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(2.0, 16.0, 4);
+  cfg.lmax = 4;
+  cfg.threads = 1;
+  cfg.index = p.index;
+  cfg.precision = p.precision;
+  cfg.traversal = p.traversal;
+  return cfg;
+}
+
+}  // namespace
+
+class StagedEngine : public ::testing::TestWithParam<StagedCase> {};
+
+TEST_P(StagedEngine, NoSecondariesBitwiseMatchesRun) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  const s::Catalog cat = s::uniform_box(900, s::Aabb::cube(50), 61);
+
+  const c::Engine engine(cfg);
+  const c::ZetaResult fused = engine.run(cat);
+
+  c::Engine::Staged staged = engine.build_index(cat);
+  c::EngineStats stats;
+  const c::ZetaResult piped = staged.run_indexed(nullptr, &stats);
+
+  expect_results_match(piped, fused, 0.0, 0.0);  // bitwise
+  EXPECT_EQ(piped.n_pairs, fused.n_pairs);
+  EXPECT_GT(stats.pairs, 0u);
+}
+
+TEST_P(StagedEngine, SecondariesMatchFusedCombinedRun) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  // Owned points in the left half of the box, halo in the right half with
+  // plenty of cross-boundary pairs inside R_max.
+  const s::Catalog owned =
+      s::uniform_box(500, s::Aabb{{0, 0, 0}, {25, 50, 50}}, 62);
+  const s::Catalog halo =
+      s::uniform_box(500, s::Aabb{{25, 0, 0}, {50, 50, 50}}, 63);
+
+  s::Catalog combined = owned;
+  combined.append(halo);
+  std::vector<std::int64_t> primaries(owned.size());
+  std::iota(primaries.begin(), primaries.end(), 0);
+
+  const c::Engine engine(cfg);
+  c::EngineStats fused_stats;
+  const c::ZetaResult fused = engine.run(combined, &primaries, &fused_stats);
+
+  c::Engine::Staged staged = engine.build_index(owned);
+  staged.extend_with_secondaries(halo);
+  c::EngineStats staged_stats;
+  const c::ZetaResult piped = staged.run_indexed(nullptr, &staged_stats);
+
+  // Identical pair sets (candidate order may differ → FP tolerance).
+  EXPECT_EQ(staged_stats.pairs, fused_stats.pairs);
+  expect_results_match(piped, fused, 1e-12, 1e-12);
+}
+
+TEST_P(StagedEngine, SecondariesNeverActAsPrimaries) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  const s::Catalog owned = s::uniform_box(300, s::Aabb::cube(30), 64);
+  const s::Catalog halo = s::uniform_box(400, s::Aabb::cube(30), 65);
+
+  const c::Engine engine(cfg);
+  c::Engine::Staged staged = engine.build_index(owned);
+  staged.extend_with_secondaries(halo);
+  const c::ZetaResult r = staged.run_indexed();
+  EXPECT_EQ(r.n_primaries, owned.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, StagedEngine,
+    ::testing::Values(
+        StagedCase{c::NeighborIndex::kKdTree, c::TreePrecision::kDouble,
+                   c::TraversalMode::kLeafBlocked},
+        StagedCase{c::NeighborIndex::kKdTree, c::TreePrecision::kDouble,
+                   c::TraversalMode::kPerPrimary},
+        StagedCase{c::NeighborIndex::kKdTree, c::TreePrecision::kMixed,
+                   c::TraversalMode::kLeafBlocked},
+        StagedCase{c::NeighborIndex::kCellGrid, c::TreePrecision::kDouble,
+                   c::TraversalMode::kLeafBlocked},
+        StagedCase{c::NeighborIndex::kCellGrid, c::TreePrecision::kMixed,
+                   c::TraversalMode::kPerPrimary},
+        StagedCase{c::NeighborIndex::kCellGrid, c::TreePrecision::kMixed,
+                   c::TraversalMode::kLeafBlocked}),
+    case_name);
+
+TEST(StagedEngineApi, EmptyHaloIsNoop) {
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(1.0, 8.0, 2);
+  cfg.lmax = 2;
+  cfg.threads = 1;
+  const s::Catalog cat = s::uniform_box(200, s::Aabb::cube(20), 66);
+  const c::Engine engine(cfg);
+
+  c::Engine::Staged staged = engine.build_index(cat);
+  staged.extend_with_secondaries(s::Catalog{});
+  expect_results_match(staged.run_indexed(), engine.run(cat), 0.0, 0.0);
+}
+
+TEST(StagedEngineApi, MisuseThrows) {
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(1.0, 8.0, 2);
+  cfg.lmax = 2;
+  cfg.threads = 1;
+  const s::Catalog cat = s::uniform_box(100, s::Aabb::cube(15), 67);
+  const s::Catalog halo = s::uniform_box(50, s::Aabb::cube(15), 68);
+  const c::Engine engine(cfg);
+
+  c::Engine::Staged empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.run_indexed(), std::logic_error);
+  EXPECT_THROW(empty.extend_with_secondaries(halo), std::logic_error);
+  EXPECT_THROW(engine.build_index(s::Catalog{}), std::logic_error);
+
+  c::Engine::Staged staged = engine.build_index(cat);
+  staged.extend_with_secondaries(halo);
+  EXPECT_THROW(staged.extend_with_secondaries(halo), std::logic_error);
+
+  // Primaries must index the OWNED catalog only.
+  std::vector<std::int64_t> bad{static_cast<std::int64_t>(cat.size())};
+  EXPECT_THROW(staged.run_indexed(&bad), std::logic_error);
+}
