@@ -20,6 +20,12 @@
 //
 // Emits BENCH_dist.json (--json) for the CI artifact trail, like
 // BENCH_fig4.json.
+//
+// Backend-agnostic: launched directly the ranks are minimpi threads;
+// launched under `mpirun -np P` (GALACTOS_WITH_MPI build) the same
+// sections run over real MPI ranks — rank counts are clamped to the world
+// size, sweeps below it run on leading sub-communicators, and only world
+// rank 0 prints/writes.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -55,8 +61,9 @@ struct RunSummary {
   std::vector<dist::RankReport> reports;
 };
 
-RunSummary run_once(const sim::Catalog& cat, const core::EngineConfig& ecfg,
-                    int ranks, dist::PartitionPolicy policy) {
+RunSummary run_once(const dist::Session& session, const sim::Catalog& cat,
+                    const core::EngineConfig& ecfg, int ranks,
+                    dist::PartitionPolicy policy) {
   dist::DistRunConfig dcfg;
   dcfg.engine = ecfg;
   dcfg.ranks = ranks;
@@ -69,7 +76,7 @@ RunSummary run_once(const sim::Catalog& cat, const core::EngineConfig& ecfg,
                  : "primary_balanced";
 
   Timer t;
-  (void)dist::run_distributed(cat, dcfg, &s.reports);
+  (void)dist::run_distributed(session, cat, dcfg, &s.reports);
   s.elapsed_seconds = t.seconds();
 
   for (const auto& r : s.reports) {
@@ -115,28 +122,30 @@ JsonObject summary_json(const RunSummary& s) {
 // One A/B measurement through the production run_rank pipeline: 2 ranks,
 // rank 0 seeded with 95% of the catalog (skewed ingest), lmax = 0 so the
 // traversal is cheap relative to partition + halo + build. Returns the
-// rank critical path max(halo wait + index build).
-double pipeline_critical_path(const sim::Catalog& cat,
+// rank critical path max(halo wait + index build) — reduced over the comm,
+// so the value is valid on whatever rank 0 is (thread 0 or world root).
+double pipeline_critical_path(const dist::Session& session,
+                              const sim::Catalog& cat,
                               const core::EngineConfig& ecfg, bool overlap) {
+  constexpr int kTagAbCrit = 901;
   dist::DistRunConfig dcfg;
   dcfg.engine = ecfg;
   dcfg.ranks = 2;
   dcfg.overlap_halo = overlap;
   const std::size_t cutoff = cat.size() * 19 / 20;  // 95% / 5% scatter
 
-  std::vector<dist::RankReport> reports(2);
-  dist::run_ranks(2, [&](dist::Comm& comm) {
+  double crit = 0;
+  session.run(2, [&](dist::Comm& comm) {
     sim::Catalog mine;
     for (std::size_t i = 0; i < cat.size(); ++i)
       if ((i < cutoff) == (comm.rank() == 0))
         mine.push_back(cat.position(i), cat.w[i]);
     dist::RankReport rep;
     (void)dist::run_rank(comm, mine, dcfg, &rep);
-    reports[static_cast<std::size_t>(comm.rank())] = rep;
+    const double local = rep.halo_seconds + rep.index_build_seconds;
+    const double reduced = comm.allreduce_max_value(local, kTagAbCrit);
+    if (comm.rank() == 0) crit = reduced;
   });
-  double crit = 0;
-  for (const auto& r : reports)
-    crit = std::max(crit, r.halo_seconds + r.index_build_seconds);
   return crit;
 }
 
@@ -148,26 +157,35 @@ double median(std::vector<double> v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  dist::Session session = dist::init(&argc, &argv);
   ArgParser args(argc, argv);
   const std::size_t n = args.get<std::size_t>("n", 40000);
   const double rmax = args.get<double>("rmax", 12.0);
   const double side = args.get<double>("side", 220.0);
   const int lmax = args.get<int>("lmax", 5);
-  const int max_ranks = args.get<int>("max-ranks", 16);
+  int max_ranks = args.get<int>("max-ranks", 16);
   const std::size_t ab_n = args.get<std::size_t>("ab-n", 200000);
   const int ab_repeats = std::max(1, args.get<int>("ab-repeats", 9));
   const std::string json_path = args.get_str("json", "BENCH_dist.json");
   args.finish();
 
-  print_header("Distributed pipeline scaling (clustered catalog)");
-  print_kv("galaxies", fmt(static_cast<double>(n), "%.0f"));
-  print_kv("R_max (Mpc/h)", fmt(rmax, "%.1f"));
-  print_kv("lmax", fmt(lmax, "%.0f"));
-  print_kv("hardware threads",
-           fmt(static_cast<double>(std::thread::hardware_concurrency()),
-               "%.0f"));
-  print_kv("paper reference",
-           "primaries balance to 0.1%, pairs diverge up to 60% (Fig. 7)");
+  const bool root = session.is_root();
+  const bool mpi = session.backend() == dist::Backend::kMpi;
+  if (mpi) max_ranks = std::min(max_ranks, session.size());
+
+  if (root) {
+    print_header("Distributed pipeline scaling (clustered catalog)");
+    print_kv("backend", dist::backend_name(session.backend()));
+    if (mpi) print_kv("MPI world", fmt(session.size(), "%.0f"));
+    print_kv("galaxies", fmt(static_cast<double>(n), "%.0f"));
+    print_kv("R_max (Mpc/h)", fmt(rmax, "%.1f"));
+    print_kv("lmax", fmt(lmax, "%.0f"));
+    print_kv("hardware threads",
+             fmt(static_cast<double>(std::thread::hardware_concurrency()),
+                 "%.0f"));
+    print_kv("paper reference",
+             "primaries balance to 0.1%, pairs diverge up to 60% (Fig. 7)");
+  }
 
   const sim::Catalog cat = clustered_catalog(n, side);
 
@@ -184,7 +202,7 @@ int main(int argc, char** argv) {
   for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
     for (auto policy : {dist::PartitionPolicy::kPrimaryBalanced,
                         dist::PartitionPolicy::kPairWeighted}) {
-      RunSummary s = run_once(cat, ecfg, ranks, policy);
+      RunSummary s = run_once(session, cat, ecfg, ranks, policy);
       t.add_row({fmt(ranks, "%.0f"), s.policy, fmt(s.elapsed_seconds, "%.3f"),
                  fmt(s.pair_imbalance, "%.3f"),
                  fmt(1e3 * s.halo_max_seconds, "%.2f"),
@@ -193,8 +211,10 @@ int main(int argc, char** argv) {
       results.push_back(std::move(s));
     }
   }
-  std::printf("\n");
-  t.print();
+  if (root) {
+    std::printf("\n");
+    t.print();
+  }
 
   const RunSummary* bal = nullptr;
   const RunSummary* wgt = nullptr;
@@ -203,34 +223,47 @@ int main(int argc, char** argv) {
       if (s.policy == "primary_balanced") bal = &s;
       if (s.policy == "pair_weighted") wgt = &s;
     }
-  if (bal && wgt) {
+  if (root && bal && wgt) {
     std::printf("\n");
     print_kv("pair imbalance, primary-balanced", fmt(bal->pair_imbalance));
     print_kv("pair imbalance, pair-weighted", fmt(wgt->pair_imbalance));
   }
 
   // --- Section 2: overlapped vs sequential pipeline A/B ------------------
-  print_header("Pipeline A/B — overlapped vs sequential halo exchange");
-  print_kv("galaxies", fmt(static_cast<double>(ab_n), "%.0f"));
-  print_kv("ranks", "2 (95%/5% skewed scatter)");
-  print_kv("repeats (median)", fmt(ab_repeats, "%.0f"));
+  // Needs 2 ranks; an mpirun -np 1 world cannot host it.
+  const bool run_ab = !mpi || session.size() >= 2;
+  double med_ovl = 0, med_seq = 0;
+  if (run_ab) {
+    if (root) {
+      print_header("Pipeline A/B — overlapped vs sequential halo exchange");
+      print_kv("galaxies", fmt(static_cast<double>(ab_n), "%.0f"));
+      print_kv("ranks", "2 (95%/5% skewed scatter)");
+      print_kv("repeats (median)", fmt(ab_repeats, "%.0f"));
+    }
 
-  const sim::Catalog ab_cat = clustered_catalog(ab_n, 260.0);
-  core::EngineConfig ab_cfg = ecfg;
-  ab_cfg.lmax = 0;  // isolate the partition→halo→build pipeline
+    const sim::Catalog ab_cat = clustered_catalog(ab_n, 260.0);
+    core::EngineConfig ab_cfg = ecfg;
+    ab_cfg.lmax = 0;  // isolate the partition→halo→build pipeline
 
-  std::vector<double> crit_overlap, crit_sequential;
-  for (int rep = 0; rep < ab_repeats; ++rep) {
-    crit_overlap.push_back(pipeline_critical_path(ab_cat, ab_cfg, true));
-    crit_sequential.push_back(pipeline_critical_path(ab_cat, ab_cfg, false));
+    std::vector<double> crit_overlap, crit_sequential;
+    for (int rep = 0; rep < ab_repeats; ++rep) {
+      crit_overlap.push_back(
+          pipeline_critical_path(session, ab_cat, ab_cfg, true));
+      crit_sequential.push_back(
+          pipeline_critical_path(session, ab_cat, ab_cfg, false));
+    }
+    med_ovl = median(crit_overlap);
+    med_seq = median(crit_sequential);
+    if (root) {
+      print_kv("critical path, overlapped (ms)", fmt(1e3 * med_ovl, "%.2f"));
+      print_kv("critical path, sequential (ms)", fmt(1e3 * med_seq, "%.2f"));
+      print_kv("overlap speedup", fmt(med_seq / med_ovl, "%.2fx"));
+    }
+  } else if (root) {
+    print_kv("pipeline A/B", "skipped (MPI world of 1)");
   }
-  const double med_ovl = median(crit_overlap);
-  const double med_seq = median(crit_sequential);
-  print_kv("critical path, overlapped (ms)", fmt(1e3 * med_ovl, "%.2f"));
-  print_kv("critical path, sequential (ms)", fmt(1e3 * med_seq, "%.2f"));
-  print_kv("overlap speedup", fmt(med_seq / med_ovl, "%.2fx"));
 
-  if (!json_path.empty()) {
+  if (root && !json_path.empty()) {
     JsonObject config;
     config.add("n", static_cast<std::uint64_t>(n))
         .add("rmax", rmax)
@@ -239,6 +272,8 @@ int main(int argc, char** argv) {
         .add("max_ranks", max_ranks)
         .add("ab_n", static_cast<std::uint64_t>(ab_n))
         .add("ab_repeats", ab_repeats)
+        .add("backend", std::string(dist::backend_name(session.backend())))
+        .add("world_size", session.size())
         .add("hardware_threads",
              static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
         .add("catalog", std::string("half-in-corner-clump clustered"));
@@ -246,22 +281,23 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < results.size(); ++i)
       runs += (i ? ",\n    " : "\n    ") + summary_json(results[i]).str(4);
     runs += "\n  ]";
-    JsonObject ab;
-    ab.add("ranks", 2)
-        .add("critical_path_overlapped_seconds", med_ovl)
-        .add("critical_path_sequential_seconds", med_seq)
-        .add("overlap_speedup", med_seq / med_ovl);
-    if (std::thread::hardware_concurrency() < 2)
-      ab.add("note",
-             std::string("single-core host: rank threads time-share one CPU, "
-                         "so wall critical paths are throughput-bound "
-                         "(~1.0x); the overlap hides halo wait only with "
-                         ">= 2 cores (see the CI artifact)"));
-    JsonObject root;
-    root.add_raw("config", config.str(2))
-        .add_raw("runs", runs)
-        .add_raw("pipeline_ab", ab.str(2));
-    write_json_file(json_path, root.str());
+    JsonObject doc;
+    doc.add_raw("config", config.str(2)).add_raw("runs", runs);
+    if (run_ab) {
+      JsonObject ab;
+      ab.add("ranks", 2)
+          .add("critical_path_overlapped_seconds", med_ovl)
+          .add("critical_path_sequential_seconds", med_seq)
+          .add("overlap_speedup", med_seq / med_ovl);
+      if (std::thread::hardware_concurrency() < 2)
+        ab.add("note",
+               std::string("single-core host: rank threads time-share one "
+                           "CPU, so wall critical paths are throughput-bound "
+                           "(~1.0x); the overlap hides halo wait only with "
+                           ">= 2 cores (see the CI artifact)"));
+      doc.add_raw("pipeline_ab", ab.str(2));
+    }
+    write_json_file(json_path, doc.str());
   }
   return 0;
 }

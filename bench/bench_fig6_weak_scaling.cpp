@@ -21,13 +21,22 @@ using namespace galactos;
 using namespace galactos::bench;
 
 int main(int argc, char** argv) {
+  dist::Session session = dist::init(&argc, &argv);
   ArgParser args(argc, argv);
   const std::size_t per_rank = args.get<std::size_t>("per-rank", 20000);
   const double rmax = args.get<double>("rmax", 14.0);
-  const int max_ranks = args.get<int>("max-ranks", 8);
+  int max_ranks = args.get<int>("max-ranks", 8);
   args.finish();
 
+  // Under mpirun, "nodes" are real MPI ranks: the sweep is capped at the
+  // world size and only world rank 0 prints.
+  const bool root = session.is_root();
+  const bool mpi = session.backend() == dist::Backend::kMpi;
+  if (mpi) max_ranks = std::min(max_ranks, session.size());
+
+  if (root) {
   print_header("Table 1 analog — weak-scaling dataset family");
+  print_kv("backend", dist::backend_name(session.backend()));
   print_kv("per-rank galaxies", fmt(static_cast<double>(per_rank), "%.0f"));
   print_kv("number density (Mpc/h)^-3", fmt(sim::kOuterRimDensity, "%.4f"));
   {
@@ -52,13 +61,19 @@ int main(int argc, char** argv) {
   print_header("Fig. 6 analog — weak scaling (fixed per-rank load)");
   print_kv("paper reference", "+9% time from 128 -> 8192 nodes (64x)");
   print_kv("R_max (Mpc/h)", fmt(rmax, "%.1f"));
+  }  // if (root)
 
   Table t({"# ranks", "time (s)", "vs 1 rank", "pair imbalance",
            "max halo/owned"});
   double t1 = 0;
   std::vector<int> rank_counts;
   for (int r = 1; r <= max_ranks; r *= 2) rank_counts.push_back(r);
-  rank_counts.push_back(max_ranks + max_ranks / 2 - 1);  // non-power-of-two
+  // Non-power-of-two point (the paper's 9636-node row) — only when it is a
+  // NEW point (max_ranks <= 2 would repeat the last row) and, under MPI,
+  // only if the world can host it.
+  const int odd_ranks = max_ranks + max_ranks / 2 - 1;
+  if (odd_ranks > max_ranks && (!mpi || odd_ranks <= session.size()))
+    rank_counts.push_back(odd_ranks);
   for (int r : rank_counts) {
     const std::size_t n = per_rank * static_cast<std::size_t>(r);
     const sim::Catalog cat = outer_rim_scaled(n, 4000 + r);
@@ -67,7 +82,7 @@ int main(int argc, char** argv) {
     dcfg.ranks = r;
     std::vector<dist::RankReport> reports;
     Timer timer;
-    (void)dist::run_distributed(cat, dcfg, &reports);
+    (void)dist::run_distributed(session, cat, dcfg, &reports);
     const double elapsed = timer.seconds();
     if (r == 1) t1 = elapsed;
 
@@ -84,11 +99,13 @@ int main(int argc, char** argv) {
                fmt(100.0 * imb, "%.1f%%"),
                fmt(math::max_of(ratio), "%.2f")});
   }
-  std::printf("\n");
-  t.print();
-  std::printf(
-      "\nNote: ranks share this machine's memory bandwidth, so the flat\n"
-      "weak-scaling curve (paper: +9%% over 64x) appears here as a modest\n"
-      "rise; the pair-count imbalance column is the paper's <10%% metric.\n");
+  if (root) {
+    std::printf("\n");
+    t.print();
+    std::printf(
+        "\nNote: ranks share this machine's memory bandwidth, so the flat\n"
+        "weak-scaling curve (paper: +9%% over 64x) appears here as a modest\n"
+        "rise; the pair-count imbalance column is the paper's <10%% metric.\n");
+  }
   return 0;
 }

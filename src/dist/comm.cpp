@@ -1,16 +1,29 @@
 #include "dist/comm.hpp"
 
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <exception>
 #include <map>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
 
+#if GALACTOS_WITH_MPI
+#include "dist/mpi_comm.hpp"
+#endif
+
 namespace galactos::dist {
 
-namespace detail {
+namespace {
+
+// Reserved tag for Session::run's closing world barrier — above every tag
+// the partitioner ((1<<22)+...) and runner ((1<<23)+...) use.
+constexpr int kSessionBarrierTag = 1 << 24;
+
+// --- the kThreads backend: an in-process mailbox world ----------------------
 
 // One mailbox per world: FIFO queues keyed by (src, dst, tag) in world
 // ranks. A single mutex + condition variable serve all ranks — traffic is
@@ -89,62 +102,100 @@ struct World {
 // requests on the same channel each claim their own message (the claim pops
 // the queue under the world lock), so completion can be observed in any
 // order across requests without ever double-delivering.
-struct RequestState {
-  std::shared_ptr<World> world;
-  World::Key key;
-  bool claimed = false;  // a message has been popped into `payload`
-  bool taken = false;    // the payload has been handed to the caller
-  std::vector<unsigned char> payload;
+class ThreadRecvState final : public detail::RequestState {
+ public:
+  ThreadRecvState(std::shared_ptr<World> world, World::Key key)
+      : world_(std::move(world)), key_(key) {}
+
+  bool test() override {
+    if (claimed_) return true;
+    claimed_ = world_->try_pop(key_, payload_);
+    return claimed_;
+  }
+
+  void wait() override {
+    if (claimed_) return;
+    payload_ = world_->pop(key_);
+    claimed_ = true;
+  }
+
+  std::vector<unsigned char> take() override {
+    GLX_CHECK_MSG(claimed_, "request take before completion");
+    GLX_CHECK_MSG(!taken_, "RecvRequest::get called twice");
+    taken_ = true;
+    return std::move(payload_);
+  }
+
+ private:
+  std::shared_ptr<World> world_;
+  World::Key key_;
+  bool claimed_ = false;  // a message has been popped into `payload_`
+  bool taken_ = false;    // the payload has been handed to the caller
+  std::vector<unsigned char> payload_;
 };
 
-bool request_test(RequestState& s) {
-  if (s.claimed) return true;
-  s.claimed = s.world->try_pop(s.key, s.payload);
-  return s.claimed;
-}
+// The mailbox world seen through the Transport interface; shared by every
+// rank thread of one run_ranks() world.
+class ThreadTransport final : public detail::Transport {
+ public:
+  explicit ThreadTransport(std::shared_ptr<World> world)
+      : world_(std::move(world)) {}
 
-void request_wait(RequestState& s) {
-  if (s.claimed) return;
-  s.payload = s.world->pop(s.key);
-  s.claimed = true;
-}
+  void send_bytes(int src_world, int dst_world, int tag, const void* data,
+                  std::size_t nbytes) override {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    world_->push({src_world, dst_world, tag},
+                 std::vector<unsigned char>(p, p + nbytes));
+  }
 
-std::vector<unsigned char> request_take(RequestState& s) {
-  GLX_CHECK_MSG(s.claimed, "request_take before completion");
-  GLX_CHECK_MSG(!s.taken, "RecvRequest::get called twice");
-  s.taken = true;
-  return std::move(s.payload);
-}
+  std::vector<unsigned char> recv_bytes(int src_world, int dst_world,
+                                        int tag) override {
+    return world_->pop({src_world, dst_world, tag});
+  }
 
-}  // namespace detail
+  std::shared_ptr<detail::RequestState> post_recv(int src_world,
+                                                  int dst_world,
+                                                  int tag) override {
+    return std::make_shared<ThreadRecvState>(
+        world_, World::Key{src_world, dst_world, tag});
+  }
 
-Comm::Comm(std::shared_ptr<detail::World> world, std::vector<int> group,
-           int rank)
-    : world_(std::move(world)), group_(std::move(group)), rank_(rank) {}
+  World& world() { return *world_; }
+
+ private:
+  std::shared_ptr<World> world_;
+};
+
+}  // namespace
+
+// --- Comm over a Transport ---------------------------------------------------
+
+Comm::Comm(std::shared_ptr<detail::Transport> transport,
+           std::vector<int> group, int rank)
+    : transport_(std::move(transport)), group_(std::move(group)),
+      rank_(rank) {}
 
 void Comm::send_bytes(int dest, int tag, const void* data,
                       std::size_t nbytes) {
   GLX_CHECK_MSG(dest >= 0 && dest < size() && dest != rank_,
                 "send: bad destination rank " << dest);
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  world_->push({world_rank(), group_[static_cast<std::size_t>(dest)], tag},
-               std::vector<unsigned char>(p, p + nbytes));
+  transport_->send_bytes(world_rank(),
+                         group_[static_cast<std::size_t>(dest)], tag, data,
+                         nbytes);
 }
 
 std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
   GLX_CHECK_MSG(src >= 0 && src < size() && src != rank_,
                 "recv: bad source rank " << src);
-  return world_->pop(
-      {group_[static_cast<std::size_t>(src)], world_rank(), tag});
+  return transport_->recv_bytes(group_[static_cast<std::size_t>(src)],
+                                world_rank(), tag);
 }
 
 std::shared_ptr<detail::RequestState> Comm::post_recv(int src, int tag) {
   GLX_CHECK_MSG(src >= 0 && src < size() && src != rank_,
                 "irecv: bad source rank " << src);
-  auto state = std::make_shared<detail::RequestState>();
-  state->world = world_;
-  state->key = {group_[static_cast<std::size_t>(src)], world_rank(), tag};
-  return state;
+  return transport_->post_recv(group_[static_cast<std::size_t>(src)],
+                               world_rank(), tag);
 }
 
 // Binomial-tree broadcast rooted at `root`: rank distance from the root
@@ -191,29 +242,212 @@ Comm Comm::sub_range(int begin, int end) const {
   GLX_CHECK_MSG(rank_ >= begin && rank_ < end,
                 "sub_range: caller rank " << rank_ << " not a member");
   std::vector<int> group(group_.begin() + begin, group_.begin() + end);
-  return Comm(world_, std::move(group), rank_ - begin);
+  return Comm(transport_, std::move(group), rank_ - begin);
 }
 
 void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {
   GLX_CHECK_MSG(nranks >= 1, "run_ranks: nranks must be >= 1");
-  auto world = std::make_shared<detail::World>(nranks);
+  auto world = std::make_shared<World>(nranks);
+  auto transport = std::make_shared<ThreadTransport>(world);
   std::vector<int> group(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) group[static_cast<std::size_t>(r)] = r;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&fn, world, group, r] {
-      Comm comm(world, group, r);
+    threads.emplace_back([&fn, transport, group, r] {
+      Comm comm(transport, group, r);
       try {
         fn(comm);
       } catch (...) {
-        world->abort(std::current_exception());
+        transport->world().abort(std::current_exception());
       }
     });
   }
   for (std::thread& t : threads) t.join();
   if (world->first_error) std::rethrow_exception(world->first_error);
+}
+
+// --- runtime backend selection ----------------------------------------------
+
+const char* backend_name(Backend b) {
+  return b == Backend::kMpi ? "mpi" : "threads";
+}
+
+bool mpi_compiled() {
+#if GALACTOS_WITH_MPI
+  return true;
+#else
+  return false;
+#endif
+}
+
+const std::vector<const char*>& mpi_launcher_env_vars() {
+  // Environment fingerprints of the common MPI launchers: OpenMPI's orted,
+  // MPICH/hydra, PMIx, MVAPICH. Deliberately NOT generic scheduler vars
+  // like SLURM_PROCID — a plain sbatch script sets those without any MPI
+  // launch (srun's PMI/PMIx plugins export PMI_RANK/PMIX_RANK when an MPI
+  // process-management interface really is in play).
+  static const std::vector<const char*> kVars = {
+      "OMPI_COMM_WORLD_SIZE", "PMI_SIZE", "PMI_RANK",
+      "PMIX_RANK",            "MV2_COMM_WORLD_SIZE",
+  };
+  return kVars;
+}
+
+bool mpi_launcher_detected() {
+  for (const char* v : mpi_launcher_env_vars())
+    if (std::getenv(v) != nullptr) return true;
+  return false;
+}
+
+void abort_mpi_world(int exit_code) {
+#if GALACTOS_WITH_MPI
+  if (detail::mpi_initialized()) detail::mpi_abort(exit_code);
+#else
+  (void)exit_code;
+#endif
+}
+
+// Session state: which backend, the world transport (kMpi), and whether
+// this Session is responsible for MPI_Finalize.
+struct Session::Impl {
+  Backend backend = Backend::kThreads;
+  std::shared_ptr<detail::Transport> transport;  // kMpi world transport
+  int world_size = 1;
+  int world_rank = 0;
+  bool finalize_mpi = false;
+
+  ~Impl() {
+#if GALACTOS_WITH_MPI
+    if (finalize_mpi) {
+      // Destroyed by exception unwind: peers may be blocked in collectives
+      // and MPI_Finalize would wait on them forever — kill the job instead
+      // (the thread backend's abort semantics, MPI style). Callers wanting
+      // their own diagnostic first must catch inside the session's scope
+      // (as galactos_dist_main does). Normal teardown drains pending sends
+      // and finalizes.
+      if (std::uncaught_exceptions() > 0) {
+        std::fprintf(stderr,
+                     "galactos dist rank %d: exception during session "
+                     "teardown — aborting the MPI job\n",
+                     world_rank);
+        detail::mpi_abort(1);
+      }
+      transport.reset();
+      detail::mpi_finalize();
+    }
+#endif
+  }
+};
+
+Backend Session::backend() const {
+  GLX_CHECK_MSG(impl_, "Session::backend on an empty session");
+  return impl_->backend;
+}
+
+int Session::size() const {
+  GLX_CHECK_MSG(impl_, "Session::size on an empty session");
+  return impl_->world_size;
+}
+
+int Session::rank() const {
+  GLX_CHECK_MSG(impl_, "Session::rank on an empty session");
+  return impl_->world_rank;
+}
+
+void Session::run(int nranks, const std::function<void(Comm&)>& fn) const {
+  GLX_CHECK_MSG(impl_, "Session::run on an empty session");
+  GLX_CHECK_MSG(nranks >= 0, "Session::run: bad nranks " << nranks);
+  if (impl_->backend == Backend::kThreads) {
+    run_ranks(nranks == 0 ? 1 : nranks, fn);
+    return;
+  }
+  const int P = impl_->world_size;
+  if (nranks == 0) nranks = P;
+  GLX_CHECK_MSG(nranks <= P, "Session::run: " << nranks << " ranks requested "
+                             << "but the MPI world has " << P
+                             << " (grow -np or shrink --ranks)");
+  std::vector<int> group(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) group[static_cast<std::size_t>(r)] = r;
+  Comm world(impl_->transport, std::move(group), impl_->world_rank);
+  if (impl_->world_rank < nranks) {
+    Comm sub = world.sub_range(0, nranks);
+#if GALACTOS_WITH_MPI
+    // The MPI analog of the thread world's abort-and-rethrow: peers
+    // blocked in matched probes or the closing barrier have no wake-up
+    // path, so an exception escaping one rank must kill the whole job
+    // (mpirun reports the nonzero exit) rather than hang it.
+    try {
+      fn(sub);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "galactos dist rank %d: aborting MPI job: %s\n",
+                   impl_->world_rank, e.what());
+      detail::mpi_abort(1);
+    } catch (...) {
+      std::fprintf(stderr, "galactos dist rank %d: aborting MPI job\n",
+                   impl_->world_rank);
+      detail::mpi_abort(1);
+    }
+#else
+    fn(sub);
+#endif
+  }
+  // Closing barrier over the FULL world: back-to-back run() calls (the
+  // benches sweep rank counts) must not let a skipped rank race ahead into
+  // the next call and inject same-tag traffic into this one.
+  world.barrier(kSessionBarrierTag);
+}
+
+Session init(int* argc, char*** argv) {
+  Backend choice;
+  const char* env = std::getenv("GALACTOS_DIST_BACKEND");
+  const std::string sel = env ? env : "";
+  if (sel == "threads" || sel == "minimpi") {
+    choice = Backend::kThreads;
+  } else if (sel == "mpi") {
+    GLX_CHECK_MSG(mpi_compiled(),
+                  "GALACTOS_DIST_BACKEND=mpi but this binary was built "
+                  "without MPI support (reconfigure with "
+                  "-DGALACTOS_WITH_MPI=ON)");
+    choice = Backend::kMpi;
+  } else if (sel.empty() || sel == "auto") {
+    choice = Backend::kThreads;
+#if GALACTOS_WITH_MPI
+    if (detail::mpi_initialized() || mpi_launcher_detected())
+      choice = Backend::kMpi;
+#else
+    // Under mpirun but without compiled MPI support every launched process
+    // would run the full computation redundantly (each a size-1 thread
+    // world racing on any shared output paths) — warn loudly.
+    if (mpi_launcher_detected())
+      std::fprintf(stderr,
+                   "galactos dist: WARNING: an MPI launcher environment is "
+                   "visible but this binary was built without MPI support "
+                   "(-DGALACTOS_WITH_MPI=ON); every launched process will "
+                   "redundantly run its own thread-backed world\n");
+#endif
+  } else {
+    GLX_CHECK_MSG(false, "GALACTOS_DIST_BACKEND=\"" << sel
+                         << "\" is not a backend (use threads | mpi | auto)");
+  }
+
+  Session s;
+  s.impl_ = std::make_shared<Session::Impl>();
+  s.impl_->backend = choice;
+#if GALACTOS_WITH_MPI
+  if (choice == Backend::kMpi) {
+    detail::MpiWorld w = detail::mpi_init_world(argc, argv);
+    s.impl_->transport = std::move(w.transport);
+    s.impl_->world_size = w.size;
+    s.impl_->world_rank = w.rank;
+    s.impl_->finalize_mpi = w.we_initialized;
+  }
+#else
+  (void)argc;
+  (void)argv;
+#endif
+  return s;
 }
 
 }  // namespace galactos::dist

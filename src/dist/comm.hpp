@@ -1,27 +1,33 @@
-// "minimpi" — a thread-backed message-passing runtime with MPI-shaped
-// semantics (paper §3.2 runs on Cori with MPI; here every rank is a thread
-// of one process so multi-rank behavior is exercised under plain ctest).
+// dist::Comm — MPI-shaped message passing over a pluggable Transport.
 //
-// * run_ranks(n, fn) spawns n ranks and runs fn(comm) on each; an exception
-//   thrown by any rank aborts the world and is rethrown to the caller.
-// * Point-to-point messages are typed, tagged and FIFO per (src, dst, tag):
-//   different tags are independent channels, same-tag messages arrive in
-//   send order. Sends never block (buffered); recv blocks.
-// * Non-blocking completion is explicit: isend/irecv return Request handles
-//   with test()/wait(), so callers can post receives, overlap them with
-//   compute, and drain completions in any order (the halo-exchange /
-//   tree-build pipeline in dist/partition.cpp + dist/runner.cpp).
-// * Collectives (barrier, allreduce, gather, allgather, bcast) are built on
-//   the p2p layer and take an explicit tag so user traffic never collides.
-//   The allreduce family runs a recursive halving/doubling butterfly —
-//   O(log P) depth instead of a rank-0 fan-in — with a fixed combination
-//   tree so the result is deterministic and identical on every rank.
-// * sub_range() carves a contiguous sub-communicator out of this one with
-//   local re-ranking — the recursive k-d partitioner halves communicators
-//   this way at every level (dist/partition.cpp).
+// The paper (§3.2) runs on Cori with real MPI; this layer makes the rank
+// runtime a RUN-TIME choice behind one interface:
 //
-// The interface is deliberately a strict subset of MPI semantics so a real
-// MPI backend can slot in behind `Comm` without touching callers.
+//   * Backend::kThreads — "minimpi": every rank is a thread of one process
+//     sharing an in-memory mailbox, so multi-rank behavior is exercised
+//     under plain ctest with zero MPI installed (run_ranks(n, fn)).
+//   * Backend::kMpi — real MPI ranks (GALACTOS_WITH_MPI builds): the same
+//     Comm code drives MPI_Isend/Improbe-backed transport, one rank per
+//     process under mpirun (dist::init + Session::run).
+//
+// Semantics (identical on both backends):
+//   * Point-to-point messages are typed, tagged and FIFO per (src, dst,
+//     tag): different tags are independent channels, same-tag messages
+//     arrive in send order. Sends never block (buffered); recv blocks.
+//   * Non-blocking completion is explicit: isend/irecv return Request
+//     handles with test()/wait(), so callers can post receives, overlap
+//     them with compute, and drain completions in any order (the
+//     halo-exchange / tree-build pipeline in dist/partition.cpp +
+//     dist/runner.cpp).
+//   * Collectives (barrier, allreduce, gather, allgather, bcast) are built
+//     ON TOP of transport point-to-point sends and take an explicit tag so
+//     user traffic never collides. The allreduce family runs a recursive
+//     halving/doubling butterfly — O(log P) depth with a fixed combination
+//     tree — so the result is deterministic, identical on every rank, and
+//     BITWISE IDENTICAL ACROSS BACKENDS for the same rank count.
+//   * sub_range() carves a contiguous sub-communicator out of this one
+//     with local re-ranking — the recursive k-d partitioner halves
+//     communicators this way at every level (dist/partition.cpp).
 #pragma once
 
 #include <cstddef>
@@ -29,21 +35,14 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <vector>
 
+#include "dist/transport.hpp"
 #include "util/check.hpp"
 
 namespace galactos::dist {
-
-namespace detail {
-struct World;         // shared mailbox state, defined in comm.cpp
-struct RequestState;  // one posted non-blocking operation, defined in comm.cpp
-
-bool request_test(RequestState& s);
-void request_wait(RequestState& s);
-std::vector<unsigned char> request_take(RequestState& s);
-}  // namespace detail
 
 // Handle for a posted non-blocking operation (MPI_Request analog).
 //
@@ -68,9 +67,9 @@ class Request {
   // True if this handle refers to a posted operation still owning state.
   bool valid() const { return state_ != nullptr; }
 
-  bool test() { return !state_ || detail::request_test(*state_); }
+  bool test() { return !state_ || state_->test(); }
   void wait() {
-    if (state_) detail::request_wait(*state_);
+    if (state_) state_->wait();
   }
 
  protected:
@@ -91,7 +90,7 @@ class RecvRequest : public Request {
   std::vector<T> get() {
     GLX_CHECK_MSG(valid(), "RecvRequest::get on an empty handle");
     wait();
-    const std::vector<unsigned char> bytes = detail::request_take(*state_);
+    const std::vector<unsigned char> bytes = state_->take();
     GLX_CHECK(bytes.size() % sizeof(T) == 0);
     std::vector<T> out(bytes.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
@@ -108,7 +107,7 @@ class Comm {
   // Rank within this communicator, [0, size()).
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(group_.size()); }
-  // Rank within the original run_ranks() world.
+  // Rank within the original world (run_ranks world or MPI_COMM_WORLD).
   int world_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
 
   // --- point-to-point -----------------------------------------------------
@@ -116,7 +115,7 @@ class Comm {
   template <typename T>
   void send(int dest, int tag, const std::vector<T>& data) {
     static_assert(std::is_trivially_copyable_v<T>,
-                  "minimpi messages must be trivially copyable");
+                  "dist messages must be trivially copyable");
     send_bytes(dest, tag, data.data(), data.size() * sizeof(T));
   }
 
@@ -148,9 +147,9 @@ class Comm {
 
   // --- non-blocking point-to-point ---------------------------------------
 
-  // Buffered sends never block, so an isend is complete at post time; the
-  // handle exists so call sites read like the MPI they will become once a
-  // real backend slots in behind Comm.
+  // Sends never block (buffered thread mailbox / posted MPI_Isend), so an
+  // isend is complete at post time; the handle exists so call sites read
+  // like MPI.
   template <typename T>
   Request isend(int dest, int tag, const std::vector<T>& data) {
     send(dest, tag, data);
@@ -301,6 +300,7 @@ class Comm {
   Comm sub_range(int begin, int end) const;
 
  private:
+  friend class Session;
   friend void run_ranks(int nranks, const std::function<void(Comm&)>& fn);
 
   // Recursive halving/doubling butterfly behind the allreduce family:
@@ -351,18 +351,18 @@ class Comm {
     }
   }
 
-  Comm(std::shared_ptr<detail::World> world, std::vector<int> group,
+  Comm(std::shared_ptr<detail::Transport> transport, std::vector<int> group,
        int rank);
 
-  // dest/src are ranks of THIS communicator; the mailbox is keyed by world
-  // ranks so sub-communicator traffic cannot collide across groups... by
-  // construction tags + (src,dst) world pairs identify a channel.
+  // dest/src are ranks of THIS communicator; the transport is addressed by
+  // world ranks so sub-communicator traffic cannot collide across groups —
+  // tags + (src, dst) world pairs identify a channel.
   void send_bytes(int dest, int tag, const void* data, std::size_t nbytes);
   std::vector<unsigned char> recv_bytes(int src, int tag);
   std::shared_ptr<detail::RequestState> post_recv(int src, int tag);
   void bcast_bytes(std::vector<unsigned char>& bytes, int root, int tag);
 
-  std::shared_ptr<detail::World> world_;
+  std::shared_ptr<detail::Transport> transport_;
   std::vector<int> group_;  // group rank -> world rank
   int rank_;
 };
@@ -370,7 +370,78 @@ class Comm {
 // Spawns `nranks` threads, each running `fn` with its own Comm over the
 // world communicator, and joins them. If any rank throws, the world is
 // aborted (blocked receives wake up and fail) and the first exception is
-// rethrown here.
+// rethrown here. This is the kThreads backend's execution model and it is
+// always available — including inside an MPI process (the minimpi-vs-MPI
+// equivalence tests run both in one binary).
 void run_ranks(int nranks, const std::function<void(Comm&)>& fn);
+
+// --- runtime backend selection ---------------------------------------------
+
+enum class Backend {
+  kThreads,  // in-process minimpi world (always available)
+  kMpi,      // real MPI ranks (GALACTOS_WITH_MPI builds under mpirun)
+};
+
+const char* backend_name(Backend b);
+
+// True when the binary was built with GALACTOS_WITH_MPI.
+bool mpi_compiled();
+
+// True when an MPI launcher's environment is visible (mpirun/srun set
+// OMPI_COMM_WORLD_SIZE / PMI_RANK / PMIX_RANK / ...). Pure env sniffing —
+// works in MPI-less builds too (where it simply reports the launcher).
+bool mpi_launcher_detected();
+
+// The exact environment variables mpi_launcher_detected() sniffs, exposed
+// so tests quiet/fake the real list instead of a drifting copy.
+const std::vector<const char*>& mpi_launcher_env_vars();
+
+// A live backend: holds the transport and, for kMpi, the MPI runtime
+// lifetime (MPI_Finalize runs when the last Session copy dies, iff init()
+// called MPI_Init). Copyable handle, shared state.
+class Session {
+ public:
+  Session() = default;  // empty; use dist::init()
+
+  bool valid() const { return impl_ != nullptr; }
+  Backend backend() const;
+  // kMpi: MPI_COMM_WORLD size / rank. kThreads: 1 / 0 — thread ranks are
+  // chosen per run() call, the process itself is a single root.
+  int size() const;
+  int rank() const;
+  bool is_root() const { return rank() == 0; }
+
+  // Collective entry point, uniform across backends:
+  //   * kThreads — spawns `nranks` minimpi rank threads (run_ranks).
+  //   * kMpi — requires nranks <= size(); world ranks < nranks enter `fn`
+  //     over a contiguous sub-communicator while the rest skip, and every
+  //     world rank synchronizes at a closing barrier (so back-to-back
+  //     run() calls can reuse tags without cross-run matching).
+  // nranks == 0 means "the whole world" under kMpi (size() ranks) and
+  // exactly 1 thread rank under kThreads.
+  void run(int nranks, const std::function<void(Comm&)>& fn) const;
+
+ private:
+  friend Session init(int* argc, char*** argv);
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+// If a real MPI world is up, MPI_Abort the whole job (exit_code) — peers
+// blocked in collectives have no other wake-up path; no-op on thread-backed
+// or MPI-less runs. For top-level error handlers in mpirun-able binaries;
+// Session teardown during exception unwind already does this itself.
+void abort_mpi_world(int exit_code);
+
+// Backend factory. Order of precedence:
+//   1. GALACTOS_DIST_BACKEND env var: "threads"/"minimpi" forces kThreads;
+//      "mpi" forces kMpi (throws if the build has no MPI support);
+//      ""/"auto" falls through. Anything else throws.
+//   2. Auto: kMpi when MPI support is compiled in AND (MPI is already
+//      initialized OR an MPI launcher environment is detected) — i.e. a
+//      GALACTOS_WITH_MPI binary under `mpirun -np N` becomes N real ranks;
+//      the same binary launched directly stays on threads.
+// argc/argv are forwarded to MPI_Init (may be nullptr).
+Session init(int* argc, char*** argv);
 
 }  // namespace galactos::dist

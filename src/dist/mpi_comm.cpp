@@ -1,0 +1,234 @@
+#include "dist/mpi_comm.hpp"
+
+#include <mpi.h>
+
+#include <chrono>
+#include <climits>
+#include <cstring>
+#include <deque>
+#include <iterator>
+
+#include "util/check.hpp"
+
+// Every MPI call is checked; with MPI_ERRORS_RETURN installed a failure
+// surfaces as the same std::logic_error the rest of the library throws
+// (the process then exits nonzero and mpirun reaps the job) instead of an
+// opaque in-library abort.
+#define GLX_MPI_CHECK(call)                                            \
+  do {                                                                 \
+    const int glx_mpi_rc_ = (call);                                    \
+    GLX_CHECK_MSG(glx_mpi_rc_ == MPI_SUCCESS,                          \
+                  "MPI error " << glx_mpi_rc_ << " from " << #call);   \
+  } while (0)
+
+namespace galactos::dist::detail {
+
+namespace {
+
+// The partitioner uses tags up to (1<<22)+7+P, the runner (1<<23)+..., the
+// session barrier 1<<24 — demand headroom above all of them. (The MPI
+// standard only guarantees 32767, but every mainstream implementation
+// provides far more; fail loudly on the exotic ones.)
+constexpr int kRequiredTagUb = (1 << 24) + (1 << 16);
+
+int checked_count(std::size_t nbytes) {
+  GLX_CHECK_MSG(nbytes <= static_cast<std::size_t>(INT_MAX),
+                "MPI transport: message of " << nbytes
+                << " bytes exceeds the int count limit");
+  return static_cast<int>(nbytes);
+}
+
+// A matched-probe receive (MPI_Improbe / MPI_Mprobe + MPI_Mrecv). Nothing
+// is posted to MPI until a probe matches, so an abandoned request holds no
+// MPI resources; once matched, MPI_Mrecv completion is local.
+class MpiRecvState final : public RequestState {
+ public:
+  MpiRecvState(int src, int tag) : src_(src), tag_(tag) {}
+
+  bool test() override {
+    if (claimed_) return true;
+    int flag = 0;
+    MPI_Message msg = MPI_MESSAGE_NULL;
+    MPI_Status st;
+    GLX_MPI_CHECK(
+        MPI_Improbe(src_, tag_, MPI_COMM_WORLD, &flag, &msg, &st));
+    if (!flag) return false;
+    receive(msg, st);
+    return true;
+  }
+
+  void wait() override {
+    if (claimed_) return;
+    MPI_Message msg = MPI_MESSAGE_NULL;
+    MPI_Status st;
+    GLX_MPI_CHECK(MPI_Mprobe(src_, tag_, MPI_COMM_WORLD, &msg, &st));
+    receive(msg, st);
+  }
+
+  std::vector<unsigned char> take() override {
+    GLX_CHECK_MSG(claimed_, "request take before completion");
+    GLX_CHECK_MSG(!taken_, "RecvRequest::get called twice");
+    taken_ = true;
+    return std::move(payload_);
+  }
+
+ private:
+  void receive(MPI_Message& msg, const MPI_Status& st) {
+    int count = 0;
+    GLX_MPI_CHECK(MPI_Get_count(&st, MPI_BYTE, &count));
+    payload_.resize(static_cast<std::size_t>(count));
+    GLX_MPI_CHECK(MPI_Mrecv(count > 0 ? payload_.data() : nullptr, count,
+                            MPI_BYTE, &msg, MPI_STATUS_IGNORE));
+    claimed_ = true;
+  }
+
+  int src_;
+  int tag_;
+  bool claimed_ = false;
+  bool taken_ = false;
+  std::vector<unsigned char> payload_;
+};
+
+class MpiTransport final : public Transport {
+ public:
+  // own_error_handler: only when THIS library initialized MPI may it flip
+  // MPI_COMM_WORLD to MPI_ERRORS_RETURN (so GLX_MPI_CHECK sees codes and
+  // throws). Nested inside a host program's MPI, the host's handler stays
+  // untouched — its own policy (default: abort) governs failures.
+  explicit MpiTransport(bool own_error_handler) {
+    if (own_error_handler)
+      GLX_MPI_CHECK(MPI_Comm_set_errhandler(MPI_COMM_WORLD,
+                                            MPI_ERRORS_RETURN));
+    void* val = nullptr;
+    int flag = 0;
+    GLX_MPI_CHECK(
+        MPI_Comm_get_attr(MPI_COMM_WORLD, MPI_TAG_UB, &val, &flag));
+    if (flag) {
+      const int tag_ub = *static_cast<int*>(val);
+      GLX_CHECK_MSG(tag_ub >= kRequiredTagUb,
+                    "MPI transport: MPI_TAG_UB " << tag_ub
+                    << " is below the " << kRequiredTagUb
+                    << " this library's tag layout needs");
+    }
+  }
+
+  ~MpiTransport() override { drain_pending_sends(); }
+
+  // "Buffered send that never blocks": copy the payload, post MPI_Isend,
+  // park the request. Eager MPI_Send would deadlock the butterfly
+  // allreduce (both partners send before they receive) once messages
+  // outgrow the eager threshold; Isend keeps the minimpi semantics exact.
+  void send_bytes(int src_world, int dst_world, int tag, const void* data,
+                  std::size_t nbytes) override {
+    (void)src_world;  // the MPI envelope carries the source
+    reap_completed_sends();
+    pending_.emplace_back();
+    PendingSend& s = pending_.back();
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    s.buffer.assign(p, p + nbytes);
+    GLX_MPI_CHECK(MPI_Isend(s.buffer.empty() ? nullptr : s.buffer.data(),
+                            checked_count(nbytes), MPI_BYTE, dst_world, tag,
+                            MPI_COMM_WORLD, &s.request));
+  }
+
+  std::vector<unsigned char> recv_bytes(int src_world, int dst_world,
+                                        int tag) override {
+    (void)dst_world;  // always this process
+    MpiRecvState state(src_world, tag);
+    state.wait();
+    return state.take();
+  }
+
+  std::shared_ptr<RequestState> post_recv(int src_world, int dst_world,
+                                          int tag) override {
+    (void)dst_world;
+    return std::make_shared<MpiRecvState>(src_world, tag);
+  }
+
+ private:
+  struct PendingSend {
+    std::vector<unsigned char> buffer;
+    MPI_Request request = MPI_REQUEST_NULL;
+  };
+
+  // Retire every completed send, not just a completed front-prefix — one
+  // send stalled on a slow peer must not pin the payload copies of
+  // everything posted after it.
+  void reap_completed_sends() {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      int done = 0;
+      GLX_MPI_CHECK(MPI_Test(&it->request, &done, MPI_STATUS_IGNORE));
+      it = done ? pending_.erase(it) : std::next(it);
+    }
+  }
+
+  // Normal shutdown finds everything already received (collectives are
+  // matched); after an abort a peer may never receive, so bound the drain.
+  // Stragglers get an MPI_Cancel ATTEMPT, but send-side cancellation is
+  // unsupported on mainstream implementations and MPI_Request_free would
+  // not stop the transfer either — so their buffers are deliberately
+  // leaked rather than freed under the progress engine (this only happens
+  // while the job is already tearing down abnormally).
+  void drain_pending_sends() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!pending_.empty() &&
+           std::chrono::steady_clock::now() < deadline)
+      reap_completed_sends();
+    if (!pending_.empty()) {
+      for (PendingSend& s : pending_)
+        if (s.request != MPI_REQUEST_NULL) MPI_Cancel(&s.request);
+      new std::deque<PendingSend>(std::move(pending_));
+      pending_.clear();
+    }
+  }
+
+  // Safety invariant: reaping erases mid-deque, which move-shifts the
+  // PendingSend elements — that is fine ONLY because MPI holds no pointer
+  // into them: the payload lives on the vector's heap allocation (stable
+  // across vector moves) and MPI_Request handles are value-copied. Do not
+  // add anything here whose ADDRESS is handed to MPI (persistent-request
+  // pointers, inline small-buffer payloads, cached iterators).
+  std::deque<PendingSend> pending_;
+};
+
+}  // namespace
+
+bool mpi_initialized() {
+  int inited = 0, finalized = 0;
+  MPI_Initialized(&inited);
+  MPI_Finalized(&finalized);
+  return inited && !finalized;
+}
+
+MpiWorld mpi_init_world(int* argc, char*** argv) {
+  MpiWorld w;
+  if (!mpi_initialized()) {
+    // FUNNELED: engine compute uses OpenMP threads, but every MPI call is
+    // made from the rank's main thread. An implementation that can only
+    // grant SINGLE cannot legally coexist with those threads — refuse.
+    int provided = MPI_THREAD_SINGLE;
+    GLX_MPI_CHECK(
+        MPI_Init_thread(argc, argv, MPI_THREAD_FUNNELED, &provided));
+    GLX_CHECK_MSG(provided >= MPI_THREAD_FUNNELED,
+                  "MPI grants thread level " << provided
+                  << " < MPI_THREAD_FUNNELED; the OpenMP engine threads "
+                  << "would violate the MPI threading contract");
+    w.we_initialized = true;
+  }
+  GLX_MPI_CHECK(MPI_Comm_size(MPI_COMM_WORLD, &w.size));
+  GLX_MPI_CHECK(MPI_Comm_rank(MPI_COMM_WORLD, &w.rank));
+  w.transport = std::make_shared<MpiTransport>(w.we_initialized);
+  return w;
+}
+
+void mpi_finalize() {
+  if (mpi_initialized()) MPI_Finalize();
+}
+
+void mpi_abort(int exit_code) {
+  MPI_Abort(MPI_COMM_WORLD, exit_code);
+  std::abort();  // MPI_Abort does not return, but the compiler can't know
+}
+
+}  // namespace galactos::dist::detail

@@ -1,0 +1,57 @@
+// The kMpi backend: dist::Transport over real MPI (paper §3.2 — the code
+// path Galactos actually ran on Cori's 9636 KNL nodes).
+//
+// This header is only consumed by GALACTOS_WITH_MPI builds (comm.cpp
+// includes it under the flag; CMake compiles mpi_comm.cpp only then), and
+// it deliberately does NOT include <mpi.h> — the MPI types stay private to
+// mpi_comm.cpp so no other translation unit grows an MPI dependency.
+//
+// Mapping of the Transport contract onto MPI, all on MPI_COMM_WORLD (world
+// ranks are MPI ranks; sub-communicators are Comm-level re-rankings, so
+// channel separation comes from (src, dst, tag) exactly as on minimpi):
+//
+//   send_bytes  -> MPI_Isend of a copied buffer, kept on a pending list
+//                  that is reaped with MPI_Test on later calls and drained
+//                  with MPI_Wait (stragglers MPI_Cancel'ed) at shutdown —
+//                  "buffered send that never blocks", matching minimpi
+//                  even when both butterfly partners send before receiving.
+//   recv_bytes  -> MPI_Mprobe (size unknown at the call) + MPI_Mrecv.
+//   post_recv   -> matched-probe request: test() = MPI_Improbe +
+//                  MPI_Mrecv on a hit, wait() = MPI_Mprobe + MPI_Mrecv.
+//                  Claim-at-first-probe is exactly minimpi's documented
+//                  matching order.
+#pragma once
+
+#include <memory>
+
+#include "dist/transport.hpp"
+
+namespace galactos::dist::detail {
+
+// True once MPI_Init has run (and MPI_Finalize has not).
+bool mpi_initialized();
+
+struct MpiWorld {
+  std::shared_ptr<Transport> transport;
+  int size = 1;
+  int rank = 0;
+  // True when mpi_init_world called MPI_Init itself — its Session then
+  // owns MPI_Finalize; false when MPI was already up (init() nested inside
+  // an outer MPI program).
+  bool we_initialized = false;
+};
+
+// Initializes MPI if needed (argc/argv forwarded, may be nullptr) and
+// returns the world transport + geometry.
+MpiWorld mpi_init_world(int* argc, char*** argv);
+
+// MPI_Finalize (call after the transport has been destroyed).
+void mpi_finalize();
+
+// MPI_Abort(MPI_COMM_WORLD): kills every rank of the job. The MPI analog
+// of the thread world's abort — peers blocked in Mprobe/barriers cannot be
+// woken any other way, so an exception escaping one rank must take the
+// whole job down rather than leave the others hanging.
+[[noreturn]] void mpi_abort(int exit_code);
+
+}  // namespace galactos::dist::detail

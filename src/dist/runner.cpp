@@ -9,6 +9,11 @@ namespace {
 constexpr int kTagReducePayload = (1 << 23) + 0;
 constexpr int kTagReduceCounts = (1 << 23) + 1;
 constexpr int kTagReducePairs = (1 << 23) + 2;
+// World-communicator traffic of the session driver (result fan-out to
+// ranks outside the compute sub-communicator).
+constexpr int kTagWorldPayload = (1 << 23) + 3;
+constexpr int kTagWorldCounts = (1 << 23) + 4;
+constexpr int kTagWorldReports = (1 << 23) + 5;
 
 sim::Catalog round_robin_slice(const sim::Catalog& full, int rank,
                                int nranks) {
@@ -153,6 +158,64 @@ core::ZetaResult run_distributed(const sim::Catalog& catalog,
     // Each rank writes only its own slot; run_ranks joins before we read.
     ranks_out[static_cast<std::size_t>(comm.rank())] = report;
     if (comm.rank() == 0) result = std::move(reduced);
+  });
+  if (reports) *reports = std::move(ranks_out);
+  return result;
+}
+
+core::ZetaResult run_distributed(const Session& session,
+                                 const sim::Catalog& catalog,
+                                 const DistRunConfig& cfg,
+                                 std::vector<RankReport>* reports) {
+  GLX_CHECK_MSG(session.valid(), "run_distributed: empty session");
+  if (session.backend() == Backend::kThreads) {
+    // ranks == 0 means "all" on MPI; the thread world has no ambient rank
+    // count, so mirror Session::run(0) and mean one rank.
+    if (cfg.ranks == 0) {
+      DistRunConfig one = cfg;
+      one.ranks = 1;
+      return run_distributed(catalog, one, reports);
+    }
+    return run_distributed(catalog, cfg, reports);
+  }
+
+  GLX_CHECK_MSG(!catalog.empty(), "run_distributed: empty catalog");
+  const int nranks = cfg.ranks == 0 ? session.size() : cfg.ranks;
+  GLX_CHECK_MSG(nranks >= 1, "run_distributed: ranks must be >= 1");
+  GLX_CHECK_MSG(nranks <= session.size(),
+                "run_distributed: " << nranks << " ranks requested but the "
+                << "MPI world has " << session.size()
+                << " (grow -np or shrink --ranks)");
+
+  core::ZetaResult result =
+      core::ZetaResult::zero_like(cfg.engine.bins, cfg.engine.lmax);
+  std::vector<RankReport> ranks_out;
+  // All world ranks enter; the first `nranks` compute, then the world
+  // redistributes the reduced payload + reports so every process agrees.
+  session.run(session.size(), [&](Comm& world) {
+    std::vector<double> payload;
+    std::vector<std::uint64_t> counts;
+    std::vector<RankReport> mine_report;
+    if (world.rank() < nranks) {
+      Comm compute = world.sub_range(0, nranks);
+      const sim::Catalog mine =
+          round_robin_slice(catalog, compute.rank(), compute.size());
+      RankReport rep;
+      const core::ZetaResult reduced = run_rank(compute, mine, cfg, &rep);
+      payload = reduced.reduce_payload();
+      counts = {reduced.n_primaries, reduced.n_pairs};
+      mine_report.push_back(rep);
+    }
+    world.bcast(payload, 0, kTagWorldPayload);
+    world.bcast(counts, 0, kTagWorldCounts);
+    const auto all_reports =
+        world.allgather(mine_report, kTagWorldReports);
+    for (const auto& per_rank : all_reports)
+      for (const RankReport& r : per_rank) ranks_out.push_back(r);
+
+    result.set_reduce_payload(payload);
+    result.n_primaries = counts.at(0);
+    result.n_pairs = counts.at(1);
   });
   if (reports) *reports = std::move(ranks_out);
   return result;

@@ -75,4 +75,21 @@ core::ZetaResult run_distributed(const sim::Catalog& catalog,
                                  const DistRunConfig& cfg,
                                  std::vector<RankReport>* reports = nullptr);
 
+// Backend-agnostic driver: the same pipeline over whichever backend the
+// Session selected at dist::init time.
+//
+//   * kThreads — delegates to the in-process driver above.
+//   * kMpi — `catalog` must be IDENTICAL on every process (same file or
+//     same generator seed; nothing is scattered over the wire — each rank
+//     takes its own round-robin slice). The first cfg.ranks world ranks
+//     (cfg.ranks == 0 means all) run the pipeline on a contiguous
+//     sub-communicator; the reduced result and the per-rank reports are
+//     then broadcast over the full world, so EVERY process returns the
+//     same values — and, for equal rank counts, the same bits as the
+//     thread backend (the collectives share one combination tree).
+core::ZetaResult run_distributed(const Session& session,
+                                 const sim::Catalog& catalog,
+                                 const DistRunConfig& cfg,
+                                 std::vector<RankReport>* reports = nullptr);
+
 }  // namespace galactos::dist

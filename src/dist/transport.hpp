@@ -1,0 +1,63 @@
+// Byte-level transport behind dist::Comm.
+//
+// Comm owns the MESSAGE SEMANTICS — typed payloads, group-rank addressing,
+// and every collective algorithm (butterfly allreduce, binomial bcast,
+// gather + offsets-header allgather). A Transport owns only the MOVEMENT of
+// tagged byte buffers between world ranks. Because the collectives are
+// layered on transport sends rather than delegated to backend collectives,
+// the combination tree — and therefore the floating-point result — is
+// bitwise identical on every backend: a 4-rank minimpi run and a 4-rank
+// MPI run reduce to the same bits.
+//
+// Contract (both implementations honor it; it is the subset of MPI
+// semantics minimpi was built around):
+//   * channels are (src world rank, dst world rank, tag); same-channel
+//     messages arrive FIFO, different channels are independent;
+//   * send_bytes never blocks (buffered or posted asynchronously);
+//   * recv_bytes blocks for the oldest matching message;
+//   * post_recv returns a RequestState that claims the oldest matching
+//     message at the first test()/wait() that finds one (claim order, not
+//     post order — keep one outstanding receive per channel and the
+//     backends agree with MPI's post-time matching).
+//
+// Implementations: the in-process thread world (comm.cpp) and, when built
+// with GALACTOS_WITH_MPI, the MPI_Isend/Mprobe-backed MpiTransport
+// (mpi_comm.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace galactos::dist::detail {
+
+// One posted non-blocking receive (MPI_Request analog), owned by a single
+// rank; see the matching caveat above.
+class RequestState {
+ public:
+  virtual ~RequestState() = default;
+
+  // Non-blocking completion probe; sticky once true.
+  virtual bool test() = 0;
+  // Blocks until the message arrives (throws if the world aborts first).
+  virtual void wait() = 0;
+  // Hands the payload to the caller; valid once complete, call once.
+  virtual std::vector<unsigned char> take() = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Buffered/asynchronous: returns without waiting for the receiver.
+  virtual void send_bytes(int src_world, int dst_world, int tag,
+                          const void* data, std::size_t nbytes) = 0;
+  // Blocks for the oldest message on (src_world, dst_world, tag).
+  virtual std::vector<unsigned char> recv_bytes(int src_world, int dst_world,
+                                                int tag) = 0;
+  // Posts a receive on the channel and returns immediately.
+  virtual std::shared_ptr<RequestState> post_recv(int src_world,
+                                                  int dst_world, int tag) = 0;
+};
+
+}  // namespace galactos::dist::detail

@@ -1,0 +1,188 @@
+// Runtime backend selection (dist::init / Session): the factory must pick
+// the thread-backed minimpi world whenever MPI is absent or uninitialized,
+// honor the GALACTOS_DIST_BACKEND override, reject nonsense, and execute
+// Session::run / run_distributed(session, ...) identically to the direct
+// thread drivers. Everything here runs WITHOUT MPI — the real-MPI side of
+// the equivalence story lives in test_mpi_backend.cpp (MPI CI job only).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dist/runner.hpp"
+#include "sim/generators.hpp"
+
+namespace c = galactos::core;
+namespace d = galactos::dist;
+namespace s = galactos::sim;
+
+namespace {
+
+// Sets (or unsets, for nullptr) an environment variable for one scope and
+// restores the previous value on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_old_)
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// Launcher fingerprints mpi_launcher_detected() sniffs — cleared so a test
+// running inside some outer mpirun/srun still sees a quiet environment.
+// Iterates the production list so the two can never drift apart.
+// (unique_ptr: ScopedEnv must never be moved, its destructor writes env.)
+std::vector<std::unique_ptr<ScopedEnv>> quiet_launcher_env() {
+  std::vector<std::unique_ptr<ScopedEnv>> clear;
+  for (const char* v : d::mpi_launcher_env_vars())
+    clear.push_back(std::make_unique<ScopedEnv>(v, nullptr));
+  return clear;
+}
+
+c::EngineConfig small_config() {
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(2.0, 14.0, 3);
+  cfg.lmax = 3;
+  cfg.threads = 1;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(BackendSelect, DefaultIsThreadsWithoutLauncher) {
+  auto quiet = quiet_launcher_env();
+  ScopedEnv env("GALACTOS_DIST_BACKEND", nullptr);
+  d::Session session = d::init(nullptr, nullptr);
+  ASSERT_TRUE(session.valid());
+  EXPECT_EQ(session.backend(), d::Backend::kThreads);
+  EXPECT_EQ(session.size(), 1);
+  EXPECT_EQ(session.rank(), 0);
+  EXPECT_TRUE(session.is_root());
+}
+
+TEST(BackendSelect, AutoAliasIsThreadsWithoutLauncher) {
+  auto quiet = quiet_launcher_env();
+  ScopedEnv env("GALACTOS_DIST_BACKEND", "auto");
+  EXPECT_EQ(d::init(nullptr, nullptr).backend(), d::Backend::kThreads);
+}
+
+TEST(BackendSelect, EnvForcesThreads) {
+  ScopedEnv env("GALACTOS_DIST_BACKEND", "threads");
+  EXPECT_EQ(d::init(nullptr, nullptr).backend(), d::Backend::kThreads);
+}
+
+TEST(BackendSelect, EnvMinimpiAliasForcesThreads) {
+  ScopedEnv env("GALACTOS_DIST_BACKEND", "minimpi");
+  EXPECT_EQ(d::init(nullptr, nullptr).backend(), d::Backend::kThreads);
+}
+
+TEST(BackendSelect, EnvGarbageThrows) {
+  ScopedEnv env("GALACTOS_DIST_BACKEND", "carrier-pigeon");
+  EXPECT_THROW(d::init(nullptr, nullptr), std::logic_error);
+}
+
+TEST(BackendSelect, BackendNames) {
+  EXPECT_STREQ(d::backend_name(d::Backend::kThreads), "threads");
+  EXPECT_STREQ(d::backend_name(d::Backend::kMpi), "mpi");
+}
+
+#if !GALACTOS_WITH_MPI
+
+TEST(BackendSelect, EnvMpiWithoutSupportThrows) {
+  ScopedEnv env("GALACTOS_DIST_BACKEND", "mpi");
+  EXPECT_THROW(d::init(nullptr, nullptr), std::logic_error);
+}
+
+TEST(BackendSelect, MpiNotCompiled) { EXPECT_FALSE(d::mpi_compiled()); }
+
+// A visible launcher must not flip an MPI-less build off the thread
+// backend — auto stays on minimpi (the "picks minimpi when MPI is absent"
+// guarantee). Faking the launcher is only safe here: a GALACTOS_WITH_MPI
+// build would try a real MPI_Init.
+TEST(BackendSelect, LauncherWithoutMpiSupportStaysThreads) {
+  auto quiet = quiet_launcher_env();
+  EXPECT_FALSE(d::mpi_launcher_detected());
+  ScopedEnv fake("OMPI_COMM_WORLD_SIZE", "4");
+  EXPECT_TRUE(d::mpi_launcher_detected());
+  ScopedEnv env("GALACTOS_DIST_BACKEND", nullptr);
+  EXPECT_EQ(d::init(nullptr, nullptr).backend(), d::Backend::kThreads);
+}
+
+#endif  // !GALACTOS_WITH_MPI
+
+TEST(Session, EmptySessionIsInvalid) {
+  d::Session session;
+  EXPECT_FALSE(session.valid());
+  EXPECT_THROW(session.backend(), std::logic_error);
+  EXPECT_THROW(session.run(1, [](d::Comm&) {}), std::logic_error);
+}
+
+TEST(Session, RunSpawnsThreadRanks) {
+  ScopedEnv env("GALACTOS_DIST_BACKEND", "threads");
+  d::Session session = d::init(nullptr, nullptr);
+  int sizes[3] = {0, 0, 0};
+  session.run(3, [&](d::Comm& comm) {
+    sizes[comm.rank()] = comm.size();
+    const int sum = comm.allreduce_sum_value(comm.rank(), 77);
+    EXPECT_EQ(sum, 3);
+  });
+  for (int sz : sizes) EXPECT_EQ(sz, 3);
+}
+
+TEST(Session, RunZeroMeansOneThreadRank) {
+  ScopedEnv env("GALACTOS_DIST_BACKEND", "threads");
+  int ranks_seen = 0;
+  d::init(nullptr, nullptr).run(0, [&](d::Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    ++ranks_seen;
+  });
+  EXPECT_EQ(ranks_seen, 1);
+}
+
+// The session driver on the thread backend must be the in-process driver,
+// bit for bit: same payload doubles, same integer counters.
+TEST(Session, RunDistributedDelegatesBitwise) {
+  ScopedEnv env("GALACTOS_DIST_BACKEND", "threads");
+  d::Session session = d::init(nullptr, nullptr);
+
+  const s::Catalog cat = s::uniform_box(800, s::Aabb::cube(60), 99);
+  d::DistRunConfig cfg;
+  cfg.engine = small_config();
+  cfg.ranks = 3;
+
+  std::vector<d::RankReport> direct_reports, session_reports;
+  const c::ZetaResult direct = d::run_distributed(cat, cfg, &direct_reports);
+  const c::ZetaResult via_session =
+      d::run_distributed(session, cat, cfg, &session_reports);
+
+  const std::vector<double> a = direct.reduce_payload();
+  const std::vector<double> b = via_session.reduce_payload();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+  EXPECT_EQ(direct.n_primaries, via_session.n_primaries);
+  EXPECT_EQ(direct.n_pairs, via_session.n_pairs);
+  ASSERT_EQ(session_reports.size(), direct_reports.size());
+  for (std::size_t i = 0; i < session_reports.size(); ++i)
+    EXPECT_EQ(session_reports[i].pairs, direct_reports[i].pairs);
+}

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Gate BENCH_dist.json against a committed baseline.
+
+Compares a freshly generated bench_dist_scaling JSON against the baseline
+checked into the repo and FAILS (exit 1) when the distributed pipeline
+regressed, so the CI artifact trend is enforced rather than eyeballed:
+
+  * pair imbalance — max/mean kernel pairs per (ranks, policy) run. The
+    partition is deterministic for a given catalog/config, so this metric
+    is machine-independent: any growth beyond --imbalance-tol is a real
+    partitioner regression.
+  * wall time (optional, --time-tol) — compared as the NORMALIZED scaling
+    shape elapsed(r)/elapsed(1 rank, same policy), not absolute seconds,
+    so a slower/faster runner cannot trip it; only a worse scaling curve
+    can (e.g. rank parallelism breaking). Disabled unless --time-tol is
+    given because the shape is still host-sensitive in the extreme
+    (single-core baselines are the worst case, so regressions against
+    them are conservative).
+
+The run configs (n, rmax, side, lmax, max_ranks, catalog) must match
+between baseline and fresh file — comparing different workloads is
+meaningless — unless --allow-config-mismatch is given. Baseline runs
+missing from the fresh file fail too (shrinking coverage is a regression).
+
+Usage:
+  tools/check_bench_regression.py --baseline bench/baselines/BENCH_dist.ci.json \
+      --fresh BENCH_dist.ci.json [--imbalance-tol 0.25] [--time-tol 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+# Below this, max/mean noise (a handful of pairs moving across a cut) can
+# exceed any relative tolerance without meaning anything.
+IMBALANCE_ABS_FLOOR = 0.02
+
+CONFIG_KEYS = ("n", "rmax", "side", "lmax", "max_ranks", "catalog")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+
+def runs_by_key(doc):
+    return {(r["ranks"], r["policy"]): r for r in doc.get("runs", [])}
+
+
+def normalized_time(runs, key):
+    """elapsed(r, policy) / elapsed(1, policy); None when not computable."""
+    base = runs.get((1, key[1]))
+    if base is None or base["elapsed_seconds"] <= 0:
+        return None
+    return runs[key]["elapsed_seconds"] / base["elapsed_seconds"]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail on distributed-bench regressions vs a baseline")
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_dist.json to gate against")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly generated BENCH_dist.json")
+    ap.add_argument("--imbalance-tol", type=float, default=0.25,
+                    help="max fractional pair-imbalance growth (default .25)")
+    ap.add_argument("--time-tol", type=float, default=None,
+                    help="max fractional normalized wall-time growth "
+                         "(omitted = time check off)")
+    ap.add_argument("--allow-config-mismatch", action="store_true",
+                    help="compare even when run configs differ")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    mismatched = [
+        k for k in CONFIG_KEYS
+        if baseline.get("config", {}).get(k) != fresh.get("config", {}).get(k)
+    ]
+    if mismatched and not args.allow_config_mismatch:
+        for k in mismatched:
+            print(f"config mismatch on '{k}': baseline="
+                  f"{baseline.get('config', {}).get(k)!r} fresh="
+                  f"{fresh.get('config', {}).get(k)!r}")
+        sys.exit("error: baseline and fresh configs differ — these runs are "
+                 "not comparable (--allow-config-mismatch to override)")
+
+    base_runs = runs_by_key(baseline)
+    fresh_runs = runs_by_key(fresh)
+    if not base_runs:
+        sys.exit(f"error: no runs in baseline {args.baseline}")
+
+    violations = []
+    print(f"{'ranks':>5} {'policy':<17} {'imb(base)':>10} {'imb(fresh)':>10}"
+          f" {'t_norm(base)':>12} {'t_norm(fresh)':>13}  verdict")
+    for key in sorted(base_runs):
+        ranks, policy = key
+        base = base_runs[key]
+        fresh_run = fresh_runs.get(key)
+        if fresh_run is None:
+            violations.append(f"run (ranks={ranks}, policy={policy}) "
+                              f"missing from {args.fresh}")
+            print(f"{ranks:>5} {policy:<17} {'—':>10} {'MISSING':>10}")
+            continue
+
+        verdicts = []
+        bi, fi = base["pair_imbalance"], fresh_run["pair_imbalance"]
+        if fi > bi * (1 + args.imbalance_tol) + IMBALANCE_ABS_FLOOR:
+            verdicts.append(
+                f"pair imbalance {bi:.3f} -> {fi:.3f} "
+                f"(+{100 * (fi / bi - 1):.1f}% > {100 * args.imbalance_tol:.0f}%)")
+
+        bt = normalized_time(base_runs, key)
+        ft = normalized_time(fresh_runs, key)
+        if args.time_tol is not None and bt and ft and ranks > 1:
+            if ft > bt * (1 + args.time_tol):
+                verdicts.append(
+                    f"normalized wall time {bt:.3f} -> {ft:.3f} "
+                    f"(+{100 * (ft / bt - 1):.1f}% > {100 * args.time_tol:.0f}%)")
+
+        fmt_t = lambda t: f"{t:.3f}" if t is not None else "—"
+        print(f"{ranks:>5} {policy:<17} {bi:>10.3f} {fi:>10.3f}"
+              f" {fmt_t(bt):>12} {fmt_t(ft):>13}  "
+              f"{'REGRESSED' if verdicts else 'ok'}")
+        for v in verdicts:
+            violations.append(f"(ranks={ranks}, policy={policy}): {v}")
+
+    if violations:
+        print(f"\n{len(violations)} regression(s) vs {args.baseline}:")
+        for v in violations:
+            print(f"  - {v}")
+        sys.exit(1)
+    print(f"\nno regressions vs {args.baseline} "
+          f"(imbalance tol {args.imbalance_tol:.0%}"
+          + (f", time tol {args.time_tol:.0%}" if args.time_tol is not None
+             else ", time check off") + ")")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+// galactos_dist_main — the mpirun-able distributed 3PCF entrypoint.
+//
+// One binary, two launch styles, identical pipeline (k-d partition + halo
+// exchange + leaf-blocked traversal + tree reduction):
+//
+//   # real MPI ranks (GALACTOS_WITH_MPI build; backend auto-detected)
+//   mpirun -np 4 ./build/galactos_dist_main --n 200000 --rmax 16
+//
+//   # in-process thread ranks (any build, no MPI installed)
+//   ./build/galactos_dist_main --ranks 4 --n 200000 --rmax 16
+//
+// The backend is chosen at run time by dist::init (GALACTOS_DIST_BACKEND
+// overrides: threads | mpi | auto). Input is either --input <catalog>
+// (text "x y z [w]" or GLXCAT01 .bin) — under MPI every rank must see the
+// same file — or a synthetic Outer Rim-density catalog (--n, --seed).
+// Rank 0 prints the per-rank pipeline report and writes the zeta CSV /
+// JSON report; the reduced result is identical on every rank.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dist/runner.hpp"
+#include "io/catalog_io.hpp"
+#include "io/zeta_io.hpp"
+#include "util/argparse.hpp"
+#include "util/timer.hpp"
+
+using namespace galactos;
+using galactos::bench::JsonObject;
+using galactos::bench::Table;
+using galactos::bench::fmt;
+
+namespace {
+
+sim::Catalog load(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin")
+    return io::read_catalog_binary(path);
+  return io::read_catalog_text(path);
+}
+
+int run_with_session(dist::Session& session, int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string input = args.get_str("input", "");
+  const std::size_t n = args.get<std::size_t>("n", 100000);
+  const std::uint64_t seed = args.get<std::uint64_t>("seed", 12345);
+  // Sentinel -1 = "rmax/nbins"; an explicit --rmin 0 is honored (RadialBins
+  // accepts a zero lower edge for linear bins).
+  const double rmin = args.get<double>("rmin", -1.0);
+  const double rmax = args.get<double>("rmax", 16.0);
+  const int nbins = args.get<int>("nbins", 10);
+  const int lmax = args.get<int>("lmax", 10);
+  const int threads = args.get<int>("threads", 1);
+  // kThreads: rank count (default 4). kMpi: defaults to the mpirun world;
+  // smaller values run on a leading sub-communicator.
+  const int ranks_arg = args.get<int>(
+      "ranks", session.backend() == dist::Backend::kMpi ? 0 : 4);
+  const std::string policy = args.get_str("policy", "pair");
+  const bool sequential = args.flag("sequential");
+  const std::string output = args.get_str("output", "");
+  const std::string json_path = args.get_str("json", "");
+  args.finish();
+
+  const bool root = session.is_root();
+  if (root)
+    std::printf("galactos_dist_main: backend=%s world=%d\n",
+                dist::backend_name(session.backend()), session.size());
+
+  sim::Catalog cat;
+  if (!input.empty()) {
+    cat = load(input);  // every MPI rank reads the same file
+    if (root)
+      std::printf("loaded %zu galaxies from %s\n", cat.size(),
+                  input.c_str());
+  } else {
+    cat = bench::outer_rim_scaled(n, seed);
+    if (root)
+      std::printf("synthetic catalog: %zu galaxies, seed %llu\n", cat.size(),
+                  static_cast<unsigned long long>(seed));
+  }
+
+  dist::DistRunConfig cfg;
+  cfg.engine.bins =
+      core::RadialBins(rmin >= 0 ? rmin : rmax / nbins, rmax, nbins);
+  cfg.engine.lmax = lmax;
+  cfg.engine.threads = threads;
+  cfg.engine.precision = core::TreePrecision::kMixed;
+  cfg.ranks = ranks_arg;
+  cfg.partition = policy == "primary"
+                      ? dist::PartitionPolicy::kPrimaryBalanced
+                      : dist::PartitionPolicy::kPairWeighted;
+  cfg.overlap_halo = !sequential;
+
+  std::vector<dist::RankReport> reports;
+  Timer timer;
+  const core::ZetaResult result =
+      dist::run_distributed(session, cat, cfg, &reports);
+  const double elapsed = timer.seconds();
+
+  if (root) {
+    Table t({"rank", "owned", "held", "pairs", "partition (s)", "halo (s)",
+             "build (s)", "engine (s)", "reduce (s)"});
+    for (const auto& r : reports)
+      t.add_row({fmt(r.rank, "%.0f"), std::to_string(r.owned),
+                 std::to_string(r.held), std::to_string(r.pairs),
+                 fmt(r.partition_seconds, "%.4f"),
+                 fmt(r.halo_seconds, "%.4f"),
+                 fmt(r.index_build_seconds, "%.4f"),
+                 fmt(r.engine_seconds, "%.4f"),
+                 fmt(r.reduce_seconds, "%.4f")});
+    std::printf("\n");
+    t.print();
+    std::printf("\n");
+    const double imbalance =
+        reports.empty() ? 1.0 : reports.front().pair_imbalance;
+    std::printf("ranks %zu  pairs %llu  pair-imbalance %.3f  wall %.3f s\n",
+                reports.size(),
+                static_cast<unsigned long long>(result.n_pairs), imbalance,
+                elapsed);
+
+    if (!output.empty()) io::write_zeta_csv(result, output + "_zeta.csv");
+    if (!json_path.empty()) {
+      JsonObject o;
+      o.add("backend", std::string(dist::backend_name(session.backend())))
+          .add("world_size", session.size())
+          .add("ranks", static_cast<std::uint64_t>(reports.size()))
+          .add("galaxies", static_cast<std::uint64_t>(cat.size()))
+          .add("rmax", rmax)
+          .add("lmax", lmax)
+          .add("policy", policy == "primary" ? "primary_balanced"
+                                             : "pair_weighted")
+          .add("overlap_halo", sequential ? 0 : 1)
+          .add("n_pairs", result.n_pairs)
+          .add("pair_imbalance", imbalance)
+          .add("wall_seconds", elapsed);
+      bench::write_json_file(json_path, o.str());
+    }
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  // init() first: MPI_Init may consume launcher-injected argv entries.
+  dist::Session session = dist::init(&argc, &argv);
+  // Catch INSIDE the session's scope: the diagnostic must print before
+  // anything tears the MPI world down. Under real MPI a clean exit(1)
+  // would leave peers blocked in collectives forever, so after reporting,
+  // take the whole job down (no-op on the thread backend, where the error
+  // is rank-local and a plain exit is safe).
+  try {
+    return run_with_session(session, argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "galactos_dist_main: error: %s\n", e.what());
+    dist::abort_mpi_world(1);
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    // dist::init failures land here (no MPI world is up yet).
+    std::fprintf(stderr, "galactos_dist_main: error: %s\n", e.what());
+    galactos::dist::abort_mpi_world(1);
+    return 1;
+  }
+}
