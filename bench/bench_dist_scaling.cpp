@@ -7,12 +7,16 @@
 // policies over 1..max-ranks — kPairWeighted must sit below
 // kPrimaryBalanced.
 //
-// Section 2 — pipeline A/B: the same partition + halo exchange + index
-// build, 2 ranks with a skewed initial scatter (realistic ingest skew, so
-// one rank genuinely lags), run with the overlapped pipeline (halo in
-// flight during the owned-index build) versus the sequential order (drain
-// halo, then build). Reports the median rank critical path
-// (halo wait + index build) over many repeats; overlap must shrink it.
+// Section 2 — pipeline A/B/C: the same partition + halo exchange + index
+// build + traversal, 2 ranks with a skewed initial scatter (realistic
+// ingest skew, so one rank genuinely lags), run under all three
+// OverlapModes: sequential (drain halo, then build + traverse),
+// index_build (halo hides behind the owned-index build only — the PR-3
+// pipeline) and two_pass (halo hides behind index build AND the whole
+// owned-vs-owned traversal, with the owned-vs-halo completion in a second
+// pass). Reports, per mode, the median rank critical path
+// (halo wait + index build + traversal) plus the blocked-vs-hidden halo
+// seconds over many repeats; deeper overlap must not lengthen it.
 // On a single-core host the A/B is throughput-bound (total CPU is
 // conserved, so the margin is structural: one fewer block/wake on the
 // critical path and staggered builds); multi-core hosts — e.g. the CI
@@ -53,9 +57,11 @@ sim::Catalog clustered_catalog(std::size_t n, double side) {
 struct RunSummary {
   int ranks = 0;
   std::string policy;
+  std::string overlap_mode;
   double elapsed_seconds = 0;
   double pair_imbalance = 0;
   double halo_max_seconds = 0;
+  double halo_hidden_max_seconds = 0;
   double index_build_max_seconds = 0;
   double reduce_max_seconds = 0;
   std::vector<dist::RankReport> reports;
@@ -74,6 +80,7 @@ RunSummary run_once(const dist::Session& session, const sim::Catalog& cat,
   s.policy = policy == dist::PartitionPolicy::kPairWeighted
                  ? "pair_weighted"
                  : "primary_balanced";
+  s.overlap_mode = dist::overlap_mode_name(dcfg.overlap);
 
   Timer t;
   (void)dist::run_distributed(session, cat, dcfg, &s.reports);
@@ -82,6 +89,8 @@ RunSummary run_once(const dist::Session& session, const sim::Catalog& cat,
   for (const auto& r : s.reports) {
     s.pair_imbalance = r.pair_imbalance;  // identical on every rank
     s.halo_max_seconds = std::max(s.halo_max_seconds, r.halo_seconds);
+    s.halo_hidden_max_seconds =
+        std::max(s.halo_hidden_max_seconds, r.halo_hidden_seconds);
     s.index_build_max_seconds =
         std::max(s.index_build_max_seconds, r.index_build_seconds);
     s.reduce_max_seconds = std::max(s.reduce_max_seconds, r.reduce_seconds);
@@ -93,19 +102,22 @@ JsonObject summary_json(const RunSummary& s) {
   JsonObject o;
   o.add("ranks", s.ranks)
       .add("policy", s.policy)
+      .add("overlap_mode", s.overlap_mode)
       .add("elapsed_seconds", s.elapsed_seconds)
       .add("pair_imbalance", s.pair_imbalance)
       .add("halo_max_seconds", s.halo_max_seconds)
+      .add("halo_hidden_max_seconds", s.halo_hidden_max_seconds)
       .add("index_build_max_seconds", s.index_build_max_seconds)
       .add("reduce_max_seconds", s.reduce_max_seconds);
-  std::string pairs = "[", part = "[", halo = "[", build = "[", engine = "[",
-              reduce = "[";
+  std::string pairs = "[", part = "[", halo = "[", hidden = "[", build = "[",
+              engine = "[", reduce = "[";
   for (std::size_t i = 0; i < s.reports.size(); ++i) {
     const auto& r = s.reports[i];
     const char* sep = i ? ", " : "";
     pairs += sep + std::to_string(r.pairs);
     part += sep + fmt(r.partition_seconds, "%.6f");
     halo += sep + fmt(r.halo_seconds, "%.6f");
+    hidden += sep + fmt(r.halo_hidden_seconds, "%.6f");
     build += sep + fmt(r.index_build_seconds, "%.6f");
     engine += sep + fmt(r.engine_seconds, "%.6f");
     reduce += sep + fmt(r.reduce_seconds, "%.6f");
@@ -113,28 +125,37 @@ JsonObject summary_json(const RunSummary& s) {
   o.add_raw("per_rank_pairs", pairs + "]")
       .add_raw("per_rank_partition_seconds", part + "]")
       .add_raw("per_rank_halo_seconds", halo + "]")
+      .add_raw("per_rank_halo_hidden_seconds", hidden + "]")
       .add_raw("per_rank_index_build_seconds", build + "]")
       .add_raw("per_rank_engine_seconds", engine + "]")
       .add_raw("per_rank_reduce_seconds", reduce + "]");
   return o;
 }
 
+struct AbSample {
+  double critical_path = 0;   // max over ranks: halo + build + traversal
+  double halo_blocked = 0;    // max over ranks: blocked halo wait
+  double halo_hidden = 0;     // max over ranks: in-flight window worked
+};
+
 // One A/B measurement through the production run_rank pipeline: 2 ranks,
-// rank 0 seeded with 95% of the catalog (skewed ingest), lmax = 0 so the
-// traversal is cheap relative to partition + halo + build. Returns the
-// rank critical path max(halo wait + index build) — reduced over the comm,
-// so the value is valid on whatever rank 0 is (thread 0 or world root).
-double pipeline_critical_path(const dist::Session& session,
-                              const sim::Catalog& cat,
-                              const core::EngineConfig& ecfg, bool overlap) {
+// rank 0 seeded with 95% of the catalog (skewed ingest). The traversal is
+// part of the critical path on purpose — the two_pass mode's whole point
+// is moving it inside the halo's in-flight window. All three maxima are
+// comm-reduced, so the values are valid on whatever rank 0 is (thread 0 or
+// world root).
+AbSample pipeline_critical_path(const dist::Session& session,
+                                const sim::Catalog& cat,
+                                const core::EngineConfig& ecfg,
+                                dist::OverlapMode mode) {
   constexpr int kTagAbCrit = 901;
   dist::DistRunConfig dcfg;
   dcfg.engine = ecfg;
   dcfg.ranks = 2;
-  dcfg.overlap_halo = overlap;
+  dcfg.overlap = mode;
   const std::size_t cutoff = cat.size() * 19 / 20;  // 95% / 5% scatter
 
-  double crit = 0;
+  AbSample out;
   session.run(2, [&](dist::Comm& comm) {
     sim::Catalog mine;
     for (std::size_t i = 0; i < cat.size(); ++i)
@@ -142,11 +163,20 @@ double pipeline_critical_path(const dist::Session& session,
         mine.push_back(cat.position(i), cat.w[i]);
     dist::RankReport rep;
     (void)dist::run_rank(comm, mine, dcfg, &rep);
-    const double local = rep.halo_seconds + rep.index_build_seconds;
-    const double reduced = comm.allreduce_max_value(local, kTagAbCrit);
-    if (comm.rank() == 0) crit = reduced;
+    const double crit = comm.allreduce_max_value(
+        rep.halo_seconds + rep.index_build_seconds + rep.engine_seconds,
+        kTagAbCrit);
+    const double blocked =
+        comm.allreduce_max_value(rep.halo_seconds, kTagAbCrit + 1);
+    const double hidden =
+        comm.allreduce_max_value(rep.halo_hidden_seconds, kTagAbCrit + 2);
+    if (comm.rank() == 0) {
+      out.critical_path = crit;
+      out.halo_blocked = blocked;
+      out.halo_hidden = hidden;
+    }
   });
-  return crit;
+  return out;
 }
 
 double median(std::vector<double> v) {
@@ -166,6 +196,10 @@ int main(int argc, char** argv) {
   int max_ranks = args.get<int>("max-ranks", 16);
   const std::size_t ab_n = args.get<std::size_t>("ab-n", 200000);
   const int ab_repeats = std::max(1, args.get<int>("ab-repeats", 9));
+  // lmax for the A/B catalog: > 0 so the traversal carries real weight —
+  // what the two_pass mode hides the halo behind — yet small enough that
+  // the partition/halo phases stay visible next to it.
+  const int ab_lmax = args.get<int>("ab-lmax", 3);
   const std::string json_path = args.get_str("json", "BENCH_dist.json");
   args.finish();
 
@@ -229,35 +263,70 @@ int main(int argc, char** argv) {
     print_kv("pair imbalance, pair-weighted", fmt(wgt->pair_imbalance));
   }
 
-  // --- Section 2: overlapped vs sequential pipeline A/B ------------------
+  // --- Section 2: three-way overlap A/B (sequential / index / two-pass) --
   // Needs 2 ranks; an mpirun -np 1 world cannot host it.
   const bool run_ab = !mpi || session.size() >= 2;
-  double med_ovl = 0, med_seq = 0;
+  const dist::OverlapMode kAbModes[] = {dist::OverlapMode::kSequential,
+                                        dist::OverlapMode::kIndexBuild,
+                                        dist::OverlapMode::kTwoPass};
+  struct AbResult {
+    std::string mode;
+    double critical_path = 0, halo_blocked = 0, halo_hidden = 0;
+  };
+  std::vector<AbResult> ab_results;
   if (run_ab) {
     if (root) {
-      print_header("Pipeline A/B — overlapped vs sequential halo exchange");
+      print_header(
+          "Pipeline A/B — sequential vs index-overlap vs two-pass");
       print_kv("galaxies", fmt(static_cast<double>(ab_n), "%.0f"));
       print_kv("ranks", "2 (95%/5% skewed scatter)");
+      print_kv("lmax (A/B)", fmt(ab_lmax, "%.0f"));
       print_kv("repeats (median)", fmt(ab_repeats, "%.0f"));
     }
 
     const sim::Catalog ab_cat = clustered_catalog(ab_n, 260.0);
     core::EngineConfig ab_cfg = ecfg;
-    ab_cfg.lmax = 0;  // isolate the partition→halo→build pipeline
+    ab_cfg.lmax = ab_lmax;
 
-    std::vector<double> crit_overlap, crit_sequential;
-    for (int rep = 0; rep < ab_repeats; ++rep) {
-      crit_overlap.push_back(
-          pipeline_critical_path(session, ab_cat, ab_cfg, true));
-      crit_sequential.push_back(
-          pipeline_critical_path(session, ab_cat, ab_cfg, false));
+    // Interleave the modes inside every repeat so host noise hits all
+    // three alike.
+    std::vector<std::vector<AbSample>> samples(3);
+    for (int rep = 0; rep < ab_repeats; ++rep)
+      for (int m = 0; m < 3; ++m)
+        samples[m].push_back(
+            pipeline_critical_path(session, ab_cat, ab_cfg, kAbModes[m]));
+
+    Table abt({"overlap mode", "critical path (ms)", "halo blocked (ms)",
+               "halo hidden (ms)", "hidden fraction"});
+    for (int m = 0; m < 3; ++m) {
+      AbResult r;
+      r.mode = dist::overlap_mode_name(kAbModes[m]);
+      std::vector<double> crit, blocked, hidden;
+      for (const AbSample& s : samples[m]) {
+        crit.push_back(s.critical_path);
+        blocked.push_back(s.halo_blocked);
+        hidden.push_back(s.halo_hidden);
+      }
+      r.critical_path = median(crit);
+      r.halo_blocked = median(blocked);
+      r.halo_hidden = median(hidden);
+      const double denom = r.halo_blocked + r.halo_hidden;
+      abt.add_row({r.mode, fmt(1e3 * r.critical_path, "%.2f"),
+                   fmt(1e3 * r.halo_blocked, "%.2f"),
+                   fmt(1e3 * r.halo_hidden, "%.2f"),
+                   denom > 0 ? fmt(r.halo_hidden / denom, "%.3f") : "—"});
+      ab_results.push_back(std::move(r));
     }
-    med_ovl = median(crit_overlap);
-    med_seq = median(crit_sequential);
     if (root) {
-      print_kv("critical path, overlapped (ms)", fmt(1e3 * med_ovl, "%.2f"));
-      print_kv("critical path, sequential (ms)", fmt(1e3 * med_seq, "%.2f"));
-      print_kv("overlap speedup", fmt(med_seq / med_ovl, "%.2fx"));
+      std::printf("\n");
+      abt.print();
+      std::printf("\n");
+      print_kv("speedup, two-pass vs sequential",
+               fmt(ab_results[0].critical_path / ab_results[2].critical_path,
+                   "%.2fx"));
+      print_kv("speedup, two-pass vs index-overlap",
+               fmt(ab_results[1].critical_path / ab_results[2].critical_path,
+                   "%.2fx"));
     }
   } else if (root) {
     print_kv("pipeline A/B", "skipped (MPI world of 1)");
@@ -270,8 +339,11 @@ int main(int argc, char** argv) {
         .add("side", side)
         .add("lmax", lmax)
         .add("max_ranks", max_ranks)
+        .add("overlap_mode",
+             std::string(dist::overlap_mode_name(dist::DistRunConfig{}.overlap)))
         .add("ab_n", static_cast<std::uint64_t>(ab_n))
         .add("ab_repeats", ab_repeats)
+        .add("ab_lmax", ab_lmax)
         .add("backend", std::string(dist::backend_name(session.backend())))
         .add("world_size", session.size())
         .add("hardware_threads",
@@ -285,10 +357,25 @@ int main(int argc, char** argv) {
     doc.add_raw("config", config.str(2)).add_raw("runs", runs);
     if (run_ab) {
       JsonObject ab;
-      ab.add("ranks", 2)
-          .add("critical_path_overlapped_seconds", med_ovl)
-          .add("critical_path_sequential_seconds", med_seq)
-          .add("overlap_speedup", med_seq / med_ovl);
+      ab.add("ranks", 2);
+      std::string modes = "[";
+      for (std::size_t m = 0; m < ab_results.size(); ++m) {
+        const AbResult& r = ab_results[m];
+        JsonObject mo;
+        const double denom = r.halo_blocked + r.halo_hidden;
+        mo.add("overlap_mode", r.mode)
+            .add("critical_path_seconds", r.critical_path)
+            .add("halo_blocked_seconds", r.halo_blocked)
+            .add("halo_hidden_seconds", r.halo_hidden)
+            .add("hidden_fraction", denom > 0 ? r.halo_hidden / denom : 0.0);
+        modes += (m ? ",\n      " : "\n      ") + mo.str(6);
+      }
+      modes += "\n    ]";
+      ab.add_raw("modes", modes);
+      ab.add("speedup_two_pass_vs_sequential",
+             ab_results[2].critical_path > 0
+                 ? ab_results[0].critical_path / ab_results[2].critical_path
+                 : 0.0);
       if (std::thread::hardware_concurrency() < 2)
         ab.add("note",
                std::string("single-core host: rank threads time-share one "

@@ -2,7 +2,9 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -13,6 +15,36 @@
 #include "util/aligned.hpp"
 
 namespace galactos::core {
+
+namespace detail {
+
+// Per-thread partial accumulators parked in the Staged handle between the
+// owned pass and the secondary pass. In the fused run_indexed path the
+// same partials live on the stack for the duration of one call; the
+// two-pass pipeline moves their lifetime here so pass 2 can keep adding
+// into the exact per-thread slots pass 1 filled, and the final merge runs
+// in the same thread-id order either way.
+// Owned-only power sums snapshotted during pass 1 for primaries that might
+// see halo secondaries (within R_max of the SecondaryBound box). One
+// instance per thread; concatenated SoA records, looked up by primary id
+// in pass 2 so the owned a_lm is rebuilt by alm_from_power_sums instead of
+// a kernel re-run.
+struct SavedPrimaries {
+  std::vector<std::int64_t> prim;  // primary id per record
+  std::vector<int> nbins;          // touched-bin count per record
+  std::vector<int> bins;           // concatenated touched-bin ids
+  std::vector<double> sums;        // concatenated [n_mono] blocks
+};
+
+struct TraversalPartials {
+  int nthreads = 0;
+  std::vector<std::unique_ptr<ZetaAccumulator>> zeta;
+  std::vector<std::unique_ptr<TwoPcfAccumulator>> xi;
+  std::vector<std::uint64_t> pairs;   // per thread; pass 2 adds halo pairs
+  std::vector<SavedPrimaries> saved;  // per thread; empty without a bound
+};
+
+}  // namespace detail
 
 namespace {
 
@@ -85,17 +117,56 @@ class BinStage {
   std::vector<int> touched_;
 };
 
+// Forms one primary's separations against a gathered block (SIMD
+// subtraction + squared norm). ONE definition shared by the fused
+// traversal and both two-pass call sites, so the pass-1 vs pass-2
+// bitwise-A guarantee cannot be broken by divergent arithmetic.
+template <typename Real>
+inline void form_separations(const tree::NeighborBlock<Real>& block, Real px,
+                             Real py, Real pz, Real* __restrict dxv,
+                             Real* __restrict dyv, Real* __restrict dzv,
+                             Real* __restrict r2v) {
+  const Real* __restrict bx = block.x.data();
+  const Real* __restrict by = block.y.data();
+  const Real* __restrict bz = block.z.data();
+  const std::size_t m = block.size();
+#pragma omp simd
+  for (std::size_t j = 0; j < m; ++j) {
+    const Real ddx = bx[j] - px;
+    const Real ddy = by[j] - py;
+    const Real ddz = bz[j] - pz;
+    dxv[j] = ddx;
+    dyv[j] = ddy;
+    dzv[j] = ddz;
+    r2v[j] = ddx * ddx + ddy * ddy + ddz * ddz;
+  }
+}
+
+// Number of leaf-blocked leaves (resp. per-primary primaries) the master
+// thread processes between poll() invocations during the owned pass.
+constexpr int kPollLeafStride = 4;
+constexpr int kPollPrimaryStride = 256;
+
 // Traversal over prebuilt indexes. `catalog` holds the owned points (the
 // only ones that can act as primaries); `secondary`, when given, indexes
 // halo points that act as secondaries only — its candidates are unioned
 // with the primary index's per leaf (leaf-blocked) or per primary
 // (per-primary), with original indices offset by catalog.size() so they can
 // never collide with a primary index.
+//
+// When `park` is non-null the per-thread partials are moved into it
+// instead of being merged (`result` is left untouched) — the two-pass
+// owned pass. `poll`, when set, is called from the master thread between
+// leaf/primary batches; `bound`, when set with `park`, snapshots boundary
+// primaries' power sums for the secondary pass (see Staged::run_owned_pass).
 template <typename Real, typename Index>
 void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
                       const Index& index, const Index* secondary,
                       const std::vector<std::int64_t>* primaries,
-                      ZetaResult& result, EngineStats& stats) {
+                      ZetaResult& result, EngineStats& stats,
+                      detail::TraversalPartials* park = nullptr,
+                      const std::function<void()>& poll = {},
+                      const Engine::SecondaryBound* bound = nullptr) {
   Timer wall;
   const int nbins = cfg.bins.count();
   const int lmax = cfg.lmax;
@@ -129,6 +200,23 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
       is_primary[static_cast<std::size_t>(p)] = 1;
   }
 
+  // Conservative "might see a secondary" margin for the bound hint: the
+  // Real-precision accept filter can admit pairs a few ulps beyond R_max,
+  // so pad the shell the same way the cell grid pads its box walk.
+  const bool save_boundary = park != nullptr && bound != nullptr;
+  double bound_pad = 0.0;
+  if (save_boundary) {
+    park->saved.resize(static_cast<std::size_t>(nthreads));
+    const double max_abs = std::max(
+        {std::abs(bound->lo.x), std::abs(bound->lo.y), std::abs(bound->lo.z),
+         std::abs(bound->hi.x), std::abs(bound->hi.y),
+         std::abs(bound->hi.z)});
+    const double eps =
+        static_cast<double>(std::numeric_limits<Real>::epsilon());
+    bound_pad = cfg.bins.rmax() * (1.0 + 1e-5) +
+                8.0 * eps * (max_abs + cfg.bins.rmax());
+  }
+
   // Per-thread partial accumulators, merged in thread-id order after the
   // parallel region so results are bit-identical run to run.
   std::vector<std::unique_ptr<ZetaAccumulator>> zeta_parts(nthreads);
@@ -158,6 +246,11 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
     if (cfg.subtract_self_pairs) sp.emplace(table, llm, nbins);
     double q_time = 0, k_time = 0, z_time = 0;
     std::uint64_t my_cand = 0, my_skip = 0;
+    // Communication progress hook (two-pass owned pass): only the master
+    // thread — the rank's own OS thread, so single-threaded MPI progress
+    // rules hold — polls, every few batches.
+    const bool do_poll = static_cast<bool>(poll) && tid == 0;
+    int since_poll = 0;
 
     // LOS setup shared by both drivers; returns false when the primary
     // must be skipped (radial mode, primary at the observer).
@@ -173,10 +266,35 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
       return true;
     };
 
+    // Boundary-primary snapshot (two-pass with a SecondaryBound hint): a
+    // primary within the padded shell of the bound box may see halo
+    // secondaries, so park its owned power sums for pass 2.
+    detail::SavedPrimaries* save_to =
+        save_boundary ? &park->saved[static_cast<std::size_t>(tid)] : nullptr;
+    auto near_bound = [&](std::int64_t p) {
+      const sim::Vec3 pos = catalog.position(static_cast<std::size_t>(p));
+      const double margin = std::min(
+          {pos.x - bound->lo.x, bound->hi.x - pos.x, pos.y - bound->lo.y,
+           bound->hi.y - pos.y, pos.z - bound->lo.z, bound->hi.z - pos.z});
+      return margin <= bound_pad;
+    };
+
     // a_lm assembly + zeta/xi accumulation after the kernel has consumed
     // one primary's pairs; identical for both drivers.
     auto finish_primary = [&](std::int64_t p) {
       Timer tz;
+      if (save_to && near_bound(p)) {
+        save_to->prim.push_back(p);
+        int nb = 0;
+        for (int b = 0; b < nbins; ++b)
+          if (acc.bin_touched(b)) {
+            save_to->bins.push_back(b);
+            const double* s = acc.power_sums(b);
+            save_to->sums.insert(save_to->sums.end(), s, s + acc.n_mono());
+            ++nb;
+          }
+        save_to->nbins.push_back(nb);
+      }
       compute_alm(table, acc, alm.data(), touched.data());
       const double wp = catalog.w[static_cast<std::size_t>(p)];
       for (int b = 0; b < nbins; ++b)
@@ -193,6 +311,10 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
       tree::NeighborList<Real> nl;
 
       auto process = [&](std::int64_t pi) {
+        if (do_poll && ++since_poll >= kPollPrimaryStride) {
+          since_poll = 0;
+          poll();
+        }
         const std::int64_t p = primaries ? (*primaries)[pi] : pi;
         const sim::Vec3 pos = catalog.position(static_cast<std::size_t>(p));
 
@@ -265,6 +387,10 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
                          static_cast<Real>(cfg.bins.rmax());
 
       auto process_leaf = [&](std::int64_t l) {
+        if (do_poll && ++since_poll >= kPollLeafStride) {
+          since_poll = 0;
+          poll();
+        }
         const std::size_t leaf = static_cast<std::size_t>(l);
         const std::int64_t begin =
             static_cast<std::int64_t>(index.leaf_begin(leaf));
@@ -315,39 +441,24 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
           // toward the "neighbor query" phase.
           Timer tsep;
           const Real px = index.x(t), py = index.y(t), pz = index.z(t);
-          const Real* __restrict bx = block.x.data();
-          const Real* __restrict by = block.y.data();
-          const Real* __restrict bz = block.z.data();
-          Real* __restrict dxv = sdx.data();
-          Real* __restrict dyv = sdy.data();
-          Real* __restrict dzv = sdz.data();
-          Real* __restrict r2v = sr2.data();
-#pragma omp simd
-          for (std::size_t j = 0; j < m; ++j) {
-            const Real ddx = bx[j] - px;
-            const Real ddy = by[j] - py;
-            const Real ddz = bz[j] - pz;
-            dxv[j] = ddx;
-            dyv[j] = ddy;
-            dzv[j] = ddz;
-            r2v[j] = ddx * ddx + ddy * ddy + ddz * ddz;
-          }
+          form_separations(block, px, py, pz, sdx.data(), sdy.data(),
+                           sdz.data(), sr2.data());
           q_time += tsep.seconds();
 
           Timer tk;
           acc.start_primary();
           if (sp) sp->start_primary();
           for (std::size_t j = 0; j < m; ++j) {
-            if (!(r2v[j] <= r2max)) continue;  // the index's range filter
+            if (!(sr2[j] <= r2max)) continue;  // the index's range filter
             if (block.idx[j] == p) continue;
-            const double r2 = static_cast<double>(r2v[j]);
+            const double r2 = static_cast<double>(sr2[j]);
             if (r2 <= 0.0) continue;  // coincident: direction undefined
             const double r = std::sqrt(r2);
             const int bin = cfg.bins.bin_of(r);
             if (bin < 0) continue;
-            double dx = static_cast<double>(dxv[j]);
-            double dy = static_cast<double>(dyv[j]);
-            double dz = static_cast<double>(dzv[j]);
+            double dx = static_cast<double>(sdx[j]);
+            double dy = static_cast<double>(sdy[j]);
+            double dz = static_cast<double>(sdz[j]);
             if (rotate) rot.apply(dx, dy, dz);
             const double inv = 1.0 / r;
             stage.add(bin, dx * inv, dy * inv, dz * inv, block.w[j], acc);
@@ -384,14 +495,10 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
   }
   const double compute_wall = tcompute.seconds();
 
-  ZetaAccumulator zeta_total(lmax, nbins);
-  TwoPcfAccumulator xi_total(lmax, nbins);
   std::uint64_t pairs_total = 0, cand_total = 0, skipped_total = 0;
   double t_query = 0, t_kernel = 0, t_zeta = 0;
   std::vector<std::uint64_t> per_thread;
   for (int t = 0; t < nthreads; ++t) {
-    if (zeta_parts[t]) zeta_total.merge(*zeta_parts[t]);
-    if (xi_parts[t]) xi_total.merge(*xi_parts[t]);
     pairs_total += pairs_parts[t];
     cand_total += cand_parts[t];
     skipped_total += skip_parts[t];
@@ -420,6 +527,481 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
       static_cast<double>(pairs_total) * kernel_flops_per_pair(lmax);
   stats.wall_seconds = wall.seconds();
 
+  if (park) {
+    // Two-pass owned pass: the partials survive in the handle; the merge
+    // (below, in identical thread-id order) happens in run_secondary_pass.
+    park->nthreads = nthreads;
+    park->zeta = std::move(zeta_parts);
+    park->xi = std::move(xi_parts);
+    park->pairs = std::move(pairs_parts);
+    return;
+  }
+
+  ZetaAccumulator zeta_total(lmax, nbins);
+  TwoPcfAccumulator xi_total(lmax, nbins);
+  for (int t = 0; t < nthreads; ++t) {
+    if (zeta_parts[t]) zeta_total.merge(*zeta_parts[t]);
+    if (xi_parts[t]) xi_total.merge(*xi_parts[t]);
+  }
+
+  result.bins = cfg.bins;
+  result.lmax = lmax;
+  result.n_primaries = zeta_total.primaries();
+  result.sum_primary_weight = zeta_total.sum_weight();
+  result.n_pairs = pairs_total;
+  result.zeta_data = zeta_total.snapshot();
+  result.pair_counts = xi_total.counts();
+  result.xi_raw = xi_total.xi_raw();
+}
+
+// Pass 2 of the two-pass pipeline: adds every owned-vs-halo contribution
+// into the parked pass-1 partials, then merges them into `result`.
+//
+// Per affected primary the completion is exact (see Staged::run_owned_pass
+// in the header): the owned-only a_lm A is recomputed — the same gather and
+// kernel order as pass 1, so bitwise the pass-1 value — the halo-only a_lm
+// B is formed from the secondary index alone, and zeta gains
+// wp·(A·B* + B·A* + B·B*) while the 2PCF moments, pair counts and
+// self-pair terms (all additive over secondaries) gain their halo-only
+// share. Primaries with no accepted halo pair — and entire leaves whose
+// box is beyond R_max of the secondary index — are skipped: their pass-1
+// contribution is already final. The owned recompute is therefore paid
+// only on the halo-adjacent surface of the domain, which is what makes
+// running the whole O(N·n_nbr) pass 1 while the halo is in flight a net
+// win.
+//
+// stats.pairs counts the NEW physical (owned, halo) kernel pairs — the
+// runner adds it to the owned-pass count to recover the single-node total;
+// kernel_flop_count counts executed kernel work (recompute included).
+template <typename Real, typename Index>
+void run_secondary_pass_impl(const EngineConfig& cfg,
+                             const sim::Catalog& catalog, const Index& index,
+                             const Index* secondary,
+                             const std::vector<std::int64_t>* primaries,
+                             detail::TraversalPartials& parts,
+                             ZetaResult& result, EngineStats& stats) {
+  Timer wall;
+  const int nbins = cfg.bins.count();
+  const int lmax = cfg.lmax;
+  const int nlm = math::nlm(lmax);
+  const math::SphHarmTable table(lmax);
+  const LlmIndex llm(lmax);
+
+  const int nthreads = cfg.threads > 0 ? cfg.threads : omp_get_max_threads();
+  GLX_CHECK_MSG(nthreads == parts.nthreads,
+                "run_secondary_pass: thread count changed since the owned "
+                "pass (" << parts.nthreads << " -> " << nthreads << ")");
+
+  TraversalMode traversal = cfg.traversal;
+  if (traversal == TraversalMode::kLeafBlocked &&
+      index.leaf_count() < 2 * static_cast<std::size_t>(nthreads))
+    traversal = TraversalMode::kPerPrimary;
+
+  std::vector<std::uint8_t> is_primary;
+  if (primaries && traversal == TraversalMode::kLeafBlocked) {
+    is_primary.assign(catalog.size(), 0);
+    for (std::int64_t p : *primaries)
+      is_primary[static_cast<std::size_t>(p)] = 1;
+  }
+
+  // Pass-1 snapshot lookup (SecondaryBound hint): primary id → its saved
+  // owned power sums, so the owned a_lm comes from alm_from_power_sums
+  // instead of a kernel re-run. Primaries without a record (hint absent,
+  // or a secondary landed inside the promised bound) take the exact
+  // recompute fallback.
+  struct SavedRef {
+    const int* bins = nullptr;
+    const double* sums = nullptr;
+    int count = -1;  // -1 = no snapshot
+  };
+  const int n_mono = math::monomial_count(lmax);
+  std::vector<SavedRef> snapshot;
+  {
+    std::size_t total = 0;
+    for (const detail::SavedPrimaries& sv : parts.saved)
+      total += sv.prim.size();
+    if (total > 0) {
+      snapshot.resize(catalog.size());
+      for (const detail::SavedPrimaries& sv : parts.saved) {
+        std::size_t bin_off = 0;
+        for (std::size_t i = 0; i < sv.prim.size(); ++i) {
+          SavedRef& ref = snapshot[static_cast<std::size_t>(sv.prim[i])];
+          ref.bins = sv.bins.data() + bin_off;
+          ref.sums = sv.sums.data() + bin_off * n_mono;
+          ref.count = sv.nbins[i];
+          bin_off += static_cast<std::size_t>(sv.nbins[i]);
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> halo_parts(nthreads, 0), rec_parts(nthreads, 0),
+      cand_parts(nthreads, 0);
+  std::vector<double> tq_parts(nthreads, 0), tk_parts(nthreads, 0),
+      tz_parts(nthreads, 0);
+
+  Timer tcompute;
+  if (secondary) {
+#pragma omp parallel num_threads(nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      KernelConfig kc;
+      kc.lmax = lmax;
+      kc.nbins = nbins;
+      kc.bucket_capacity = cfg.bucket_capacity;
+      kc.scheme = cfg.scheme;
+      kc.ilp = cfg.ilp;
+      MultipoleAccumulator acc_a(kc);  // owned-only recompute (A)
+      MultipoleAccumulator acc_b(kc);  // halo-only (B)
+      std::vector<std::complex<double>> alm_a(
+          static_cast<std::size_t>(nbins) * nlm),
+          alm_b(static_cast<std::size_t>(nbins) * nlm);
+      std::vector<std::uint8_t> touched_a(nbins, 0), touched_b(nbins, 0);
+      ZetaAccumulator& zeta = *parts.zeta[tid];
+      TwoPcfAccumulator& xi = *parts.xi[tid];
+      std::optional<SelfPairAccumulator> sp;
+      if (cfg.subtract_self_pairs) sp.emplace(table, llm, nbins);
+      double q_time = 0, k_time = 0, z_time = 0;
+      std::uint64_t my_cand = 0;
+
+      auto make_rotation = [&](std::int64_t p, Rotation& rot, bool& rotate) {
+        rotate = false;
+        if (cfg.los == LineOfSight::kRadial) {
+          const sim::Vec3 rel =
+              catalog.position(static_cast<std::size_t>(p)) - cfg.observer;
+          if (rel.norm2() == 0.0) return false;
+          rot = rotation_to_z(rel);
+          rotate = true;
+        }
+        return true;
+      };
+
+      // Rebuilds one primary's owned a_lm A from its pass-1 snapshot;
+      // false when no snapshot exists (caller recomputes).
+      auto restore_a = [&](std::int64_t p) {
+        if (snapshot.empty()) return false;
+        const SavedRef& ref = snapshot[static_cast<std::size_t>(p)];
+        if (ref.count < 0) return false;
+        Timer tz;
+        std::fill(touched_a.begin(), touched_a.end(), 0);
+        for (int i = 0; i < ref.count; ++i) {
+          const int b = ref.bins[i];
+          touched_a[b] = 1;
+          table.alm_from_power_sums(
+              ref.sums + static_cast<std::size_t>(i) * n_mono,
+              alm_a.data() + static_cast<std::size_t>(b) * nlm);
+        }
+        z_time += tz.seconds();
+        return true;
+      };
+
+      // Assembles B for one affected primary (A is already prepared by
+      // restore_a or the recompute fallback) and adds the exact completion
+      // term plus the additive halo-side 2PCF / self terms.
+      auto finish_cross = [&](std::int64_t p) {
+        Timer tz;
+        compute_alm(table, acc_b, alm_b.data(), touched_b.data());
+        const double wp = catalog.w[static_cast<std::size_t>(p)];
+        for (int b = 0; b < nbins; ++b)
+          if (touched_b[b])
+            xi.add_primary_bin(wp, b, acc_b.power_sums(b), table.monomials());
+        zeta.add_primary_cross(wp, alm_a.data(), touched_a.data(),
+                               alm_b.data(), touched_b.data());
+        if (sp)
+          for (int b = 0; b < nbins; ++b)
+            if (sp->bin_touched(b)) zeta.subtract_self(wp, b, sp->self(b));
+        z_time += tz.seconds();
+      };
+
+      if (traversal == TraversalMode::kPerPrimary) {
+        const std::int64_t np =
+            primaries ? static_cast<std::int64_t>(primaries->size())
+                      : static_cast<std::int64_t>(catalog.size());
+        tree::NeighborList<Real> nl_b, nl_a;
+
+        auto process = [&](std::int64_t pi) {
+          const std::int64_t p = primaries ? (*primaries)[pi] : pi;
+          const sim::Vec3 pos = catalog.position(static_cast<std::size_t>(p));
+          Rotation rot;
+          bool rotate = false;
+          if (!make_rotation(p, rot, rotate)) return;  // counted in pass 1
+
+          Timer tq;
+          nl_b.clear();
+          secondary->gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(),
+                                      nl_b);
+          q_time += tq.seconds();
+          my_cand += nl_b.size();
+          if (nl_b.size() == 0) return;
+
+          Timer tk;
+          acc_b.start_primary();
+          if (sp) sp->start_primary();
+          std::uint64_t accepted = 0;
+          for (std::size_t j = 0; j < nl_b.size(); ++j) {
+            const double r2 = static_cast<double>(nl_b.r2[j]);
+            if (r2 <= 0.0) continue;
+            const double r = std::sqrt(r2);
+            const int bin = cfg.bins.bin_of(r);
+            if (bin < 0) continue;
+            double dx = static_cast<double>(nl_b.dx[j]);
+            double dy = static_cast<double>(nl_b.dy[j]);
+            double dz = static_cast<double>(nl_b.dz[j]);
+            if (rotate) rot.apply(dx, dy, dz);
+            const double inv = 1.0 / r;
+            acc_b.push(bin, dx * inv, dy * inv, dz * inv, nl_b.w[j]);
+            if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, nl_b.w[j]);
+            ++accepted;
+          }
+          acc_b.finish_primary();
+          k_time += tk.seconds();
+          if (accepted == 0) return;  // pass-1 contribution already final
+
+          if (!restore_a(p)) {
+            Timer tq2;
+            nl_a.clear();
+            index.gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(),
+                                   nl_a);
+            q_time += tq2.seconds();
+            my_cand += nl_a.size();
+
+            Timer tk2;
+            acc_a.start_primary();
+            for (std::size_t j = 0; j < nl_a.size(); ++j) {
+              if (nl_a.idx[j] == p) continue;
+              const double r2 = static_cast<double>(nl_a.r2[j]);
+              if (r2 <= 0.0) continue;
+              const double r = std::sqrt(r2);
+              const int bin = cfg.bins.bin_of(r);
+              if (bin < 0) continue;
+              double dx = static_cast<double>(nl_a.dx[j]);
+              double dy = static_cast<double>(nl_a.dy[j]);
+              double dz = static_cast<double>(nl_a.dz[j]);
+              if (rotate) rot.apply(dx, dy, dz);
+              const double inv = 1.0 / r;
+              acc_a.push(bin, dx * inv, dy * inv, dz * inv, nl_a.w[j]);
+            }
+            acc_a.finish_primary();
+            k_time += tk2.seconds();
+            Timer tza;
+            compute_alm(table, acc_a, alm_a.data(), touched_a.data());
+            z_time += tza.seconds();
+          }
+          finish_cross(p);
+        };
+
+        if (cfg.schedule == OmpSchedule::kDynamic) {
+#pragma omp for schedule(dynamic, 4)
+          for (std::int64_t i = 0; i < np; ++i) process(i);
+        } else {
+#pragma omp for schedule(static)
+          for (std::int64_t i = 0; i < np; ++i) process(i);
+        }
+      } else {
+        tree::NeighborBlock<Real> halo_block, owned_block;
+        std::vector<Real> bdx, bdy, bdz, br2, adx, ady, adz, ar2;
+        std::vector<std::size_t> leaf_prims;
+        BinStage stage_a(nbins, cfg.bucket_capacity);
+        BinStage stage_b(nbins, cfg.bucket_capacity);
+        const Real r2max = static_cast<Real>(cfg.bins.rmax()) *
+                           static_cast<Real>(cfg.bins.rmax());
+
+        auto process_leaf = [&](std::int64_t l) {
+          const std::size_t leaf = static_cast<std::size_t>(l);
+          // O(1) whole-secondary prune: interior leaves exit before any
+          // gather or block formation.
+          Real blo[3], bhi[3];
+          index.leaf_box(leaf, blo, bhi);
+          if (secondary->box_beyond_reach(blo, bhi, cfg.bins.rmax())) return;
+
+          const std::int64_t begin =
+              static_cast<std::int64_t>(index.leaf_begin(leaf));
+          const std::int64_t end =
+              static_cast<std::int64_t>(index.leaf_end(leaf));
+          leaf_prims.clear();
+          for (std::int64_t t = begin; t < end; ++t) {
+            const std::int64_t p =
+                index.original_index(static_cast<std::size_t>(t));
+            if (!is_primary.empty() &&
+                !is_primary[static_cast<std::size_t>(p)])
+              continue;
+            leaf_prims.push_back(static_cast<std::size_t>(t));
+          }
+          if (leaf_prims.empty()) return;
+
+          Timer tq;
+          halo_block.clear();
+          secondary->gather_box_neighbors(blo, bhi, cfg.bins.rmax(),
+                                          halo_block);
+          q_time += tq.seconds();
+          if (halo_block.size() == 0) return;
+          const std::size_t mb = halo_block.size();
+          bdx.resize(mb);
+          bdy.resize(mb);
+          bdz.resize(mb);
+          br2.resize(mb);
+
+          // The owned block is re-formed lazily — only once some primary
+          // in this leaf actually accepts a halo pair — and then shared by
+          // the leaf's remaining primaries, the same amortization as
+          // pass 1.
+          bool owned_ready = false;
+          std::size_t ma = 0;
+
+          for (const std::size_t t : leaf_prims) {
+            const std::int64_t p = index.original_index(t);
+            Rotation rot;
+            bool rotate = false;
+            if (!make_rotation(p, rot, rotate)) continue;
+
+            Timer tsep;
+            const Real px = index.x(t), py = index.y(t), pz = index.z(t);
+            form_separations(halo_block, px, py, pz, bdx.data(), bdy.data(),
+                             bdz.data(), br2.data());
+            q_time += tsep.seconds();
+
+            Timer tk;
+            acc_b.start_primary();
+            if (sp) sp->start_primary();
+            std::uint64_t accepted = 0;
+            for (std::size_t j = 0; j < mb; ++j) {
+              if (!(br2[j] <= r2max)) continue;
+              const double r2 = static_cast<double>(br2[j]);
+              if (r2 <= 0.0) continue;
+              const double r = std::sqrt(r2);
+              const int bin = cfg.bins.bin_of(r);
+              if (bin < 0) continue;
+              double dx = static_cast<double>(bdx[j]);
+              double dy = static_cast<double>(bdy[j]);
+              double dz = static_cast<double>(bdz[j]);
+              if (rotate) rot.apply(dx, dy, dz);
+              const double inv = 1.0 / r;
+              stage_b.add(bin, dx * inv, dy * inv, dz * inv, halo_block.w[j],
+                          acc_b);
+              if (sp)
+                sp->add(bin, dx * inv, dy * inv, dz * inv, halo_block.w[j]);
+              ++accepted;
+            }
+            stage_b.finish(acc_b);
+            acc_b.finish_primary();
+            k_time += tk.seconds();
+            my_cand += mb;
+            if (accepted == 0) continue;  // pass-1 contribution final
+
+            if (restore_a(p)) {
+              finish_cross(p);
+              continue;
+            }
+
+            if (!owned_ready) {
+              Timer tg;
+              owned_block.clear();
+              index.gather_leaf_neighbors(leaf, cfg.bins.rmax(), owned_block);
+              ma = owned_block.size();
+              adx.resize(ma);
+              ady.resize(ma);
+              adz.resize(ma);
+              ar2.resize(ma);
+              q_time += tg.seconds();
+              owned_ready = true;
+            }
+
+            Timer tsep2;
+            form_separations(owned_block, px, py, pz, adx.data(), ady.data(),
+                             adz.data(), ar2.data());
+            q_time += tsep2.seconds();
+
+            Timer tk2;
+            acc_a.start_primary();
+            for (std::size_t j = 0; j < ma; ++j) {
+              if (!(ar2[j] <= r2max)) continue;
+              if (owned_block.idx[j] == p) continue;
+              const double r2 = static_cast<double>(ar2[j]);
+              if (r2 <= 0.0) continue;
+              const double r = std::sqrt(r2);
+              const int bin = cfg.bins.bin_of(r);
+              if (bin < 0) continue;
+              double dx = static_cast<double>(adx[j]);
+              double dy = static_cast<double>(ady[j]);
+              double dz = static_cast<double>(adz[j]);
+              if (rotate) rot.apply(dx, dy, dz);
+              const double inv = 1.0 / r;
+              stage_a.add(bin, dx * inv, dy * inv, dz * inv, owned_block.w[j],
+                          acc_a);
+            }
+            stage_a.finish(acc_a);
+            acc_a.finish_primary();
+            k_time += tk2.seconds();
+            my_cand += ma;
+            Timer tza;
+            compute_alm(table, acc_a, alm_a.data(), touched_a.data());
+            z_time += tza.seconds();
+
+            finish_cross(p);
+          }
+        };
+
+        const std::int64_t nleaves =
+            static_cast<std::int64_t>(index.leaf_count());
+        if (cfg.schedule == OmpSchedule::kDynamic) {
+#pragma omp for schedule(dynamic, 1)
+          for (std::int64_t l = 0; l < nleaves; ++l) process_leaf(l);
+        } else {
+#pragma omp for schedule(static)
+          for (std::int64_t l = 0; l < nleaves; ++l) process_leaf(l);
+        }
+      }
+
+      halo_parts[tid] = acc_b.pairs_processed();
+      rec_parts[tid] = acc_a.pairs_processed();
+      cand_parts[tid] = my_cand;
+      tq_parts[tid] = q_time;
+      tk_parts[tid] = k_time;
+      tz_parts[tid] = z_time;
+      parts.pairs[tid] += acc_b.pairs_processed();
+    }
+  }
+  const double compute_wall = tcompute.seconds();
+
+  std::uint64_t halo_pairs = 0, rec_pairs = 0, cand_total = 0;
+  double t_query = 0, t_kernel = 0, t_zeta = 0;
+  std::vector<std::uint64_t> per_thread;
+  for (int t = 0; t < nthreads; ++t) {
+    halo_pairs += halo_parts[t];
+    rec_pairs += rec_parts[t];
+    cand_total += cand_parts[t];
+    t_query += tq_parts[t];
+    t_kernel += tk_parts[t];
+    t_zeta += tz_parts[t];
+    per_thread.push_back(halo_parts[t]);
+  }
+
+  const double dn = static_cast<double>(nthreads);
+  stats.phases.add("neighbor query", t_query / dn);
+  stats.phases.add("multipole kernel", t_kernel / dn);
+  stats.phases.add("alm+zeta", t_zeta / dn);
+  stats.phases.add("imbalance+merge",
+                   std::max(0.0, compute_wall -
+                                     (t_query + t_kernel + t_zeta) / dn));
+  stats.pairs = halo_pairs;
+  stats.candidates = cand_total;
+  stats.primaries_skipped = 0;  // skips were counted by the owned pass
+  stats.pairs_per_thread = std::move(per_thread);
+  stats.kernel_flop_count = static_cast<double>(halo_pairs + rec_pairs) *
+                            kernel_flops_per_pair(lmax);
+
+  // Merge the completed partials — identical thread-id order to the fused
+  // path, so an empty secondary pass reproduces run_indexed bitwise.
+  ZetaAccumulator zeta_total(lmax, nbins);
+  TwoPcfAccumulator xi_total(lmax, nbins);
+  std::uint64_t pairs_total = 0;
+  for (int t = 0; t < parts.nthreads; ++t) {
+    if (parts.zeta[t]) zeta_total.merge(*parts.zeta[t]);
+    if (parts.xi[t]) xi_total.merge(*parts.xi[t]);
+    pairs_total += parts.pairs[t];
+  }
+  stats.wall_seconds = wall.seconds();
+
   result.bins = cfg.bins;
   result.lmax = lmax;
   result.n_primaries = zeta_total.primaries();
@@ -443,10 +1025,25 @@ struct EngineStagedImpl {
   virtual bool has_secondary() const = 0;
   virtual void run(const std::vector<std::int64_t>* primaries,
                    ZetaResult& result, EngineStats& stats) const = 0;
+  virtual void owned_pass(const std::vector<std::int64_t>* primaries,
+                          EngineStats& stats,
+                          const std::function<void()>& poll,
+                          const Engine::SecondaryBound* bound) = 0;
+  virtual void secondary_pass(const std::vector<std::int64_t>* primaries,
+                              ZetaResult& result, EngineStats& stats) = 0;
 
   EngineConfig cfg;
   std::size_t owned_size = 0;
   double build_seconds = 0.0;  // primary + secondary index build time
+
+  // Two-pass state: partials parked by run_owned_pass (consumed by
+  // run_secondary_pass), the owned-pass primary restriction (pass 2 must
+  // see the same set), and how much of build_seconds has already been
+  // reported as an "index build" phase.
+  std::unique_ptr<TraversalPartials> partials;
+  std::vector<std::int64_t> primaries_storage;
+  bool restrict_primaries = false;
+  double build_reported = 0.0;
 };
 
 }  // namespace detail
@@ -472,6 +1069,15 @@ struct StagedImplT final : detail::EngineStagedImpl {
     primary = make_index<Real, Index>(*owned, cfg);
   }
 
+  // Move variant: adopts the caller's buffer as storage (no copy).
+  StagedImplT(const EngineConfig& c, sim::Catalog&& o) {
+    cfg = c;
+    storage = std::move(o);
+    owned = &storage;
+    owned_size = owned->size();
+    primary = make_index<Real, Index>(*owned, cfg);
+  }
+
   void extend(const sim::Catalog& halo) override {
     secondary.emplace(make_index<Real, Index>(halo, cfg));
   }
@@ -483,6 +1089,23 @@ struct StagedImplT final : detail::EngineStagedImpl {
     run_indexed_impl<Real, Index>(cfg, *owned, primary,
                                   secondary ? &*secondary : nullptr,
                                   primaries, result, stats);
+  }
+
+  void owned_pass(const std::vector<std::int64_t>* primaries,
+                  EngineStats& stats, const std::function<void()>& poll,
+                  const Engine::SecondaryBound* bound) override {
+    partials = std::make_unique<detail::TraversalPartials>();
+    ZetaResult scratch;  // untouched: the partials are parked, not merged
+    run_indexed_impl<Real, Index>(cfg, *owned, primary, /*secondary=*/nullptr,
+                                  primaries, scratch, stats, partials.get(),
+                                  poll, bound);
+  }
+
+  void secondary_pass(const std::vector<std::int64_t>* primaries,
+                      ZetaResult& result, EngineStats& stats) override {
+    run_secondary_pass_impl<Real, Index>(cfg, *owned, primary,
+                                         secondary ? &*secondary : nullptr,
+                                         primaries, *partials, result, stats);
   }
 
   sim::Catalog storage;                    // only when copy_owned
@@ -502,8 +1125,43 @@ ZetaResult Engine::empty_result() const {
   return ZetaResult::zero_like(cfg_.bins, cfg_.lmax);
 }
 
+namespace {
+
+// One definition of the (precision, index) dispatch: `make` is called with
+// a StagedImplT<Real, Index> type tag and returns the built impl.
+template <typename Real, typename Index>
+struct StagedTag {
+  using Impl = StagedImplT<Real, Index>;
+};
+
+template <typename Make>
+std::shared_ptr<detail::EngineStagedImpl> dispatch_staged(
+    const EngineConfig& cfg, Make&& make) {
+  const bool mixed = cfg.precision == TreePrecision::kMixed;
+  const bool grid = cfg.index == NeighborIndex::kCellGrid;
+  if (mixed && grid) return make(StagedTag<float, tree::CellGrid<float>>{});
+  if (mixed) return make(StagedTag<float, tree::KdTree<float>>{});
+  if (grid) return make(StagedTag<double, tree::CellGrid<double>>{});
+  return make(StagedTag<double, tree::KdTree<double>>{});
+}
+
+}  // namespace
+
 Engine::Staged Engine::build_index(const sim::Catalog& owned) const {
   return build_index_impl(owned, /*copy_owned=*/true);
+}
+
+Engine::Staged Engine::build_index(sim::Catalog&& owned) const {
+  GLX_CHECK_MSG(!owned.empty(), "build_index: empty catalog");
+  Timer tbuild;
+  Staged staged;
+  staged.impl_ = dispatch_staged(
+      cfg_, [&](auto tag) -> std::shared_ptr<detail::EngineStagedImpl> {
+        using Impl = typename decltype(tag)::Impl;
+        return std::make_shared<Impl>(cfg_, std::move(owned));
+      });
+  staged.impl_->build_seconds = tbuild.seconds();
+  return staged;
 }
 
 Engine::Staged Engine::build_index_impl(const sim::Catalog& owned,
@@ -511,21 +1169,11 @@ Engine::Staged Engine::build_index_impl(const sim::Catalog& owned,
   GLX_CHECK_MSG(!owned.empty(), "build_index: empty catalog");
   Timer tbuild;
   Staged staged;
-  const bool mixed = cfg_.precision == TreePrecision::kMixed;
-  const bool grid = cfg_.index == NeighborIndex::kCellGrid;
-  if (mixed && grid)
-    staged.impl_ = std::make_shared<StagedImplT<float, tree::CellGrid<float>>>(
-        cfg_, owned, copy_owned);
-  else if (mixed)
-    staged.impl_ = std::make_shared<StagedImplT<float, tree::KdTree<float>>>(
-        cfg_, owned, copy_owned);
-  else if (grid)
-    staged.impl_ =
-        std::make_shared<StagedImplT<double, tree::CellGrid<double>>>(
-            cfg_, owned, copy_owned);
-  else
-    staged.impl_ = std::make_shared<StagedImplT<double, tree::KdTree<double>>>(
-        cfg_, owned, copy_owned);
+  staged.impl_ = dispatch_staged(
+      cfg_, [&](auto tag) -> std::shared_ptr<detail::EngineStagedImpl> {
+        using Impl = typename decltype(tag)::Impl;
+        return std::make_shared<Impl>(cfg_, owned, copy_owned);
+      });
   staged.impl_->build_seconds = tbuild.seconds();
   return staged;
 }
@@ -541,20 +1189,30 @@ void Engine::Staged::extend_with_secondaries(const sim::Catalog& halo) {
   impl_->build_seconds += t.seconds();
 }
 
+namespace {
+
+void validate_primaries(std::size_t owned_size,
+                        const std::vector<std::int64_t>* primaries) {
+  if (!primaries) return;
+  std::vector<std::uint8_t> seen(owned_size, 0);
+  for (std::int64_t p : *primaries) {
+    GLX_CHECK_MSG(p >= 0 && p < static_cast<std::int64_t>(owned_size),
+                  "primary index out of range: " << p);
+    GLX_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
+                  "duplicate primary index: " << p);
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+}  // namespace
+
 ZetaResult Engine::Staged::run_indexed(
     const std::vector<std::int64_t>* primaries, EngineStats* stats) const {
   GLX_CHECK_MSG(impl_ != nullptr, "run_indexed on an empty Staged handle");
-  if (primaries) {
-    std::vector<std::uint8_t> seen(impl_->owned_size, 0);
-    for (std::int64_t p : *primaries) {
-      GLX_CHECK_MSG(
-          p >= 0 && p < static_cast<std::int64_t>(impl_->owned_size),
-          "primary index out of range: " << p);
-      GLX_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
-                    "duplicate primary index: " << p);
-      seen[static_cast<std::size_t>(p)] = 1;
-    }
-  }
+  GLX_CHECK_MSG(impl_->partials == nullptr,
+                "run_indexed with a pending owned pass — finish the "
+                "two-pass pipeline with run_secondary_pass");
+  validate_primaries(impl_->owned_size, primaries);
 
   ZetaResult result;
   EngineStats local_stats;
@@ -562,6 +1220,51 @@ ZetaResult Engine::Staged::run_indexed(
   st.phases.add("index build", impl_->build_seconds);
   impl_->run(primaries, result, st);
   return result;
+}
+
+void Engine::Staged::run_owned_pass(
+    const std::vector<std::int64_t>* primaries, EngineStats* stats,
+    const std::function<void()>& poll, const SecondaryBound* bound) {
+  GLX_CHECK_MSG(impl_ != nullptr, "run_owned_pass on an empty Staged handle");
+  GLX_CHECK_MSG(impl_->partials == nullptr,
+                "run_owned_pass called twice without run_secondary_pass");
+  validate_primaries(impl_->owned_size, primaries);
+  impl_->restrict_primaries = primaries != nullptr;
+  impl_->primaries_storage =
+      primaries ? *primaries : std::vector<std::int64_t>{};
+
+  EngineStats local_stats;
+  EngineStats& st = stats ? *stats : local_stats;
+  st.phases.add("index build", impl_->build_seconds);
+  impl_->build_reported = impl_->build_seconds;
+  impl_->owned_pass(
+      impl_->restrict_primaries ? &impl_->primaries_storage : nullptr, st,
+      poll, bound);
+}
+
+ZetaResult Engine::Staged::run_secondary_pass(EngineStats* stats) {
+  GLX_CHECK_MSG(impl_ != nullptr,
+                "run_secondary_pass on an empty Staged handle");
+  GLX_CHECK_MSG(impl_->partials != nullptr,
+                "run_secondary_pass without a pending run_owned_pass");
+
+  EngineStats local_stats;
+  EngineStats& st = stats ? *stats : local_stats;
+  // Only the build time accrued since the owned pass reported (i.e. the
+  // secondary index, in the canonical post → pass 1 → extend → pass 2
+  // order).
+  st.phases.add("index build", impl_->build_seconds - impl_->build_reported);
+  impl_->build_reported = impl_->build_seconds;
+  ZetaResult result;
+  impl_->secondary_pass(
+      impl_->restrict_primaries ? &impl_->primaries_storage : nullptr, result,
+      st);
+  impl_->partials.reset();
+  return result;
+}
+
+bool Engine::Staged::owned_pass_pending() const {
+  return impl_ != nullptr && impl_->partials != nullptr;
 }
 
 ZetaResult Engine::run(const sim::Catalog& catalog,

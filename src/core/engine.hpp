@@ -36,6 +36,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -107,6 +109,19 @@ class Engine {
 
   const EngineConfig& config() const { return cfg_; }
 
+  // Promise that every secondary later indexed via extend_with_secondaries
+  // lies OUTSIDE this axis-aligned box (the distributed runner passes its
+  // k-d leaf domain: halo copies come from other ranks' domains, which
+  // tile space disjointly). run_owned_pass then snapshots the owned power
+  // sums of primaries within R_max of the box boundary, so the secondary
+  // pass rebuilds their owned a_lm from the snapshot instead of re-running
+  // the kernel. Purely a performance hint: pass 2 falls back to an exact
+  // owned recompute for any affected primary without a snapshot, so a
+  // violated promise costs time, never correctness.
+  struct SecondaryBound {
+    sim::Vec3 lo, hi;
+  };
+
   // Staged pipeline handle (see build_index): the primary spatial index is
   // built eagerly; halo secondaries can be indexed later into a secondary
   // structure whose candidates union with the primary index's during the
@@ -133,6 +148,40 @@ class Engine {
     ZetaResult run_indexed(const std::vector<std::int64_t>* primaries = nullptr,
                            EngineStats* stats = nullptr) const;
 
+    // --- Two-pass pipeline (the distributed runner's halo-hiding mode) ---
+    //
+    // run_owned_pass traverses the PRIMARY index only — identical
+    // arithmetic to run_indexed with no secondaries — but parks the
+    // per-thread accumulators in this handle instead of merging them, so
+    // the caller can run it while its halo exchange is still in flight.
+    // `poll`, when given, is invoked from the master thread between leaf
+    // batches (per-primary fallback: every few hundred primaries) so the
+    // caller can progress outstanding communication requests.
+    //
+    // run_secondary_pass completes the result: for every primary-index
+    // leaf whose box is within R_max of the secondary index it gathers the
+    // halo candidates, recomputes the owned-only a_lm A (bitwise the pass-1
+    // value — same gather, same kernel order), forms the halo-only a_lm B,
+    // and adds the exact completion term wp·(A·B* + B·A* + B·B*) plus the
+    // additive 2PCF/pair-count/self-pair halo contributions into the parked
+    // accumulators; then merges and returns. Leaves beyond reach of every
+    // secondary — all of them when no secondaries were indexed — are
+    // untouched, so with an empty halo the result is BITWISE identical to
+    // run_indexed. The parked state is consumed; the pair may be run again.
+    //
+    // The split is algebraically exact because a_lm is additive over
+    // disjoint secondary sets (Slepian & Eisenstein 1709.10150): with
+    // a = A + B, the zeta product a(b1)·a*(b2) is A·A* (pass 1) plus the
+    // completion term (pass 2).
+    void run_owned_pass(const std::vector<std::int64_t>* primaries = nullptr,
+                        EngineStats* stats = nullptr,
+                        const std::function<void()>& poll = {},
+                        const SecondaryBound* bound = nullptr);
+    ZetaResult run_secondary_pass(EngineStats* stats = nullptr);
+
+    // True between run_owned_pass and run_secondary_pass.
+    bool owned_pass_pending() const;
+
    private:
     friend class Engine;
     std::shared_ptr<detail::EngineStagedImpl> impl_;
@@ -144,6 +193,11 @@ class Engine {
   // run_indexed (paper §3.2–3.3 overlap). The handle keeps its own copy of
   // `owned`, so the caller's buffer is free to move afterwards.
   Staged build_index(const sim::Catalog& owned) const;
+
+  // Move overload: adopts `owned` as the handle's storage instead of
+  // copying it — the sequential distributed path snapshots the owned prefix
+  // once and hands it over, instead of copy + internal re-copy.
+  Staged build_index(sim::Catalog&& owned) const;
 
   // Computes the anisotropic 3PCF of `catalog`. If `primaries` is given,
   // only those indices act as primaries (the distributed runner passes the

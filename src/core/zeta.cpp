@@ -32,6 +32,8 @@ ZetaAccumulator::ZetaAccumulator(int lmax, int nbins)
   const std::size_t nlm = static_cast<std::size_t>(math::nlm(lmax));
   tr_re_.assign(static_cast<std::size_t>(nbins) * nlm, 0.0);
   tr_im_.assign(static_cast<std::size_t>(nbins) * nlm, 0.0);
+  tb_re_.assign(static_cast<std::size_t>(nbins) * nlm, 0.0);
+  tb_im_.assign(static_cast<std::size_t>(nbins) * nlm, 0.0);
 }
 
 void ZetaAccumulator::add_primary(double wp, const std::complex<double>* alm,
@@ -91,6 +93,96 @@ void ZetaAccumulator::add_primary(double wp, const std::complex<double>* alm,
   }
   sum_wp_ += wp;
   n_primaries_ += 1;
+}
+
+void ZetaAccumulator::add_primary_cross(double wp,
+                                        const std::complex<double>* alm_a,
+                                        const std::uint8_t* touched_a,
+                                        const std::complex<double>* alm_b,
+                                        const std::uint8_t* touched_b) {
+  const int lmax = llm_.lmax();
+  const int nlm = math::nlm(lmax);
+
+  // Transpose every active bin's A and B planes to m-major; a side
+  // untouched in a bin gets an explicit zero plane (the scratch is reused
+  // across primaries, so stale data must be cleared).
+  for (int b = 0; b < nbins_; ++b) {
+    if (!touched_a[b] && !touched_b[b]) continue;
+    double* ar = tr_re_.data() + static_cast<std::size_t>(b) * nlm;
+    double* ai = tr_im_.data() + static_cast<std::size_t>(b) * nlm;
+    double* br = tb_re_.data() + static_cast<std::size_t>(b) * nlm;
+    double* bi = tb_im_.data() + static_cast<std::size_t>(b) * nlm;
+    const std::complex<double>* a = alm_a + static_cast<std::size_t>(b) * nlm;
+    const std::complex<double>* bb = alm_b + static_cast<std::size_t>(b) * nlm;
+    for (int m = 0; m <= lmax; ++m)
+      for (int l = m; l <= lmax; ++l) {
+        const int k = ml_index(m, l);
+        if (touched_a[b]) {
+          const std::complex<double> v = a[math::lm_index(l, m)];
+          ar[k] = v.real();
+          ai[k] = v.imag();
+        } else {
+          ar[k] = 0.0;
+          ai[k] = 0.0;
+        }
+        if (touched_b[b]) {
+          const std::complex<double> v = bb[math::lm_index(l, m)];
+          br[k] = v.real();
+          bi[k] = v.imag();
+        } else {
+          br[k] = 0.0;
+          bi[k] = 0.0;
+        }
+      }
+  }
+
+  const int nllm = llm_.size();
+  for (int b1 = 0; b1 < nbins_; ++b1) {
+    if (!touched_a[b1] && !touched_b[b1]) continue;
+    const double* a1r = tr_re_.data() + static_cast<std::size_t>(b1) * nlm;
+    const double* a1i = tr_im_.data() + static_cast<std::size_t>(b1) * nlm;
+    const double* b1r = tb_re_.data() + static_cast<std::size_t>(b1) * nlm;
+    const double* b1i = tb_im_.data() + static_cast<std::size_t>(b1) * nlm;
+    for (int b2 = b1; b2 < nbins_; ++b2) {
+      if (!touched_a[b2] && !touched_b[b2]) continue;
+      // A(b1) A*(b2) was pass 1's job; a pair with no B on either side
+      // adds nothing here.
+      if (!touched_b[b1] && !touched_b[b2]) continue;
+      const double* a2r = tr_re_.data() + static_cast<std::size_t>(b2) * nlm;
+      const double* a2i = tr_im_.data() + static_cast<std::size_t>(b2) * nlm;
+      const double* b2r = tb_re_.data() + static_cast<std::size_t>(b2) * nlm;
+      const double* b2i = tb_im_.data() + static_cast<std::size_t>(b2) * nlm;
+      const std::size_t base =
+          static_cast<std::size_t>(bin_pair(b1, b2)) * nllm;
+      double* __restrict outr = re_.data() + base;
+      double* __restrict outi = im_.data() + base;
+      int idx = 0;
+      for (int m = 0; m <= lmax; ++m) {
+        const int cnt = lmax + 1 - m;
+        const int off = ml_index(m, m);
+        const double* __restrict xar = a2r + off;
+        const double* __restrict xai = a2i + off;
+        const double* __restrict xbr = b2r + off;
+        const double* __restrict xbi = b2i + off;
+        for (int l = m; l <= lmax; ++l) {
+          // out += wp * [A1 conj(B2) + B1 conj(A2 + B2)] over contiguous l'.
+          const int k1 = ml_index(m, l);
+          const double ar = wp * a1r[k1], ai = wp * a1i[k1];
+          const double br = wp * b1r[k1], bi = wp * b1i[k1];
+          double* __restrict r = outr + idx;
+          double* __restrict i = outi + idx;
+#pragma omp simd
+          for (int k = 0; k < cnt; ++k) {
+            const double sr = xar[k] + xbr[k];
+            const double si = xai[k] + xbi[k];
+            r[k] += ar * xbr[k] + ai * xbi[k] + br * sr + bi * si;
+            i[k] += ai * xbr[k] - ar * xbi[k] + bi * sr - br * si;
+          }
+          idx += cnt;
+        }
+      }
+    }
+  }
 }
 
 void ZetaAccumulator::subtract_self(double wp, int bin,

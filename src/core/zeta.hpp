@@ -76,6 +76,19 @@ class ZetaAccumulator {
   void add_primary(double wp, const std::complex<double>* alm,
                    const std::uint8_t* touched);
 
+  // Two-pass completion term. With one primary's a_lm split over two
+  // disjoint secondary sets, a = A + B (A = owned-only, already folded in
+  // by add_primary; B = halo-only), the full product expands as
+  //   a(b1) a*(b2) = A(b1) A*(b2) + [A(b1) B*(b2) + B(b1) A*(b2)
+  //                                  + B(b1) B*(b2)],
+  // and this adds exactly the bracket — a pure sum of products, no
+  // cancellation — WITHOUT counting a new primary (add_primary already
+  // did). Bins untouched in A resp. B contribute zero planes.
+  void add_primary_cross(double wp, const std::complex<double>* alm_a,
+                         const std::uint8_t* touched_a,
+                         const std::complex<double>* alm_b,
+                         const std::uint8_t* touched_b);
+
   // Subtracts the degenerate j == k "triplet" contribution for diagonal bin
   // pairs: self[bin][llm] = sum_j w_j^2 conj(Y_lm(u_j)) Y_l'm(u_j).
   void subtract_self(double wp, int bin, const std::complex<double>* self);
@@ -100,6 +113,7 @@ class ZetaAccumulator {
   LlmIndex llm_;
   std::vector<double> re_, im_;       // [bin_pair][llm] planes
   std::vector<double> tr_re_, tr_im_; // scratch: m-major a_lm per bin
+  std::vector<double> tb_re_, tb_im_; // scratch: second operand of _cross
   double sum_wp_ = 0.0;
   std::uint64_t n_primaries_ = 0;
 };

@@ -279,6 +279,12 @@ PendingPartition post_halo_exchange(Comm& comm, const sim::Catalog& mine,
   return pend;
 }
 
+bool PendingPartition::poll() {
+  bool all = true;
+  for (auto& req : halo_recvs) all = req.test() && all;
+  return all;
+}
+
 PartitionResult complete_halo_exchange(PendingPartition& pending) {
   for (std::size_t i = 0; i < pending.peers.size(); ++i)
     append_packed(pending.result.local, pending.halo_recvs[i].get());

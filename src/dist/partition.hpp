@@ -73,6 +73,14 @@ struct PendingPartition {
   PartitionResult result;
   std::vector<int> peers;                        // comm ranks, ascending
   std::vector<RecvRequest<double>> halo_recvs;   // parallel to `peers`
+
+  // Non-blocking progress on the outstanding halo receives: test()s every
+  // posted request and returns true once all have claimed their message.
+  // Safe to call any number of times (including after completion), from
+  // the thread that posted the exchange — the two-pass runner polls this
+  // between owned-pass leaf batches so the transport keeps making progress
+  // while the kernel owns the core.
+  bool poll();
 };
 
 // Collective over `comm`: redistributes the union of every rank's `mine`

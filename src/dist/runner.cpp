@@ -27,6 +27,15 @@ sim::Catalog round_robin_slice(const sim::Catalog& full, int rank,
 
 }  // namespace
 
+const char* overlap_mode_name(OverlapMode mode) {
+  switch (mode) {
+    case OverlapMode::kSequential: return "sequential";
+    case OverlapMode::kIndexBuild: return "index_build";
+    case OverlapMode::kTwoPass: return "two_pass";
+  }
+  return "unknown";
+}
+
 core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
                           const DistRunConfig& cfg, RankReport* report) {
   const core::EngineConfig& engine_cfg = cfg.engine;
@@ -41,36 +50,62 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
   const std::size_t n_owned = pending.result.local.size();
 
   // The pipeline: halo traffic is already in flight (sends buffered,
-  // receives posted), so build the owned-point index NOW and only then
-  // block on the exchange — halo wait hides behind the build. The
-  // sequential variant (overlap_halo = false) drains the exchange first,
-  // the A/B baseline for bench_dist_scaling.
+  // receives posted), so everything timed between here and
+  // complete_halo_exchange() is work the halo hides behind
+  // (halo_hidden_seconds). kSequential drains the exchange first — the A/B
+  // baseline; kIndexBuild hides the owned-index build (the PR-3 pipeline);
+  // kTwoPass additionally runs the whole owned-vs-owned traversal before
+  // blocking, polling the outstanding receives between leaf batches.
   double halo_seconds = 0.0;
   double index_seconds = 0.0;
+  double owned_pass_seconds = 0.0;
+  double secondary_pass_seconds = 0.0;
+  double halo_hidden_seconds = 0.0;
   core::Engine::Staged staged;
+  core::EngineStats stats;
 
   PartitionResult part;
-  if (cfg.overlap_halo) {
+  if (cfg.overlap == OverlapMode::kSequential) {
+    Timer th;
+    part = complete_halo_exchange(pending);
+    halo_seconds = th.seconds();
+    if (n_owned > 0) {
+      // The owned galaxies stay the first n_owned entries of the completed
+      // partition; snapshot that prefix once and MOVE it into the handle
+      // (build_index's copying overload would add a second O(N) copy).
+      sim::Catalog owned_only;
+      owned_only.reserve(n_owned);
+      for (std::size_t i = 0; i < n_owned; ++i)
+        owned_only.push_back(part.local.position(i), part.local.w[i]);
+      Timer ti;
+      staged = engine.build_index(std::move(owned_only));
+      index_seconds += ti.seconds();
+    }
+  } else {
     if (n_owned > 0) {
       Timer ti;
+      // Copying overload: complete_halo_exchange will append to (and may
+      // reallocate) this buffer, so the handle needs its own.
       staged = engine.build_index(pending.result.local);
       index_seconds += ti.seconds();
+      halo_hidden_seconds += index_seconds;
+    }
+    if (cfg.overlap == OverlapMode::kTwoPass && staged.valid()) {
+      // Halo copies come from other ranks' domains, which tile space
+      // disjointly from ours — so the k-d leaf domain bounds them away
+      // from the interior, and pass 1 snapshots only the boundary shell's
+      // power sums (pass 2 rebuilds those a_lm without a kernel re-run).
+      const core::Engine::SecondaryBound bound{pending.result.domain.lo,
+                                               pending.result.domain.hi};
+      Timer tp;
+      staged.run_owned_pass(nullptr, &stats, [&pending] { pending.poll(); },
+                            &bound);
+      owned_pass_seconds = tp.seconds();
+      halo_hidden_seconds += owned_pass_seconds;
     }
     Timer th;
     part = complete_halo_exchange(pending);
     halo_seconds = th.seconds();
-  } else {
-    // Snapshot the owned set before the halo append invalidates it — the
-    // same buffer the overlap branch indexes directly.
-    const sim::Catalog owned_only = pending.result.local;
-    Timer th;
-    part = complete_halo_exchange(pending);
-    halo_seconds = th.seconds();
-    if (n_owned > 0) {
-      Timer ti;
-      staged = engine.build_index(owned_only);
-      index_seconds += ti.seconds();
-    }
   }
 
   // Halo copies (appended after the owned block) act as secondaries only.
@@ -84,12 +119,21 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
     index_seconds += ti.seconds();
   }
 
-  Timer teng;
-  core::EngineStats stats;
-  core::ZetaResult local =
-      staged.valid() ? staged.run_indexed(nullptr, &stats)
-                     : engine.empty_result();
-  const double engine_seconds = teng.seconds();
+  double engine_seconds = 0.0;
+  core::ZetaResult local;
+  if (cfg.overlap == OverlapMode::kTwoPass && staged.valid()) {
+    Timer tsec;
+    core::EngineStats sec_stats;
+    local = staged.run_secondary_pass(&sec_stats);
+    secondary_pass_seconds = tsec.seconds();
+    stats.pairs += sec_stats.pairs;  // owned + halo = the single-node total
+    engine_seconds = owned_pass_seconds + secondary_pass_seconds;
+  } else {
+    Timer teng;
+    local = staged.valid() ? staged.run_indexed(nullptr, &stats)
+                           : engine.empty_result();
+    engine_seconds = teng.seconds();
+  }
 
   // Reduce: one allreduce for the additive double payload, one for the
   // integer counters — each a recursive-doubling butterfly with a fixed
@@ -126,6 +170,9 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
     report->halo_seconds = halo_seconds;
     report->index_build_seconds = index_seconds;
     report->engine_seconds = engine_seconds;
+    report->owned_pass_seconds = owned_pass_seconds;
+    report->secondary_pass_seconds = secondary_pass_seconds;
+    report->halo_hidden_seconds = halo_hidden_seconds;
     report->reduce_seconds = reduce_seconds;
     report->total_seconds = total.seconds();
     report->pair_imbalance = mean_pairs > 0 ? max_pairs / mean_pairs : 1.0;

@@ -1,18 +1,23 @@
-// Distributed 3PCF driver (paper §3.2–3.3), pipelined:
+// Distributed 3PCF driver (paper §3.2–3.3), pipelined two ways deep:
 //
-//   scatter → k-d partition → [halo exchange in flight ∥ owned-index build]
-//           → secondary (halo) index → leaf-blocked traversal
+//   scatter → k-d partition → [halo in flight ∥ owned-index build
+//                                            ∥ PASS 1: owned × owned]
+//           → complete halo → secondary (halo) index
+//           → PASS 2: owned × halo (boundary leaves only)
 //           → O(log P) tree allreduce of the additive ZetaResult payload
 //
 // post_halo_exchange() returns with halo sends buffered and receives
-// posted, so each rank builds the spatial index over its OWNED galaxies
-// while halo traffic is in flight; the halo copies are then indexed into a
-// secondary structure that unions with the primary index inside the
-// engine's traversal (Engine::Staged). The decomposition is exact — every
-// (primary, secondary) pair is evaluated on exactly one rank — so the
-// reduced result matches the single-node engine up to floating-point
-// summation order (bitwise for one rank, ~1e-13 relative for many), under
-// either PartitionPolicy and with or without the overlap.
+// posted; in the default OverlapMode::kTwoPass each rank then builds the
+// spatial index over its OWNED galaxies AND runs the whole owned-vs-owned
+// traversal (Engine::Staged::run_owned_pass, polling the outstanding
+// receives between leaf batches) before blocking on the exchange — the
+// entire O(N·n_nbr) kernel phase hides the halo, not just the index build.
+// The halo copies are then indexed into a secondary structure and
+// run_secondary_pass adds the owned-vs-halo completion exactly. The
+// decomposition is exact — every (primary, secondary) pair is evaluated on
+// exactly one rank — so the reduced result matches the single-node engine
+// up to floating-point summation order (bitwise for one rank, ~1e-13
+// relative for many), under either PartitionPolicy and any OverlapMode.
 #pragma once
 
 #include <cstdint>
@@ -25,15 +30,26 @@
 
 namespace galactos::dist {
 
+// How much of the pipeline runs while the halo exchange is in flight —
+// the three-way A/B axis of bench_dist_scaling.
+enum class OverlapMode {
+  kSequential,  // drain the exchange, then build + traverse (the baseline)
+  kIndexBuild,  // owned-index build hides the halo (the PR-3 pipeline)
+  kTwoPass,     // index build + the full owned-vs-owned pass hide the halo,
+                // then a second pass adds owned-vs-halo (the default)
+};
+
+// Stable names for reports/JSON: "sequential" / "index_build" / "two_pass".
+const char* overlap_mode_name(OverlapMode mode);
+
 struct DistRunConfig {
   core::EngineConfig engine;
   int ranks = 1;
   // What the k-d cuts equalize: raw galaxy counts or estimated pair counts
   // (the Fig. 7 imbalance fix).
   PartitionPolicy partition = PartitionPolicy::kPrimaryBalanced;
-  // Overlap the halo exchange with the owned-index build (the pipeline);
-  // off = complete the exchange before building, for A/B measurement.
-  bool overlap_halo = true;
+  // What hides the halo exchange (A/B/C measurement axis).
+  OverlapMode overlap = OverlapMode::kTwoPass;
 };
 
 // Per-rank accounting mirrored from the paper's scaling studies: primary
@@ -48,7 +64,17 @@ struct RankReport {
   double partition_seconds = 0.0;    // k-d exchange + halo posting
   double halo_seconds = 0.0;         // time BLOCKED waiting on halo data
   double index_build_seconds = 0.0;  // primary + secondary index build
-  double engine_seconds = 0.0;       // traversal (excludes index build)
+  double engine_seconds = 0.0;       // traversal (excludes index build);
+                                     // two-pass: owned + secondary passes
+  double owned_pass_seconds = 0.0;      // pass 1 (kTwoPass only)
+  double secondary_pass_seconds = 0.0;  // pass 2 (kTwoPass only)
+  // Wall time spent computing between post_halo_exchange returning and
+  // complete_halo_exchange being entered — the in-flight window filled
+  // with useful work instead of blocking. kSequential: 0. kIndexBuild:
+  // the index build. kTwoPass: index build + owned pass. The overlap
+  // health metric is halo_hidden_seconds / (halo_hidden_seconds +
+  // halo_seconds), gated by tools/check_bench_regression.py.
+  double halo_hidden_seconds = 0.0;
   double reduce_seconds = 0.0;       // tree allreduce of the result payload
   double total_seconds = 0.0;
   // max/mean kernel pairs across ranks — identical on every rank, so the

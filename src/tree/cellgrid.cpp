@@ -47,6 +47,10 @@ CellGrid<Real>::CellGrid(const sim::Catalog& catalog, double rmax_hint,
       leaf_cells_.push_back(static_cast<std::int64_t>(c));
 
   std::vector<std::int64_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (int d = 0; d < 3; ++d) {
+    plo_[d] = std::numeric_limits<Real>::max();
+    phi_[d] = std::numeric_limits<Real>::lowest();
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const std::int64_t dst = cursor[cell_idx[i]]++;
     xs_[dst] = static_cast<Real>(catalog.x[i]);
@@ -54,6 +58,12 @@ CellGrid<Real>::CellGrid(const sim::Catalog& catalog, double rmax_hint,
     zs_[dst] = static_cast<Real>(catalog.z[i]);
     ws_[dst] = catalog.w[i];
     orig_[dst] = static_cast<std::int64_t>(i);
+    plo_[0] = std::min(plo_[0], xs_[dst]);
+    phi_[0] = std::max(phi_[0], xs_[dst]);
+    plo_[1] = std::min(plo_[1], ys_[dst]);
+    phi_[1] = std::max(phi_[1], ys_[dst]);
+    plo_[2] = std::min(plo_[2], zs_[dst]);
+    phi_[2] = std::max(phi_[2], zs_[dst]);
   }
 }
 
@@ -195,7 +205,16 @@ void CellGrid<Real>::gather_box_neighbors(const Real lo[3], const Real hi[3],
       }
 }
 
+template <typename Real>
+bool CellGrid<Real>::box_beyond_reach(const Real lo[3], const Real hi[3],
+                                      double rmax) const {
+  if (xs_.empty()) return true;
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  return box_box_dist2<Real>(lo, hi, plo_, phi_) > r2max;
+}
+
 template class CellGrid<float>;
 template class CellGrid<double>;
+
 
 }  // namespace galactos::tree

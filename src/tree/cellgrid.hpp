@@ -62,6 +62,14 @@ class CellGrid {
   void gather_box_neighbors(const Real lo[3], const Real hi[3], double rmax,
                             NeighborBlock<Real>& out) const;
 
+  // O(1) whole-index prune mirroring KdTree::box_beyond_reach: true when no
+  // stored point can lie within rmax of [lo, hi] (so gather_box_neighbors
+  // would return nothing). Tests against the exact Real min/max box of the
+  // stored points with the same conservative box-box arithmetic the k-d
+  // pruning uses.
+  bool box_beyond_reach(const Real lo[3], const Real hi[3],
+                        double rmax) const;
+
   // Visits fn(leaf_id, begin, end) for every non-empty cell.
   template <typename Fn>
   void for_each_leaf(Fn&& fn) const {
@@ -80,6 +88,8 @@ class CellGrid {
   std::size_t cell_of(double x, double y, double z) const;
 
   sim::Aabb bounds_;
+  // Exact Real min/max of the stored points (box_beyond_reach's box).
+  Real plo_[3] = {0, 0, 0}, phi_[3] = {0, 0, 0};
   double cell_ = 1.0;
   int nx_ = 0, ny_ = 0, nz_ = 0;
   // CSR layout: points of cell c live at [starts_[c], starts_[c+1]).

@@ -125,22 +125,6 @@ Real box_dist2(const Real q[3], const Real lo[3], const Real hi[3]) {
   return d2;
 }
 
-// Minimum squared distance between two boxes [alo, ahi] and [blo, bhi].
-// Monotone float arithmetic guarantees the value never exceeds the
-// point-box distance of any point contained in the first box.
-template <typename Real>
-Real box_box_dist2(const Real alo[3], const Real ahi[3], const Real blo[3],
-                   const Real bhi[3]) {
-  Real d2 = 0;
-  for (int d = 0; d < 3; ++d) {
-    Real diff = 0;
-    if (bhi[d] < alo[d]) diff = alo[d] - bhi[d];
-    else if (blo[d] > ahi[d]) diff = blo[d] - ahi[d];
-    d2 += diff * diff;
-  }
-  return d2;
-}
-
 }  // namespace
 
 template <typename Real>
@@ -234,6 +218,15 @@ void KdTree<Real>::gather_box_neighbors(const Real lo[3], const Real hi[3],
         for (std::int32_t i = nd.begin; i < nd.end; ++i)
           out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
       });
+}
+
+template <typename Real>
+bool KdTree<Real>::box_beyond_reach(const Real lo[3], const Real hi[3],
+                                    double rmax) const {
+  if (root_ < 0) return true;
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  const Node& root = nodes_[static_cast<std::size_t>(root_)];
+  return box_box_dist2<Real>(lo, hi, root.lo, root.hi) > r2max;
 }
 
 template class KdTree<float>;

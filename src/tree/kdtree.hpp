@@ -68,6 +68,17 @@ class KdTree {
   void gather_box_neighbors(const Real lo[3], const Real hi[3], double rmax,
                             NeighborBlock<Real>& out) const;
 
+  // O(1) whole-index prune: true when NO stored point can lie within rmax
+  // of the box [lo, hi], i.e. a gather_box_neighbors call is guaranteed to
+  // return an empty block. Uses the root bounding box with the same
+  // conservative box-box Real arithmetic as the traversal pruning, so a
+  // true result is safe and a false result just means "must gather". The
+  // two-pass engine tests every primary leaf against the SECONDARY (halo)
+  // index this way, so interior leaves skip the secondary pass without a
+  // tree descent.
+  bool box_beyond_reach(const Real lo[3], const Real hi[3],
+                        double rmax) const;
+
   // Visits fn(leaf_id, begin, end) for every leaf, in tree order.
   template <typename Fn>
   void for_each_leaf(Fn&& fn) const {

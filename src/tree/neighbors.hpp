@@ -41,6 +41,24 @@ struct NeighborBlock {
   }
 };
 
+// Minimum squared distance between two boxes [alo, ahi] and [blo, bhi].
+// Monotone float arithmetic guarantees the value never exceeds the
+// point-box distance of any point contained in the first box — the
+// conservative-superset property every pruned gather relies on. Shared by
+// the k-d tree's node pruning and both indexes' box_beyond_reach.
+template <typename Real>
+inline Real box_box_dist2(const Real alo[3], const Real ahi[3],
+                          const Real blo[3], const Real bhi[3]) {
+  Real d2 = 0;
+  for (int d = 0; d < 3; ++d) {
+    Real diff = 0;
+    if (bhi[d] < alo[d]) diff = alo[d] - bhi[d];
+    else if (blo[d] > ahi[d]) diff = blo[d] - ahi[d];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
 template <typename Real>
 struct NeighborList {
   std::vector<Real> dx, dy, dz;  // separation: secondary - primary

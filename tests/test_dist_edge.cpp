@@ -172,3 +172,61 @@ TEST(OctantClusteredRun, DistributedMatchesSingle) {
   const c::ZetaResult dist = d::run_distributed(full, dcfg);
   expect_results_match(dist, single, 1e-10, 1e-10);
 }
+
+// Two-pass edge ranks. More ranks than galaxies leaves some ranks with
+// zero owned points (no staged engine at all — they contribute
+// empty_result and skip both passes); a huge R_max relative to rank
+// domains makes every leaf halo-adjacent. Both must stay exact under
+// every overlap mode.
+class OverlapModeEdges : public ::testing::TestWithParam<d::OverlapMode> {};
+
+TEST_P(OverlapModeEdges, ZeroOwnedRanksStayExact) {
+  const s::Catalog full = s::uniform_box(5, s::Aabb::cube(8), 95);
+  c::EngineConfig ecfg;
+  ecfg.bins = c::RadialBins(0.5, 6.0, 2);
+  ecfg.lmax = 2;
+  ecfg.threads = 1;
+  const c::ZetaResult single = c::Engine(ecfg).run(full);
+  d::DistRunConfig dcfg;
+  dcfg.engine = ecfg;
+  dcfg.ranks = 8;  // at least 3 ranks own nothing
+  dcfg.overlap = GetParam();
+  std::vector<d::RankReport> reports;
+  const c::ZetaResult dist = d::run_distributed(full, dcfg, &reports);
+  expect_results_match(dist, single, 1e-10, 1e-10);
+  int empty_ranks = 0;
+  for (const auto& r : reports)
+    if (r.owned == 0) {
+      ++empty_ranks;
+      EXPECT_EQ(r.owned_pass_seconds, 0.0);
+      EXPECT_EQ(r.secondary_pass_seconds, 0.0);
+    }
+  EXPECT_GE(empty_ranks, 3);
+}
+
+TEST_P(OverlapModeEdges, EmptyHaloRanksStayExact) {
+  // Two far-apart clusters, R_max far smaller than their gap: after the
+  // 2-way cut neither rank receives any halo copy, so the secondary pass
+  // has nothing to do on every rank.
+  s::Catalog full = s::uniform_box(300, s::Aabb::cube(20), 96);
+  full.append(s::uniform_box(
+      300, s::Aabb{{500, 500, 500}, {520, 520, 520}}, 97));
+  c::EngineConfig ecfg;
+  ecfg.bins = c::RadialBins(1.0, 10.0, 3);
+  ecfg.lmax = 3;
+  ecfg.threads = 1;
+  const c::ZetaResult single = c::Engine(ecfg).run(full);
+  d::DistRunConfig dcfg;
+  dcfg.engine = ecfg;
+  dcfg.ranks = 2;
+  dcfg.overlap = GetParam();
+  std::vector<d::RankReport> reports;
+  const c::ZetaResult dist = d::run_distributed(full, dcfg, &reports);
+  expect_results_match(dist, single, 1e-10, 1e-10);
+  for (const auto& r : reports) EXPECT_EQ(r.held, r.owned);  // no halo
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, OverlapModeEdges,
+                         ::testing::Values(d::OverlapMode::kSequential,
+                                           d::OverlapMode::kIndexBuild,
+                                           d::OverlapMode::kTwoPass));

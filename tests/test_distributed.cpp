@@ -56,12 +56,13 @@ TEST_P(DistributedVsSingle, ResultsIdentical) {
 INSTANTIATE_TEST_SUITE_P(RankSweep, DistributedVsSingle,
                          ::testing::Values(1, 2, 3, 5, 6));
 
-// The overlapped pipeline and both partition policies must leave the
-// decomposition exact: every (ranks, policy, overlap) combination matches
-// the single-node engine to 1e-10.
+// Every overlap depth and both partition policies must leave the
+// decomposition exact: every (ranks, policy, overlap mode) combination
+// matches the single-node engine to 1e-10 — including the two-pass
+// pipeline, whose owned-vs-halo completion runs as a separate traversal.
 class DistributedPipeline
     : public ::testing::TestWithParam<
-          std::tuple<int, d::PartitionPolicy, bool>> {};
+          std::tuple<int, d::PartitionPolicy, d::OverlapMode>> {};
 
 TEST_P(DistributedPipeline, MatchesSingleNode) {
   const auto [nranks, policy, overlap] = GetParam();
@@ -73,19 +74,41 @@ TEST_P(DistributedPipeline, MatchesSingleNode) {
   dcfg.engine = base_config();
   dcfg.ranks = nranks;
   dcfg.partition = policy;
-  dcfg.overlap_halo = overlap;
+  dcfg.overlap = overlap;
   std::vector<d::RankReport> reports;
   const c::ZetaResult dist = d::run_distributed(full, dcfg, &reports);
 
   expect_results_match(dist, single, 1e-10, 1e-10);
 
-  // Extended RankReport accounting: the pipeline phases are all measured
-  // and pair_imbalance is the same max/mean on every rank.
+  // Extended RankReport accounting: the pipeline phases are all measured,
+  // the overlap metrics match the mode, and pair_imbalance is the same
+  // max/mean on every rank.
   std::uint64_t max_pairs = 0, sum_pairs = 0;
   for (const auto& r : reports) {
     EXPECT_GE(r.halo_seconds, 0.0);
     EXPECT_GE(r.index_build_seconds, 0.0);
     if (r.owned > 0) EXPECT_GT(r.index_build_seconds, 0.0);
+    switch (overlap) {
+      case d::OverlapMode::kSequential:
+        EXPECT_EQ(r.halo_hidden_seconds, 0.0);
+        EXPECT_EQ(r.owned_pass_seconds, 0.0);
+        EXPECT_EQ(r.secondary_pass_seconds, 0.0);
+        break;
+      case d::OverlapMode::kIndexBuild:
+        EXPECT_EQ(r.owned_pass_seconds, 0.0);
+        EXPECT_EQ(r.secondary_pass_seconds, 0.0);
+        if (r.owned > 0) EXPECT_GT(r.halo_hidden_seconds, 0.0);
+        break;
+      case d::OverlapMode::kTwoPass:
+        if (r.owned > 0) {
+          EXPECT_GT(r.owned_pass_seconds, 0.0);
+          EXPECT_GT(r.secondary_pass_seconds, 0.0);
+          EXPECT_GT(r.halo_hidden_seconds, 0.0);
+          EXPECT_NEAR(r.engine_seconds,
+                      r.owned_pass_seconds + r.secondary_pass_seconds, 1e-12);
+        }
+        break;
+    }
     max_pairs = std::max(max_pairs, r.pairs);
     sum_pairs += r.pairs;
   }
@@ -104,7 +127,31 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(2, 3, 4, 8),
         ::testing::Values(d::PartitionPolicy::kPrimaryBalanced,
                           d::PartitionPolicy::kPairWeighted),
-        ::testing::Values(true, false)));
+        ::testing::Values(d::OverlapMode::kSequential,
+                          d::OverlapMode::kIndexBuild,
+                          d::OverlapMode::kTwoPass)));
+
+// The per-rank kernel-pair totals are identical whichever overlap depth
+// produced them (the two-pass split counts owned + halo pairs exactly
+// once), so Fig.-7 imbalance numbers stay comparable across modes.
+TEST(DistributedPipelineModes, PairCountsAgreeAcrossModes) {
+  const s::Catalog full = galactos::testing::clumpy_catalog(900, 60.0, 77);
+  std::vector<std::vector<std::uint64_t>> per_mode;
+  for (auto mode : {d::OverlapMode::kSequential, d::OverlapMode::kIndexBuild,
+                    d::OverlapMode::kTwoPass}) {
+    d::DistRunConfig dcfg;
+    dcfg.engine = base_config();
+    dcfg.ranks = 4;
+    dcfg.overlap = mode;
+    std::vector<d::RankReport> reports;
+    (void)d::run_distributed(full, dcfg, &reports);
+    std::vector<std::uint64_t> pairs;
+    for (const auto& r : reports) pairs.push_back(r.pairs);
+    per_mode.push_back(std::move(pairs));
+  }
+  EXPECT_EQ(per_mode[0], per_mode[1]);
+  EXPECT_EQ(per_mode[0], per_mode[2]);
+}
 
 TEST(Distributed, ClusteredCatalogNonPowerOfTwo) {
   const s::Catalog full = galactos::testing::clumpy_catalog(900, 60.0, 56);

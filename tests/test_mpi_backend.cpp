@@ -152,24 +152,28 @@ TEST(MpiBackend, RunDistributedMatchesMinimpiBitwise) {
   }
 }
 
-// Both partition policies and both pipeline orders stay exact over MPI.
+// Both partition policies and every overlap depth — including the
+// two-pass pipeline, whose owned pass polls real MPI_Request progress
+// between leaf batches — stay exact over MPI.
 TEST(MpiBackend, PolicyAndOverlapSweepMatchesMinimpi) {
   if (!on_mpi() || session().size() < 2) GTEST_SKIP() << "needs MPI np>=2";
   const s::Catalog cat = s::uniform_box(700, s::Aabb::cube(55), 654);
   for (auto policy : {d::PartitionPolicy::kPrimaryBalanced,
                       d::PartitionPolicy::kPairWeighted}) {
-    for (bool overlap : {true, false}) {
+    for (auto overlap : {d::OverlapMode::kSequential,
+                         d::OverlapMode::kIndexBuild,
+                         d::OverlapMode::kTwoPass}) {
       d::DistRunConfig cfg;
       cfg.engine = small_config();
       cfg.ranks = session().size();
       cfg.partition = policy;
-      cfg.overlap_halo = overlap;
+      cfg.overlap = overlap;
       const c::ZetaResult over_mpi = d::run_distributed(session(), cat, cfg);
       const c::ZetaResult over_threads = d::run_distributed(cat, cfg);
       SCOPED_TRACE(std::string("policy=") +
                    (policy == d::PartitionPolicy::kPairWeighted ? "pair"
                                                                 : "primary") +
-                   " overlap=" + (overlap ? "1" : "0"));
+                   " overlap=" + d::overlap_mode_name(overlap));
       expect_bitwise_equal(over_mpi, over_threads);
     }
   }

@@ -109,6 +109,156 @@ TEST_P(StagedEngine, SecondariesNeverActAsPrimaries) {
   EXPECT_EQ(r.n_primaries, owned.size());
 }
 
+// Two-pass pipeline, no secondaries ever indexed: run_owned_pass +
+// run_secondary_pass must reproduce run_indexed (and hence Engine::run)
+// BITWISE — pass 2 touches nothing, and the merge runs in the same
+// thread-id order.
+TEST_P(StagedEngine, TwoPassNoSecondariesBitwiseMatchesRun) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  const s::Catalog cat = s::uniform_box(900, s::Aabb::cube(50), 61);
+
+  const c::Engine engine(cfg);
+  const c::ZetaResult fused = engine.run(cat);
+
+  c::Engine::Staged staged = engine.build_index(cat);
+  EXPECT_FALSE(staged.owned_pass_pending());
+  c::EngineStats pass1, pass2;
+  staged.run_owned_pass(nullptr, &pass1);
+  EXPECT_TRUE(staged.owned_pass_pending());
+  const c::ZetaResult piped = staged.run_secondary_pass(&pass2);
+  EXPECT_FALSE(staged.owned_pass_pending());
+
+  expect_results_match(piped, fused, 0.0, 0.0);  // bitwise
+  EXPECT_EQ(piped.n_pairs, fused.n_pairs);
+  EXPECT_GT(pass1.pairs, 0u);
+  EXPECT_EQ(pass2.pairs, 0u);  // no secondaries → no new pairs
+}
+
+// Two-pass with a genuine halo: the owned pass sees only owned points, the
+// secondary pass adds the owned-vs-halo completion. Must agree with the
+// fused staged run (union candidates per leaf) to tight tolerance, with
+// exactly the same physical pair count split across the passes.
+TEST_P(StagedEngine, TwoPassWithSecondariesMatchesRunIndexed) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  const s::Catalog owned =
+      s::uniform_box(500, s::Aabb{{0, 0, 0}, {25, 50, 50}}, 62);
+  const s::Catalog halo =
+      s::uniform_box(500, s::Aabb{{25, 0, 0}, {50, 50, 50}}, 63);
+
+  const c::Engine engine(cfg);
+  c::Engine::Staged fused_staged = engine.build_index(owned);
+  fused_staged.extend_with_secondaries(halo);
+  c::EngineStats fused_stats;
+  const c::ZetaResult fused = fused_staged.run_indexed(nullptr, &fused_stats);
+
+  c::Engine::Staged staged = engine.build_index(owned);
+  c::EngineStats pass1, pass2;
+  staged.run_owned_pass(nullptr, &pass1);
+  staged.extend_with_secondaries(halo);
+  const c::ZetaResult piped = staged.run_secondary_pass(&pass2);
+
+  EXPECT_EQ(pass1.pairs + pass2.pairs, fused_stats.pairs);
+  EXPECT_GT(pass2.pairs, 0u);  // the halo really contributes
+  EXPECT_EQ(piped.n_pairs, fused.n_pairs);
+  EXPECT_EQ(piped.n_primaries, fused.n_primaries);
+  expect_results_match(piped, fused, 1e-11, 1e-11);
+}
+
+// Halo points scattered INSIDE the owned volume (no clean boundary): the
+// completion term must stay exact even when almost every leaf is affected.
+TEST_P(StagedEngine, TwoPassInterleavedHaloMatchesRunIndexed) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  const s::Catalog owned = s::uniform_box(400, s::Aabb::cube(40), 68);
+  const s::Catalog halo = s::uniform_box(300, s::Aabb::cube(40), 69);
+
+  const c::Engine engine(cfg);
+  c::Engine::Staged fused_staged = engine.build_index(owned);
+  fused_staged.extend_with_secondaries(halo);
+  const c::ZetaResult fused = fused_staged.run_indexed();
+
+  c::Engine::Staged staged = engine.build_index(owned);
+  staged.run_owned_pass();
+  staged.extend_with_secondaries(halo);
+  const c::ZetaResult piped = staged.run_secondary_pass();
+
+  expect_results_match(piped, fused, 1e-11, 1e-11);
+}
+
+// The SecondaryBound hint (runner: "all halo lies outside my domain box")
+// lets pass 1 snapshot boundary power sums so pass 2 skips the owned
+// kernel re-run — the result must be IDENTICAL to the hint-less two-pass
+// (alm_from_power_sums over the same bits is the same arithmetic).
+TEST_P(StagedEngine, TwoPassSecondaryBoundHintMatchesNoHint) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  const s::Catalog owned =
+      s::uniform_box(500, s::Aabb{{0, 0, 0}, {25, 50, 50}}, 62);
+  const s::Catalog halo =
+      s::uniform_box(500, s::Aabb{{25, 0, 0}, {50, 50, 50}}, 63);
+  const c::Engine engine(cfg);
+
+  c::Engine::Staged plain = engine.build_index(owned);
+  plain.run_owned_pass();
+  plain.extend_with_secondaries(halo);
+  const c::ZetaResult no_hint = plain.run_secondary_pass();
+
+  const c::Engine::SecondaryBound bound{{0, 0, 0}, {25, 50, 50}};
+  c::Engine::Staged hinted = engine.build_index(owned);
+  hinted.run_owned_pass(nullptr, nullptr, {}, &bound);
+  hinted.extend_with_secondaries(halo);
+  const c::ZetaResult with_hint = hinted.run_secondary_pass();
+
+  expect_results_match(with_hint, no_hint, 0.0, 0.0);  // bitwise
+  EXPECT_EQ(with_hint.n_pairs, no_hint.n_pairs);
+}
+
+// A VIOLATED promise (secondaries inside the bound box) must cost time,
+// never correctness: unsnapshotted primaries take the recompute fallback.
+TEST_P(StagedEngine, TwoPassViolatedBoundFallsBackExactly) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  const s::Catalog owned = s::uniform_box(400, s::Aabb::cube(40), 68);
+  const s::Catalog halo = s::uniform_box(300, s::Aabb::cube(40), 69);
+  const c::Engine engine(cfg);
+
+  c::Engine::Staged fused_staged = engine.build_index(owned);
+  fused_staged.extend_with_secondaries(halo);
+  const c::ZetaResult fused = fused_staged.run_indexed();
+
+  // Promise a huge box (every primary is deep interior → nothing is
+  // snapshotted) that every secondary then violates by lying inside it.
+  const c::Engine::SecondaryBound bound{{-200, -200, -200}, {200, 200, 200}};
+  c::Engine::Staged staged = engine.build_index(owned);
+  staged.run_owned_pass(nullptr, nullptr, {}, &bound);
+  staged.extend_with_secondaries(halo);
+  const c::ZetaResult piped = staged.run_secondary_pass();
+
+  expect_results_match(piped, fused, 1e-11, 1e-11);
+}
+
+// A primary subset must restrict both passes identically.
+TEST_P(StagedEngine, TwoPassWithPrimarySubset) {
+  const c::EngineConfig cfg = make_config(GetParam());
+  const s::Catalog owned =
+      s::uniform_box(400, s::Aabb{{0, 0, 0}, {25, 50, 50}}, 71);
+  const s::Catalog halo =
+      s::uniform_box(400, s::Aabb{{25, 0, 0}, {50, 50, 50}}, 72);
+  std::vector<std::int64_t> primaries;
+  for (std::size_t i = 0; i < owned.size(); i += 3)
+    primaries.push_back(static_cast<std::int64_t>(i));
+
+  const c::Engine engine(cfg);
+  c::Engine::Staged fused_staged = engine.build_index(owned);
+  fused_staged.extend_with_secondaries(halo);
+  const c::ZetaResult fused = fused_staged.run_indexed(&primaries);
+
+  c::Engine::Staged staged = engine.build_index(owned);
+  staged.run_owned_pass(&primaries);
+  staged.extend_with_secondaries(halo);
+  const c::ZetaResult piped = staged.run_secondary_pass();
+
+  EXPECT_EQ(piped.n_primaries, primaries.size());
+  expect_results_match(piped, fused, 1e-11, 1e-11);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCombos, StagedEngine,
     ::testing::Values(
@@ -161,4 +311,92 @@ TEST(StagedEngineApi, MisuseThrows) {
   // Primaries must index the OWNED catalog only.
   std::vector<std::int64_t> bad{static_cast<std::int64_t>(cat.size())};
   EXPECT_THROW(staged.run_indexed(&bad), std::logic_error);
+}
+
+TEST(StagedEngineApi, TwoPassMisuseThrows) {
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(1.0, 8.0, 2);
+  cfg.lmax = 2;
+  cfg.threads = 1;
+  const s::Catalog cat = s::uniform_box(100, s::Aabb::cube(15), 73);
+  const c::Engine engine(cfg);
+
+  c::Engine::Staged empty;
+  EXPECT_THROW(empty.run_owned_pass(), std::logic_error);
+  EXPECT_THROW(empty.run_secondary_pass(), std::logic_error);
+
+  c::Engine::Staged staged = engine.build_index(cat);
+  // Secondary pass before any owned pass.
+  EXPECT_THROW(staged.run_secondary_pass(), std::logic_error);
+  staged.run_owned_pass();
+  // Owned pass twice without completing; fused run mid-pipeline.
+  EXPECT_THROW(staged.run_owned_pass(), std::logic_error);
+  EXPECT_THROW(staged.run_indexed(), std::logic_error);
+  (void)staged.run_secondary_pass();
+  // The parked state was consumed: a fresh round is legal again.
+  staged.run_owned_pass();
+  (void)staged.run_secondary_pass();
+}
+
+// The owned pass invokes the caller's poll hook between leaf batches — the
+// distributed runner uses it to progress outstanding halo receives.
+TEST(StagedEngineApi, OwnedPassInvokesPollHook) {
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(1.0, 10.0, 3);
+  cfg.lmax = 2;
+  cfg.threads = 1;
+  cfg.leaf_size = 8;  // plenty of leaves so the stride fires repeatedly
+  const s::Catalog cat = s::uniform_box(3000, s::Aabb::cube(60), 74);
+  const c::Engine engine(cfg);
+
+  c::Engine::Staged staged = engine.build_index(cat);
+  int polls = 0;
+  staged.run_owned_pass(nullptr, nullptr, [&polls] { ++polls; });
+  EXPECT_GT(polls, 0);
+
+  const c::ZetaResult piped = staged.run_secondary_pass();
+  expect_results_match(piped, engine.run(cat), 0.0, 0.0);  // still bitwise
+}
+
+// The self-pair correction splits additively across the passes: owned
+// self terms in pass 1, halo self terms in pass 2.
+TEST(StagedEngineApi, TwoPassSubtractSelfPairsMatchesFused) {
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(1.0, 10.0, 3);
+  cfg.lmax = 3;
+  cfg.threads = 1;
+  cfg.subtract_self_pairs = true;
+  const s::Catalog owned =
+      s::uniform_box(250, s::Aabb{{0, 0, 0}, {15, 30, 30}}, 75);
+  const s::Catalog halo =
+      s::uniform_box(250, s::Aabb{{15, 0, 0}, {30, 30, 30}}, 76);
+  const c::Engine engine(cfg);
+
+  c::Engine::Staged fused_staged = engine.build_index(owned);
+  fused_staged.extend_with_secondaries(halo);
+  const c::ZetaResult fused = fused_staged.run_indexed();
+
+  c::Engine::Staged staged = engine.build_index(owned);
+  staged.run_owned_pass();
+  staged.extend_with_secondaries(halo);
+  const c::ZetaResult piped = staged.run_secondary_pass();
+
+  expect_results_match(piped, fused, 1e-11, 1e-11);
+}
+
+// extend_with_secondaries(empty) between the passes is a no-op and the
+// two-pass result stays bitwise equal to the fused no-secondary run.
+TEST(StagedEngineApi, TwoPassEmptyHaloIsBitwiseNoop) {
+  c::EngineConfig cfg;
+  cfg.bins = c::RadialBins(1.0, 8.0, 2);
+  cfg.lmax = 2;
+  cfg.threads = 1;
+  const s::Catalog cat = s::uniform_box(200, s::Aabb::cube(20), 66);
+  const c::Engine engine(cfg);
+
+  c::Engine::Staged staged = engine.build_index(cat);
+  staged.run_owned_pass();
+  staged.extend_with_secondaries(s::Catalog{});
+  expect_results_match(staged.run_secondary_pass(), engine.run(cat), 0.0,
+                       0.0);
 }

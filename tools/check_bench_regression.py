@@ -16,6 +16,14 @@ regressed, so the CI artifact trend is enforced rather than eyeballed:
     given because the shape is still host-sensitive in the extreme
     (single-core baselines are the worst case, so regressions against
     them are conservative).
+  * halo-hiding (optional, --hidden-tol) — per overlap mode of the
+    pipeline_ab section, the hidden fraction
+    halo_hidden / (halo_hidden + halo_blocked) must not drop more than
+    --hidden-tol below the baseline's. This is what catches an overlap
+    regression (e.g. the owned pass silently re-serialized behind the
+    exchange) that total wall time hides. Modes whose halo window is
+    microscopic in either file (< --hidden-floor seconds) are skipped:
+    max/min noise there is meaningless.
 
 The run configs (n, rmax, side, lmax, max_ranks, catalog) must match
 between baseline and fresh file — comparing different workloads is
@@ -58,6 +66,54 @@ def normalized_time(runs, key):
     return runs[key]["elapsed_seconds"] / base["elapsed_seconds"]
 
 
+def ab_modes_by_name(doc):
+    """pipeline_ab mode rows keyed by overlap_mode; {} when absent."""
+    ab = doc.get("pipeline_ab", {})
+    return {m["overlap_mode"]: m for m in ab.get("modes", [])}
+
+
+def hidden_fraction(mode_row):
+    denom = (mode_row.get("halo_hidden_seconds", 0.0)
+             + mode_row.get("halo_blocked_seconds", 0.0))
+    if denom <= 0:
+        return None, 0.0
+    return mode_row.get("halo_hidden_seconds", 0.0) / denom, denom
+
+
+def check_hidden(baseline, fresh, tol, floor, violations):
+    base_modes = ab_modes_by_name(baseline)
+    fresh_modes = ab_modes_by_name(fresh)
+    if not base_modes:
+        print("hidden-fraction gate: baseline has no pipeline_ab modes "
+              "(pre-two-pass baseline?) — skipping")
+        return
+    print(f"\n{'mode':<12} {'hidden(base)':>12} {'hidden(fresh)':>13}"
+          f"  verdict")
+    for name in sorted(base_modes):
+        if name == "sequential":
+            continue  # nothing is hidden by construction
+        base_frac, base_denom = hidden_fraction(base_modes[name])
+        row = fresh_modes.get(name)
+        if row is None:
+            violations.append(
+                f"pipeline_ab mode '{name}' missing from the fresh file")
+            print(f"{name:<12} {'—':>12} {'MISSING':>13}")
+            continue
+        fresh_frac, fresh_denom = hidden_fraction(row)
+        if min(base_denom, fresh_denom) < floor:
+            print(f"{name:<12} {'—':>12} {'—':>13}  skipped "
+                  f"(halo window < {floor:g}s)")
+            continue
+        verdict = "ok"
+        if fresh_frac < base_frac - tol:
+            verdict = "REGRESSED"
+            violations.append(
+                f"pipeline_ab mode '{name}': hidden fraction "
+                f"{base_frac:.3f} -> {fresh_frac:.3f} "
+                f"(drop > {tol:.2f})")
+        print(f"{name:<12} {base_frac:>12.3f} {fresh_frac:>13.3f}  {verdict}")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="fail on distributed-bench regressions vs a baseline")
@@ -70,6 +126,14 @@ def main():
     ap.add_argument("--time-tol", type=float, default=None,
                     help="max fractional normalized wall-time growth "
                          "(omitted = time check off)")
+    ap.add_argument("--hidden-tol", type=float, default=None,
+                    help="max absolute drop of the per-mode halo hidden "
+                         "fraction hidden/(hidden+blocked) "
+                         "(omitted = hidden check off)")
+    ap.add_argument("--hidden-floor", type=float, default=1e-3,
+                    help="skip the hidden check when the halo window "
+                         "(hidden+blocked) is below this many seconds in "
+                         "either file (default 1e-3)")
     ap.add_argument("--allow-config-mismatch", action="store_true",
                     help="compare even when run configs differ")
     args = ap.parse_args()
@@ -129,6 +193,10 @@ def main():
         for v in verdicts:
             violations.append(f"(ranks={ranks}, policy={policy}): {v}")
 
+    if args.hidden_tol is not None:
+        check_hidden(baseline, fresh, args.hidden_tol, args.hidden_floor,
+                     violations)
+
     if violations:
         print(f"\n{len(violations)} regression(s) vs {args.baseline}:")
         for v in violations:
@@ -137,7 +205,10 @@ def main():
     print(f"\nno regressions vs {args.baseline} "
           f"(imbalance tol {args.imbalance_tol:.0%}"
           + (f", time tol {args.time_tol:.0%}" if args.time_tol is not None
-             else ", time check off") + ")")
+             else ", time check off")
+          + (f", hidden tol {args.hidden_tol:.2f}"
+             if args.hidden_tol is not None else ", hidden check off")
+          + ")")
 
 
 if __name__ == "__main__":

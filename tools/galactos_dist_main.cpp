@@ -15,7 +15,9 @@
 // same file — or a synthetic Outer Rim-density catalog (--n, --seed).
 // Rank 0 prints the per-rank pipeline report and writes the zeta CSV /
 // JSON report; the reduced result is identical on every rank.
+#include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -56,7 +58,11 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
   const int ranks_arg = args.get<int>(
       "ranks", session.backend() == dist::Backend::kMpi ? 0 : 4);
   const std::string policy = args.get_str("policy", "pair");
-  const bool sequential = args.flag("sequential");
+  // Overlap depth: two-pass (default) | index | sequential. --sequential
+  // is kept as a back-compat alias for --overlap sequential.
+  const std::string overlap_arg =
+      args.get_str("overlap", args.flag("sequential") ? "sequential"
+                                                      : "two-pass");
   const std::string output = args.get_str("output", "");
   const std::string json_path = args.get_str("json", "");
   args.finish();
@@ -89,7 +95,16 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
   cfg.partition = policy == "primary"
                       ? dist::PartitionPolicy::kPrimaryBalanced
                       : dist::PartitionPolicy::kPairWeighted;
-  cfg.overlap_halo = !sequential;
+  if (overlap_arg == "sequential") {
+    cfg.overlap = dist::OverlapMode::kSequential;
+  } else if (overlap_arg == "index" || overlap_arg == "index-build") {
+    cfg.overlap = dist::OverlapMode::kIndexBuild;
+  } else if (overlap_arg == "two-pass" || overlap_arg == "two_pass") {
+    cfg.overlap = dist::OverlapMode::kTwoPass;
+  } else {
+    throw std::runtime_error("--overlap must be sequential | index | "
+                             "two-pass (got '" + overlap_arg + "')");
+  }
 
   std::vector<dist::RankReport> reports;
   Timer timer;
@@ -99,14 +114,18 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
 
   if (root) {
     Table t({"rank", "owned", "held", "pairs", "partition (s)", "halo (s)",
-             "build (s)", "engine (s)", "reduce (s)"});
+             "hidden (s)", "build (s)", "engine (s)", "pass1/pass2 (s)",
+             "reduce (s)"});
     for (const auto& r : reports)
       t.add_row({fmt(r.rank, "%.0f"), std::to_string(r.owned),
                  std::to_string(r.held), std::to_string(r.pairs),
                  fmt(r.partition_seconds, "%.4f"),
                  fmt(r.halo_seconds, "%.4f"),
+                 fmt(r.halo_hidden_seconds, "%.4f"),
                  fmt(r.index_build_seconds, "%.4f"),
                  fmt(r.engine_seconds, "%.4f"),
+                 fmt(r.owned_pass_seconds, "%.4f") + "/" +
+                     fmt(r.secondary_pass_seconds, "%.4f"),
                  fmt(r.reduce_seconds, "%.4f")});
     std::printf("\n");
     t.print();
@@ -129,10 +148,18 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
           .add("lmax", lmax)
           .add("policy", policy == "primary" ? "primary_balanced"
                                              : "pair_weighted")
-          .add("overlap_halo", sequential ? 0 : 1)
+          .add("overlap_mode",
+               std::string(dist::overlap_mode_name(cfg.overlap)))
           .add("n_pairs", result.n_pairs)
           .add("pair_imbalance", imbalance)
           .add("wall_seconds", elapsed);
+      double halo_blocked_max = 0, halo_hidden_max = 0;
+      for (const auto& r : reports) {
+        halo_blocked_max = std::max(halo_blocked_max, r.halo_seconds);
+        halo_hidden_max = std::max(halo_hidden_max, r.halo_hidden_seconds);
+      }
+      o.add("halo_blocked_max_seconds", halo_blocked_max)
+          .add("halo_hidden_max_seconds", halo_hidden_max);
       bench::write_json_file(json_path, o.str());
     }
   }
