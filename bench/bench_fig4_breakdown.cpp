@@ -13,10 +13,49 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "core/kernel.hpp"
+#include "math/rng.hpp"
 #include "util/argparse.hpp"
+#include "util/timer.hpp"
 
 using namespace galactos;
 using namespace galactos::bench;
+
+namespace {
+
+// Isolated bucket-kernel throughput at the paper configuration (bucket 128,
+// ilp 4) for whatever dispatch level is currently active — the per-ISA A/B
+// rows of the JSON artifact.
+double measure_kernel_gflops(int lmax) {
+  constexpr int kBucket = 128;
+  math::Rng rng(42);
+  std::vector<double> ux(kBucket), uy(kBucket), uz(kBucket), w(kBucket);
+  for (int i = 0; i < kBucket; ++i) {
+    rng.unit_vector(ux[i], uy[i], uz[i]);
+    w[i] = rng.uniform(0.5, 1.5);
+  }
+  std::vector<double> acc(
+      static_cast<std::size_t>(math::monomial_count(lmax)) * core::kLanes,
+      0.0);
+  auto run = [&](int iters) {
+    for (int it = 0; it < iters; ++it)
+      core::kernel_running_product(ux.data(), uy.data(), uz.data(), w.data(),
+                                   kBucket, lmax, acc.data(), 4);
+  };
+  run(2000);  // warmup
+  int iters = 2000;
+  double secs = 0.0;
+  for (;;) {
+    Timer t;
+    run(iters);
+    secs = t.seconds();
+    if (secs >= 0.2) break;
+    iters *= 4;
+  }
+  return core::kernel_flops_per_pair(lmax) * kBucket * iters / secs / 1e9;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
@@ -25,7 +64,11 @@ int main(int argc, char** argv) {
   const int threads = args.get<int>("threads", 0);
   const int lmax = args.get<int>("lmax", 10);
   const std::string json_path = args.get_str("json", "BENCH_fig4.json");
+  // Kernel dispatch level for the engine runs (the A/B section below always
+  // sweeps every level). Rejects unknown/unsupported values loudly.
+  const std::string isa_req = args.get_str("isa", "auto");
   args.finish();
+  core::set_kernel_isa(core::parse_kernel_isa(isa_req));
 
   print_header("Fig. 4 analog — single-node runtime breakdown");
   print_kv("galaxies", fmt(static_cast<double>(n), "%.0f"));
@@ -33,6 +76,7 @@ int main(int argc, char** argv) {
   print_kv("R_max (Mpc/h)", fmt(rmax, "%.1f"));
   print_kv("expected pairs/primary", fmt(pairs_per_primary(rmax), "%.0f"));
   print_kv("lmax", fmt(lmax, "%.0f"));
+  print_kv("kernel ISA", core::kernel_isa_name(core::kernel_isa()));
 
   const sim::Catalog cat = outer_rim_scaled(n, 1234);
   core::EngineConfig cfg = paper_engine_config(rmax, 10, threads);
@@ -75,6 +119,30 @@ int main(int argc, char** argv) {
                    : 0.0,
                "%.2fx"));
 
+  // Per-ISA bucket-kernel A/B: every compiled level, measured in isolation
+  // at the paper kernel configuration. Unsupported levels get a row with
+  // supported = false so downstream gates can skip-with-notice instead of
+  // misreading absence.
+  std::printf("\nkernel ISA A/B (bucket kernel, lmax=%d):\n", lmax);
+  std::string ab = "[";
+  for (core::KernelIsa isa : {core::KernelIsa::kScalar, core::KernelIsa::kAvx2,
+                              core::KernelIsa::kAvx512}) {
+    JsonObject row;
+    row.add("isa", core::kernel_isa_name(isa));
+    if (core::kernel_isa_supported(isa)) {
+      core::set_kernel_isa(isa);
+      const double gf = measure_kernel_gflops(lmax);
+      row.add_raw("supported", "true").add("kernel_gflops", gf);
+      print_kv(core::kernel_isa_name(isa), fmt(gf, "%.2f GF/s"));
+    } else {
+      row.add_raw("supported", "false");
+      print_kv(core::kernel_isa_name(isa), "not supported on this host");
+    }
+    ab += (ab.size() > 1 ? ",\n      " : "") + row.str(6);
+  }
+  ab += "]";
+  core::set_kernel_isa(core::parse_kernel_isa(isa_req));
+
   if (!json_path.empty()) {
     JsonObject config;
     config.add("n", static_cast<std::uint64_t>(n))
@@ -83,12 +151,14 @@ int main(int argc, char** argv) {
         .add("nbins", cfg.bins.count())
         .add("threads", threads)
         .add("precision", "mixed")
-        .add("index", "kdtree");
+        .add("index", "kdtree")
+        .add("kernel_isa", core::kernel_isa_name(core::kernel_isa()));
     JsonObject root;
     root.add("bench", "fig4_breakdown")
         .add_raw("config", config.str(2))
         .add_raw("per_primary", phases_json(per_primary).str(2))
         .add_raw("leaf_blocked", phases_json(leaf_blocked).str(2))
+        .add_raw("kernel_isa_ab", ab)
         .add("neighbor_query_speedup", q_lb > 0 ? q_pp / q_lb : 0.0);
     write_json_file(json_path, root.str());
   }

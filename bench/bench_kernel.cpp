@@ -7,6 +7,7 @@
 // (2 FLOPs per monomial per pair = 572 FLOP/pair at lmax = 10).
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "core/kernel.hpp"
@@ -44,12 +45,38 @@ void set_flops(benchmark::State& state, int lmax, int count) {
   state.SetItemsProcessed(state.iterations() * count);
 }
 
+// The per-ISA A/B dimension: benchmark arg -> dispatch level. Unsupported
+// levels skip with a notice instead of failing, so one binary runs
+// everywhere; the RAII reset keeps the level from leaking into benches
+// that don't carry the arg.
+constexpr c::KernelIsa kIsaArg[] = {c::KernelIsa::kScalar, c::KernelIsa::kAvx2,
+                                    c::KernelIsa::kAvx512, c::KernelIsa::kAuto};
+
+struct IsaRun {
+  bool ok;
+  explicit IsaRun(benchmark::State& state, int arg) {
+    const c::KernelIsa isa = kIsaArg[arg];
+    ok = c::kernel_isa_supported(isa);
+    if (!ok) {
+      state.SkipWithError((std::string("ISA not supported on this host: ") +
+                           c::kernel_isa_name(isa))
+                              .c_str());
+      return;
+    }
+    c::set_kernel_isa(isa);
+    state.SetLabel(std::string("isa:") + c::kernel_isa_name(c::kernel_isa()));
+  }
+  ~IsaRun() { c::set_kernel_isa(c::KernelIsa::kAuto); }
+};
+
 }  // namespace
 
 static void BM_KernelRunningProduct(benchmark::State& state) {
   const int lmax = static_cast<int>(state.range(0));
   const int count = static_cast<int>(state.range(1));
   const int ilp = static_cast<int>(state.range(2));
+  IsaRun isa(state, static_cast<int>(state.range(3)));
+  if (!isa.ok) return;
   const Bucket b = make_bucket(count, 42);
   std::vector<double> acc(
       static_cast<std::size_t>(m::monomial_count(lmax)) * c::kLanes, 0.0);
@@ -60,18 +87,26 @@ static void BM_KernelRunningProduct(benchmark::State& state) {
   }
   set_flops(state, lmax, count);
 }
+// isa: 0 = scalar, 1 = avx2, 2 = avx512, 3 = auto. The paper configuration
+// (lmax 10, bucket 128, ilp 4) runs at every level — the kernel-GFLOP/s
+// A/B matrix; the shape sweeps run once at auto.
 BENCHMARK(BM_KernelRunningProduct)
-    ->ArgNames({"lmax", "bucket", "ilp"})
-    ->Args({10, 128, 1})
-    ->Args({10, 128, 2})
-    ->Args({10, 128, 4})
-    ->Args({10, 512, 4})
-    ->Args({5, 128, 4})
-    ->Args({10, 32, 4});
+    ->ArgNames({"lmax", "bucket", "ilp", "isa"})
+    ->Args({10, 128, 4, 0})
+    ->Args({10, 128, 4, 1})
+    ->Args({10, 128, 4, 2})
+    ->Args({10, 128, 4, 3})
+    ->Args({10, 128, 1, 3})
+    ->Args({10, 128, 2, 3})
+    ->Args({10, 512, 4, 3})
+    ->Args({5, 128, 4, 3})
+    ->Args({10, 32, 4, 3});
 
 static void BM_KernelZBuffered(benchmark::State& state) {
   const int lmax = static_cast<int>(state.range(0));
   const int count = static_cast<int>(state.range(1));
+  IsaRun isa(state, static_cast<int>(state.range(2)));
+  if (!isa.ok) return;
   const Bucket b = make_bucket(count, 43);
   std::vector<double> acc(
       static_cast<std::size_t>(m::monomial_count(lmax)) * c::kLanes, 0.0);
@@ -84,12 +119,15 @@ static void BM_KernelZBuffered(benchmark::State& state) {
   set_flops(state, lmax, count);
 }
 BENCHMARK(BM_KernelZBuffered)
-    ->ArgNames({"lmax", "bucket"})
-    ->Args({10, 128})
-    ->Args({10, 512})
-    ->Args({10, 32})
-    ->Args({5, 128})
-    ->Args({2, 128});
+    ->ArgNames({"lmax", "bucket", "isa"})
+    ->Args({10, 128, 0})
+    ->Args({10, 128, 1})
+    ->Args({10, 128, 2})
+    ->Args({10, 128, 3})
+    ->Args({10, 512, 3})
+    ->Args({10, 32, 3})
+    ->Args({5, 128, 3})
+    ->Args({2, 128, 3});
 
 static void BM_KernelReferenceScalar(benchmark::State& state) {
   const int lmax = static_cast<int>(state.range(0));

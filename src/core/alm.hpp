@@ -7,6 +7,11 @@
 // whose two secondaries are the same galaxy. SelfPairAccumulator tracks
 // sum_j w_j^2 conj(Y_lm(u_j)) Y_l'm(u_j) per bin so the engine can subtract
 // them exactly (validated against the brute-force oracle both ways).
+//
+// The self matrix lives in structure-of-arrays real/imaginary planes
+// (padded to the SIMD lane block) and the per-secondary accumulation runs
+// through the math/simd.hpp vector wrapper: the (l, l', m) product loop is
+// a pair of contiguous FMA sweeps over pre-gathered Y_lm operands.
 #pragma once
 
 #include <complex>
@@ -16,6 +21,7 @@
 #include "core/kernel.hpp"
 #include "core/zeta.hpp"
 #include "math/sph_table.hpp"
+#include "util/aligned.hpp"
 
 namespace galactos::core {
 
@@ -34,9 +40,13 @@ class SelfPairAccumulator {
   void start_primary();
   // Adds one secondary with unit direction (ux, uy, uz) and weight w.
   void add(int bin, double ux, double uy, double uz, double w);
-  // Per-bin self matrix in LlmIndex order; only touched bins are valid.
-  const std::complex<double>* self(int bin) const {
-    return data_.data() + static_cast<std::size_t>(bin) * llm_->size();
+  // Per-bin self planes in LlmIndex order; only touched bins are valid.
+  // Feed these to ZetaAccumulator::subtract_self.
+  const double* self_re(int bin) const {
+    return re_.data() + static_cast<std::size_t>(bin) * stride_;
+  }
+  const double* self_im(int bin) const {
+    return im_.data() + static_cast<std::size_t>(bin) * stride_;
   }
   bool bin_touched(int bin) const { return touched_[bin] != 0; }
 
@@ -44,8 +54,13 @@ class SelfPairAccumulator {
   const math::SphHarmTable* table_;
   const LlmIndex* llm_;
   int nbins_;
-  std::vector<std::complex<double>> ylm_;   // scratch, nlm entries
-  std::vector<std::complex<double>> data_;  // [nbins][nllm]
+  int stride_;  // llm size padded to the lane block (tail stays zero)
+  std::vector<std::complex<double>> ylm_;  // scratch, nlm entries
+  // Pre-gathered operands of conj(Y_lm) Y_l'm per LlmIndex entry; the
+  // padded tails are zeroed once and never written, so the vector loop can
+  // run the full stride.
+  AlignedBuffer<double> y1re_, y1im_, y2re_, y2im_;
+  AlignedBuffer<double> re_, im_;  // [nbins][stride] planes
   std::vector<std::uint8_t> touched_;
   std::vector<int> touched_list_;
 };

@@ -59,6 +59,70 @@ Index make_index(const sim::Catalog& catalog, const EngineConfig& cfg) {
   }
 }
 
+// Dense accepted-pair staging shared by every traversal driver. fill()
+// applies the candidate block's range filter / self exclusion / coincident
+// rejection and compacts the survivors — in candidate order — into SoA
+// arrays of separation, r, 1/r and weight. This reproduces the accept set
+// the per-primary index query computes during its gather, so (like
+// separation formation) the filter runs on neighbor-query time; the kernel
+// phase then walks only real pairs with no data-dependent branches.
+//
+// No bits change anywhere: the range compare stays in index precision
+// (Real), acceptance order is candidate order, sqrt and reciprocal are
+// IEEE-exact (the 8-wide hoist yields bitwise the values the accept loops
+// used to compute inline), and dx stays unnormalized so the consumer still
+// forms dx * (1/r) from identical operands. Compaction is branchless
+// (always-store, masked advance): rejected lanes write junk (1/0 = inf)
+// that the next candidate overwrites or `count` hides.
+class PairStage {
+ public:
+  std::size_t count = 0;
+  std::vector<double> dx, dy, dz, r, inv, w;
+
+  // `r2max` in index precision (pass infinity when the block is already
+  // range-filtered); `self` is the primary's catalog index (-1 to keep
+  // every candidate, e.g. for disjoint halo blocks).
+  template <typename Real>
+  void fill(const Real* sdx, const Real* sdy, const Real* sdz,
+            const Real* sr2, const double* sw, const std::int64_t* sidx,
+            std::size_t n, Real r2max, std::int64_t self) {
+    hr_.resize(n);
+    hinv_.resize(n);
+    double* __restrict rp = hr_.data();
+    double* __restrict ip = hinv_.data();
+#pragma omp simd
+    for (std::size_t j = 0; j < n; ++j) {
+      const double rj = std::sqrt(static_cast<double>(sr2[j]));
+      rp[j] = rj;
+      ip[j] = 1.0 / rj;
+    }
+    dx.resize(n);
+    dy.resize(n);
+    dz.resize(n);
+    r.resize(n);
+    inv.resize(n);
+    w.resize(n);
+    std::size_t cnt = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const unsigned ok = static_cast<unsigned>(sr2[j] <= r2max) &
+                          static_cast<unsigned>(sidx[j] != self) &
+                          static_cast<unsigned>(
+                              static_cast<double>(sr2[j]) > 0.0);
+      dx[cnt] = static_cast<double>(sdx[j]);
+      dy[cnt] = static_cast<double>(sdy[j]);
+      dz[cnt] = static_cast<double>(sdz[j]);
+      r[cnt] = rp[j];
+      inv[cnt] = ip[j];
+      w[cnt] = sw[j];
+      cnt += ok;
+    }
+    count = cnt;
+  }
+
+ private:
+  std::vector<double> hr_, hinv_;  // full-length hoisted sqrt / 1/r
+};
+
 // Per-bin staging for the leaf-blocked driver's batch-binning pass: one
 // bucket_capacity-sized SoA segment per bin, drained to the kernel
 // bucket-at-a-time through push_block. A drain always hands over a full
@@ -303,12 +367,15 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
       zeta.add_primary(wp, alm.data(), touched.data());
       if (sp)
         for (int b = 0; b < nbins; ++b)
-          if (sp->bin_touched(b)) zeta.subtract_self(wp, b, sp->self(b));
+          if (sp->bin_touched(b)) {
+            zeta.subtract_self(wp, b, sp->self_re(b), sp->self_im(b));
+          }
       z_time += tz.seconds();
     };
 
     if (traversal == TraversalMode::kPerPrimary) {
       tree::NeighborList<Real> nl;
+      PairStage ps;
 
       auto process = [&](std::int64_t pi) {
         if (do_poll && ++since_poll >= kPollPrimaryStride) {
@@ -335,28 +402,29 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
           for (std::size_t j = before; j < nl.size(); ++j)
             nl.idx[j] += halo_offset;
         }
+        const std::size_t count = nl.size();
+        // The index already computed (and range-filtered) r2 in Real;
+        // rotation preserves the norm, so bin on the stored value instead
+        // of recomputing. Excluding the primary itself and coincident
+        // galaxies (direction undefined) completes the accept set.
+        ps.fill(nl.dx.data(), nl.dy.data(), nl.dz.data(), nl.r2.data(),
+                nl.w.data(), nl.idx.data(), count,
+                std::numeric_limits<Real>::infinity(), p);
         q_time += tq.seconds();
 
         Timer tk;
         acc.start_primary();
         if (sp) sp->start_primary();
-        const std::size_t count = nl.size();
-        for (std::size_t j = 0; j < count; ++j) {
-          if (nl.idx[j] == p) continue;
-          // The index already computed r2 (in Real); rotation preserves
-          // the norm, so bin on the stored value instead of recomputing.
-          const double r2 = static_cast<double>(nl.r2[j]);
-          if (r2 <= 0.0) continue;  // coincident galaxies: direction undefined
-          const double r = std::sqrt(r2);
-          const int bin = cfg.bins.bin_of(r);
+        for (std::size_t j = 0; j < ps.count; ++j) {
+          const int bin = cfg.bins.bin_of(ps.r[j]);
           if (bin < 0) continue;
-          double dx = static_cast<double>(nl.dx[j]);
-          double dy = static_cast<double>(nl.dy[j]);
-          double dz = static_cast<double>(nl.dz[j]);
+          double dx = ps.dx[j];
+          double dy = ps.dy[j];
+          double dz = ps.dz[j];
           if (rotate) rot.apply(dx, dy, dz);
-          const double inv = 1.0 / r;
-          acc.push(bin, dx * inv, dy * inv, dz * inv, nl.w[j]);
-          if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, nl.w[j]);
+          const double inv = ps.inv[j];
+          acc.push(bin, dx * inv, dy * inv, dz * inv, ps.w[j]);
+          if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, ps.w[j]);
         }
         acc.finish_primary();
         k_time += tk.seconds();
@@ -381,6 +449,7 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
       // accepted pairs bucket-at-a-time into the kernel.
       tree::NeighborBlock<Real> block;
       std::vector<Real> sdx, sdy, sdz, sr2;
+      PairStage ps;
       std::vector<std::size_t> leaf_prims;
       BinStage stage(nbins, cfg.bucket_capacity);
       const Real r2max = static_cast<Real>(cfg.bins.rmax()) *
@@ -436,33 +505,31 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
             continue;
           }
 
-          // Separation formation is neighbor-search work (the per-primary
-          // gather loop used to do it inside the index), so it counts
-          // toward the "neighbor query" phase.
+          // Separation formation (and the range filter + compaction a
+          // per-primary index query would have applied during the gather)
+          // is neighbor-search work, so it counts toward the "neighbor
+          // query" phase.
           Timer tsep;
           const Real px = index.x(t), py = index.y(t), pz = index.z(t);
           form_separations(block, px, py, pz, sdx.data(), sdy.data(),
                            sdz.data(), sr2.data());
+          ps.fill(sdx.data(), sdy.data(), sdz.data(), sr2.data(),
+                  block.w.data(), block.idx.data(), m, r2max, p);
           q_time += tsep.seconds();
 
           Timer tk;
           acc.start_primary();
           if (sp) sp->start_primary();
-          for (std::size_t j = 0; j < m; ++j) {
-            if (!(sr2[j] <= r2max)) continue;  // the index's range filter
-            if (block.idx[j] == p) continue;
-            const double r2 = static_cast<double>(sr2[j]);
-            if (r2 <= 0.0) continue;  // coincident: direction undefined
-            const double r = std::sqrt(r2);
-            const int bin = cfg.bins.bin_of(r);
+          for (std::size_t j = 0; j < ps.count; ++j) {
+            const int bin = cfg.bins.bin_of(ps.r[j]);
             if (bin < 0) continue;
-            double dx = static_cast<double>(sdx[j]);
-            double dy = static_cast<double>(sdy[j]);
-            double dz = static_cast<double>(sdz[j]);
+            double dx = ps.dx[j];
+            double dy = ps.dy[j];
+            double dz = ps.dz[j];
             if (rotate) rot.apply(dx, dy, dz);
-            const double inv = 1.0 / r;
-            stage.add(bin, dx * inv, dy * inv, dz * inv, block.w[j], acc);
-            if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, block.w[j]);
+            const double inv = ps.inv[j];
+            stage.add(bin, dx * inv, dy * inv, dz * inv, ps.w[j], acc);
+            if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, ps.w[j]);
           }
           stage.finish(acc);
           acc.finish_primary();
@@ -709,7 +776,9 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
                                alm_b.data(), touched_b.data());
         if (sp)
           for (int b = 0; b < nbins; ++b)
-            if (sp->bin_touched(b)) zeta.subtract_self(wp, b, sp->self(b));
+            if (sp->bin_touched(b)) {
+              zeta.subtract_self(wp, b, sp->self_re(b), sp->self_im(b));
+            }
         z_time += tz.seconds();
       };
 
@@ -718,6 +787,7 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
             primaries ? static_cast<std::int64_t>(primaries->size())
                       : static_cast<std::int64_t>(catalog.size());
         tree::NeighborList<Real> nl_b, nl_a;
+        PairStage ps;
 
         auto process = [&](std::int64_t pi) {
           const std::int64_t p = primaries ? (*primaries)[pi] : pi;
@@ -730,6 +800,10 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
           nl_b.clear();
           secondary->gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(),
                                       nl_b);
+          // Halo blocks are disjoint from the owned set: no self-exclusion.
+          ps.fill(nl_b.dx.data(), nl_b.dy.data(), nl_b.dz.data(),
+                  nl_b.r2.data(), nl_b.w.data(), nl_b.idx.data(), nl_b.size(),
+                  std::numeric_limits<Real>::infinity(), -1);
           q_time += tq.seconds();
           my_cand += nl_b.size();
           if (nl_b.size() == 0) return;
@@ -738,19 +812,16 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
           acc_b.start_primary();
           if (sp) sp->start_primary();
           std::uint64_t accepted = 0;
-          for (std::size_t j = 0; j < nl_b.size(); ++j) {
-            const double r2 = static_cast<double>(nl_b.r2[j]);
-            if (r2 <= 0.0) continue;
-            const double r = std::sqrt(r2);
-            const int bin = cfg.bins.bin_of(r);
+          for (std::size_t j = 0; j < ps.count; ++j) {
+            const int bin = cfg.bins.bin_of(ps.r[j]);
             if (bin < 0) continue;
-            double dx = static_cast<double>(nl_b.dx[j]);
-            double dy = static_cast<double>(nl_b.dy[j]);
-            double dz = static_cast<double>(nl_b.dz[j]);
+            double dx = ps.dx[j];
+            double dy = ps.dy[j];
+            double dz = ps.dz[j];
             if (rotate) rot.apply(dx, dy, dz);
-            const double inv = 1.0 / r;
-            acc_b.push(bin, dx * inv, dy * inv, dz * inv, nl_b.w[j]);
-            if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, nl_b.w[j]);
+            const double inv = ps.inv[j];
+            acc_b.push(bin, dx * inv, dy * inv, dz * inv, ps.w[j]);
+            if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, ps.w[j]);
             ++accepted;
           }
           acc_b.finish_primary();
@@ -762,24 +833,23 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
             nl_a.clear();
             index.gather_neighbors(pos.x, pos.y, pos.z, cfg.bins.rmax(),
                                    nl_a);
+            ps.fill(nl_a.dx.data(), nl_a.dy.data(), nl_a.dz.data(),
+                    nl_a.r2.data(), nl_a.w.data(), nl_a.idx.data(),
+                    nl_a.size(), std::numeric_limits<Real>::infinity(), p);
             q_time += tq2.seconds();
             my_cand += nl_a.size();
 
             Timer tk2;
             acc_a.start_primary();
-            for (std::size_t j = 0; j < nl_a.size(); ++j) {
-              if (nl_a.idx[j] == p) continue;
-              const double r2 = static_cast<double>(nl_a.r2[j]);
-              if (r2 <= 0.0) continue;
-              const double r = std::sqrt(r2);
-              const int bin = cfg.bins.bin_of(r);
+            for (std::size_t j = 0; j < ps.count; ++j) {
+              const int bin = cfg.bins.bin_of(ps.r[j]);
               if (bin < 0) continue;
-              double dx = static_cast<double>(nl_a.dx[j]);
-              double dy = static_cast<double>(nl_a.dy[j]);
-              double dz = static_cast<double>(nl_a.dz[j]);
+              double dx = ps.dx[j];
+              double dy = ps.dy[j];
+              double dz = ps.dz[j];
               if (rotate) rot.apply(dx, dy, dz);
-              const double inv = 1.0 / r;
-              acc_a.push(bin, dx * inv, dy * inv, dz * inv, nl_a.w[j]);
+              const double inv = ps.inv[j];
+              acc_a.push(bin, dx * inv, dy * inv, dz * inv, ps.w[j]);
             }
             acc_a.finish_primary();
             k_time += tk2.seconds();
@@ -800,6 +870,7 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
       } else {
         tree::NeighborBlock<Real> halo_block, owned_block;
         std::vector<Real> bdx, bdy, bdz, br2, adx, ady, adz, ar2;
+        PairStage ps;
         std::vector<std::size_t> leaf_prims;
         BinStage stage_a(nbins, cfg.bucket_capacity);
         BinStage stage_b(nbins, cfg.bucket_capacity);
@@ -858,28 +929,26 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
             const Real px = index.x(t), py = index.y(t), pz = index.z(t);
             form_separations(halo_block, px, py, pz, bdx.data(), bdy.data(),
                              bdz.data(), br2.data());
+            // Halo block is disjoint from the owned set: no self-exclusion.
+            ps.fill(bdx.data(), bdy.data(), bdz.data(), br2.data(),
+                    halo_block.w.data(), halo_block.idx.data(), mb, r2max,
+                    -1);
             q_time += tsep.seconds();
 
             Timer tk;
             acc_b.start_primary();
             if (sp) sp->start_primary();
             std::uint64_t accepted = 0;
-            for (std::size_t j = 0; j < mb; ++j) {
-              if (!(br2[j] <= r2max)) continue;
-              const double r2 = static_cast<double>(br2[j]);
-              if (r2 <= 0.0) continue;
-              const double r = std::sqrt(r2);
-              const int bin = cfg.bins.bin_of(r);
+            for (std::size_t j = 0; j < ps.count; ++j) {
+              const int bin = cfg.bins.bin_of(ps.r[j]);
               if (bin < 0) continue;
-              double dx = static_cast<double>(bdx[j]);
-              double dy = static_cast<double>(bdy[j]);
-              double dz = static_cast<double>(bdz[j]);
+              double dx = ps.dx[j];
+              double dy = ps.dy[j];
+              double dz = ps.dz[j];
               if (rotate) rot.apply(dx, dy, dz);
-              const double inv = 1.0 / r;
-              stage_b.add(bin, dx * inv, dy * inv, dz * inv, halo_block.w[j],
-                          acc_b);
-              if (sp)
-                sp->add(bin, dx * inv, dy * inv, dz * inv, halo_block.w[j]);
+              const double inv = ps.inv[j];
+              stage_b.add(bin, dx * inv, dy * inv, dz * inv, ps.w[j], acc_b);
+              if (sp) sp->add(bin, dx * inv, dy * inv, dz * inv, ps.w[j]);
               ++accepted;
             }
             stage_b.finish(acc_b);
@@ -909,25 +978,22 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
             Timer tsep2;
             form_separations(owned_block, px, py, pz, adx.data(), ady.data(),
                              adz.data(), ar2.data());
+            ps.fill(adx.data(), ady.data(), adz.data(), ar2.data(),
+                    owned_block.w.data(), owned_block.idx.data(), ma, r2max,
+                    p);
             q_time += tsep2.seconds();
 
             Timer tk2;
             acc_a.start_primary();
-            for (std::size_t j = 0; j < ma; ++j) {
-              if (!(ar2[j] <= r2max)) continue;
-              if (owned_block.idx[j] == p) continue;
-              const double r2 = static_cast<double>(ar2[j]);
-              if (r2 <= 0.0) continue;
-              const double r = std::sqrt(r2);
-              const int bin = cfg.bins.bin_of(r);
+            for (std::size_t j = 0; j < ps.count; ++j) {
+              const int bin = cfg.bins.bin_of(ps.r[j]);
               if (bin < 0) continue;
-              double dx = static_cast<double>(adx[j]);
-              double dy = static_cast<double>(ady[j]);
-              double dz = static_cast<double>(adz[j]);
+              double dx = ps.dx[j];
+              double dy = ps.dy[j];
+              double dz = ps.dz[j];
               if (rotate) rot.apply(dx, dy, dz);
-              const double inv = 1.0 / r;
-              stage_a.add(bin, dx * inv, dy * inv, dz * inv, owned_block.w[j],
-                          acc_a);
+              const double inv = ps.inv[j];
+              stage_a.add(bin, dx * inv, dy * inv, dz * inv, ps.w[j], acc_a);
             }
             stage_a.finish(acc_a);
             acc_a.finish_primary();

@@ -1,115 +1,166 @@
 #include "core/kernel.hpp"
 
-#include <cstring>
+#include <atomic>
+#include <cstdlib>
+
+#include "core/kernel_isa.hpp"
 
 namespace galactos::core {
 
+// --- Runtime ISA dispatch ---------------------------------------------------
+
 namespace {
 
-// One 8-pair chunk though the monomial tree with running products.
-// NV chunks are interleaved for ILP; their partial products are summed
-// pairwise before the single accumulator update per monomial, keeping the
-// dependency chain on acc short. With OVW the accumulator is stored, not
-// accumulated (first contribution of a primary — saves the zeroing pass).
-template <int NV, bool OVW>
-void running_product_block(const double* __restrict ux,
-                           const double* __restrict uy,
-                           const double* __restrict uz,
-                           const double* __restrict w, int lmax,
-                           double* __restrict acc) {
-  double px[NV][kLanes], py[NV][kLanes], pz[NV][kLanes];
-  for (int v = 0; v < NV; ++v)
-#pragma omp simd
-    for (int l = 0; l < kLanes; ++l) px[v][l] = w[v * kLanes + l];
-
-  int t = 0;
-  for (int a = 0; a <= lmax; ++a) {
-    for (int v = 0; v < NV; ++v)
-#pragma omp simd
-      for (int l = 0; l < kLanes; ++l) py[v][l] = px[v][l];
-    for (int b = 0; a + b <= lmax; ++b) {
-      for (int v = 0; v < NV; ++v)
-#pragma omp simd
-        for (int l = 0; l < kLanes; ++l) pz[v][l] = py[v][l];
-      for (int c = 0; a + b + c <= lmax; ++c) {
-        double* __restrict at = acc + static_cast<std::size_t>(t) * kLanes;
-        if constexpr (NV == 1) {
-#pragma omp simd
-          for (int l = 0; l < kLanes; ++l) {
-            if constexpr (OVW) at[l] = pz[0][l];
-            else at[l] += pz[0][l];
-            pz[0][l] *= uz[l];
-          }
-        } else if constexpr (NV == 2) {
-#pragma omp simd
-          for (int l = 0; l < kLanes; ++l) {
-            const double s = pz[0][l] + pz[1][l];
-            if constexpr (OVW) at[l] = s;
-            else at[l] += s;
-            pz[0][l] *= uz[l];
-            pz[1][l] *= uz[kLanes + l];
-          }
-        } else {
-          static_assert(NV == 4);
-#pragma omp simd
-          for (int l = 0; l < kLanes; ++l) {
-            const double s = (pz[0][l] + pz[1][l]) + (pz[2][l] + pz[3][l]);
-            if constexpr (OVW) at[l] = s;
-            else at[l] += s;
-            pz[0][l] *= uz[l];
-            pz[1][l] *= uz[kLanes + l];
-            pz[2][l] *= uz[2 * kLanes + l];
-            pz[3][l] *= uz[3 * kLanes + l];
-          }
-        }
-        ++t;
-      }
-      for (int v = 0; v < NV; ++v)
-#pragma omp simd
-        for (int l = 0; l < kLanes; ++l) py[v][l] *= uy[v * kLanes + l];
-    }
-    for (int v = 0; v < NV; ++v)
-#pragma omp simd
-      for (int l = 0; l < kLanes; ++l) px[v][l] *= ux[v * kLanes + l];
-  }
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
 }
 
-template <int NV>
-void dispatch_block(const double* ux, const double* uy, const double* uz,
-                    const double* w, int lmax, double* acc, bool overwrite) {
-  if (overwrite)
-    running_product_block<NV, true>(ux, uy, uz, w, lmax, acc);
-  else
-    running_product_block<NV, false>(ux, uy, uz, w, lmax, acc);
+bool cpu_has_avx512() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+// Active level as int(KernelIsa); kUnresolved until the first kernel call
+// (or set_kernel_isa). Resolution is idempotent, so a racy first call on
+// several threads lands on the same value.
+constexpr int kUnresolved = -1;
+std::atomic<int> g_active{kUnresolved};
+
+KernelIsa resolve_active() {
+  const KernelIsa req = kernel_isa_from_env();
+  if (req == KernelIsa::kAuto) return kernel_isa_detect();
+  GLX_CHECK_MSG(kernel_isa_supported(req),
+                "GALACTOS_KERNEL_ISA requests '"
+                    << kernel_isa_name(req) << "' but this "
+                    << (kernel_isa_compiled(req) ? "CPU does not support it"
+                                                 : "build does not include it")
+                    << " (best supported: '"
+                    << kernel_isa_name(kernel_isa_detect()) << "')");
+  return req;
+}
+
+inline KernelIsa active_isa() {
+  int a = g_active.load(std::memory_order_relaxed);
+  if (a == kUnresolved) {
+    a = static_cast<int>(resolve_active());
+    g_active.store(a, std::memory_order_relaxed);
+  }
+  return static_cast<KernelIsa>(a);
 }
 
 }  // namespace
+
+bool kernel_isa_compiled(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAvx2:
+#if defined(GALACTOS_KERNEL_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case KernelIsa::kAvx512:
+#if defined(GALACTOS_KERNEL_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+    default:
+      return true;  // scalar is always compiled; auto always resolves
+  }
+}
+
+bool kernel_isa_supported(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAvx2:
+      return kernel_isa_compiled(isa) && cpu_has_avx2();
+    case KernelIsa::kAvx512:
+      return kernel_isa_compiled(isa) && cpu_has_avx512();
+    default:
+      return true;
+  }
+}
+
+KernelIsa kernel_isa_detect() {
+  if (kernel_isa_supported(KernelIsa::kAvx512)) return KernelIsa::kAvx512;
+  if (kernel_isa_supported(KernelIsa::kAvx2)) return KernelIsa::kAvx2;
+  return KernelIsa::kScalar;
+}
+
+KernelIsa kernel_isa() { return active_isa(); }
+
+void set_kernel_isa(KernelIsa isa) {
+  if (isa == KernelIsa::kAuto) isa = kernel_isa_detect();
+  GLX_CHECK_MSG(kernel_isa_supported(isa),
+                "kernel ISA '" << kernel_isa_name(isa)
+                               << "' is not supported on this host (best: '"
+                               << kernel_isa_name(kernel_isa_detect())
+                               << "')");
+  g_active.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+const char* kernel_isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kAvx512:
+      return "avx512";
+    default:
+      return "auto";
+  }
+}
+
+KernelIsa parse_kernel_isa(const std::string& name) {
+  if (name == "scalar") return KernelIsa::kScalar;
+  if (name == "avx2") return KernelIsa::kAvx2;
+  if (name == "avx512") return KernelIsa::kAvx512;
+  if (name == "auto") return KernelIsa::kAuto;
+  GLX_CHECK_MSG(false, "unknown kernel ISA '"
+                           << name
+                           << "' — valid values: scalar, avx2, avx512, auto");
+  return KernelIsa::kAuto;  // unreachable
+}
+
+KernelIsa kernel_isa_from_env() {
+  const char* e = std::getenv("GALACTOS_KERNEL_ISA");
+  if (!e || !*e) return KernelIsa::kAuto;
+  return parse_kernel_isa(e);
+}
+
+// --- Public bucket kernels: validate once, dispatch to the active level. ----
 
 void kernel_running_product(const double* ux, const double* uy,
                             const double* uz, const double* w, int count,
                             int lmax, double* acc, int ilp, bool overwrite) {
   GLX_CHECK(count % kLanes == 0);
   GLX_CHECK(ilp == 1 || ilp == 2 || ilp == 4);
-  int i = 0;
-  const int step = ilp * kLanes;
-  bool ovw = overwrite;
-  for (; i + step <= count; i += step) {
-    switch (ilp) {
-      case 1:
-        dispatch_block<1>(ux + i, uy + i, uz + i, w + i, lmax, acc, ovw);
-        break;
-      case 2:
-        dispatch_block<2>(ux + i, uy + i, uz + i, w + i, lmax, acc, ovw);
-        break;
-      default:
-        dispatch_block<4>(ux + i, uy + i, uz + i, w + i, lmax, acc, ovw);
-        break;
-    }
-    ovw = false;
-  }
-  for (; i < count; i += kLanes) {
-    dispatch_block<1>(ux + i, uy + i, uz + i, w + i, lmax, acc, ovw);
-    ovw = false;
+  switch (active_isa()) {
+#if defined(GALACTOS_KERNEL_HAVE_AVX512)
+    case KernelIsa::kAvx512:
+      isa_avx512::kernel_running_product(ux, uy, uz, w, count, lmax, acc, ilp,
+                                         overwrite);
+      return;
+#endif
+#if defined(GALACTOS_KERNEL_HAVE_AVX2)
+    case KernelIsa::kAvx2:
+      isa_avx2::kernel_running_product(ux, uy, uz, w, count, lmax, acc, ilp,
+                                       overwrite);
+      return;
+#endif
+    default:
+      isa_scalar::kernel_running_product(ux, uy, uz, w, count, lmax, acc, ilp,
+                                         overwrite);
+      return;
   }
 }
 
@@ -117,53 +168,23 @@ void kernel_zbuffered(const double* ux, const double* uy, const double* uz,
                       const double* w, int count, int lmax, double* acc,
                       double* zscratch, bool overwrite) {
   GLX_CHECK(count % kLanes == 0);
-  double* __restrict xyw = zscratch;          // w * ux^a * uy^b
-  double* __restrict zz = zscratch + count;   // xyw * uz^c (running)
-
-  // Invariants at loop heads:
-  //   a-loop: xw_i = w_i * ux_i^a
-  //   b-loop: xyw_i = xw_i * uy_i^b
-  //   c-loop: zz_i  = xyw_i * uz_i^c
-  static thread_local std::vector<double> xw_storage;
-  if (static_cast<int>(xw_storage.size()) < count) xw_storage.resize(count);
-  double* __restrict xw = xw_storage.data();
-
-#pragma omp simd
-  for (int i = 0; i < count; ++i) xw[i] = w[i];
-
-  int t = 0;
-  for (int a = 0; a <= lmax; ++a) {
-#pragma omp simd
-    for (int i = 0; i < count; ++i) xyw[i] = xw[i];
-    for (int b = 0; a + b <= lmax; ++b) {
-#pragma omp simd
-      for (int i = 0; i < count; ++i) zz[i] = xyw[i];
-      for (int c = 0; a + b + c <= lmax; ++c) {
-        double* __restrict at = acc + static_cast<std::size_t>(t) * kLanes;
-        double lane[kLanes];
-        if (overwrite) {
-#pragma omp simd
-          for (int l = 0; l < kLanes; ++l) lane[l] = 0.0;
-        } else {
-#pragma omp simd
-          for (int l = 0; l < kLanes; ++l) lane[l] = at[l];
-        }
-        for (int i = 0; i < count; i += kLanes) {
-#pragma omp simd
-          for (int l = 0; l < kLanes; ++l) {
-            lane[l] += zz[i + l];
-            zz[i + l] *= uz[i + l];
-          }
-        }
-#pragma omp simd
-        for (int l = 0; l < kLanes; ++l) at[l] = lane[l];
-        ++t;
-      }
-#pragma omp simd
-      for (int i = 0; i < count; ++i) xyw[i] *= uy[i];
-    }
-#pragma omp simd
-    for (int i = 0; i < count; ++i) xw[i] *= ux[i];
+  switch (active_isa()) {
+#if defined(GALACTOS_KERNEL_HAVE_AVX512)
+    case KernelIsa::kAvx512:
+      isa_avx512::kernel_zbuffered(ux, uy, uz, w, count, lmax, acc, zscratch,
+                                   overwrite);
+      return;
+#endif
+#if defined(GALACTOS_KERNEL_HAVE_AVX2)
+    case KernelIsa::kAvx2:
+      isa_avx2::kernel_zbuffered(ux, uy, uz, w, count, lmax, acc, zscratch,
+                                 overwrite);
+      return;
+#endif
+    default:
+      isa_scalar::kernel_zbuffered(ux, uy, uz, w, count, lmax, acc, zscratch,
+                                   overwrite);
+      return;
   }
 }
 

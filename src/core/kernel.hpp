@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <string>
 
 #include "math/sph_table.hpp"
 #include "util/aligned.hpp"
@@ -37,6 +38,42 @@ namespace galactos::core {
 inline constexpr int kLanes = 8;  // 512-bit worth of doubles, as on KNL
 
 enum class KernelScheme { kRunningProduct, kZBuffered };
+
+// --- Runtime ISA dispatch -------------------------------------------------
+//
+// The bucket kernels below are compiled once per ISA level (scalar /
+// AVX2+FMA / AVX-512) into separate translation units with per-source
+// target flags; every call dispatches to the best level the CPU supports.
+// Every level executes the identical per-lane operation sequence, so the
+// power sums are BITWISE identical across levels (asserted in ctest).
+//
+// The first kernel call resolves the GALACTOS_KERNEL_ISA environment
+// variable (scalar | avx2 | avx512 | auto; unset means auto). A malformed
+// value, or a level the CPU/build cannot run, raises std::logic_error with
+// a message naming the valid choices.
+enum class KernelIsa { kScalar, kAvx2, kAvx512, kAuto };
+
+// Was this level's kernel compiled into the binary? (kScalar: always;
+// kAuto: trivially true.)
+bool kernel_isa_compiled(KernelIsa isa);
+// Compiled AND runnable on this CPU (CPUID probe).
+bool kernel_isa_supported(KernelIsa isa);
+// Best supported level — what kAuto resolves to.
+KernelIsa kernel_isa_detect();
+// Active level, resolving GALACTOS_KERNEL_ISA on first use. Never kAuto.
+KernelIsa kernel_isa();
+// Overrides the active level (kAuto re-detects). Throws std::logic_error
+// if the level is not supported. Used by the per-ISA bench/test A/Bs; call
+// only between engine runs — kernels in flight keep their level.
+void set_kernel_isa(KernelIsa isa);
+// "scalar" | "avx2" | "avx512" | "auto".
+const char* kernel_isa_name(KernelIsa isa);
+// Parses the spelling above; throws std::logic_error on anything else.
+KernelIsa parse_kernel_isa(const std::string& name);
+// Re-reads GALACTOS_KERNEL_ISA: the parsed request, kAuto when unset or
+// empty. Throws like parse_kernel_isa on malformed values. Exposed so the
+// env contract is unit-testable; normal code just calls kernel_isa().
+KernelIsa kernel_isa_from_env();
 
 struct KernelConfig {
   int lmax = 10;

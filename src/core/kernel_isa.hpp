@@ -1,0 +1,41 @@
+// Internal: the per-ISA multipole kernel entry points.
+//
+// Each namespace is defined by one translation unit that includes
+// core/kernel_body.hpp under its own target flags (see CMakeLists.txt —
+// kernel_scalar.cpp builds with the baseline flags, kernel_avx2.cpp with
+// -mavx2 -mfma, kernel_avx512.cpp with -mavx512f; the AVX TUs exist only
+// when the compiler accepts the flags, signalled by
+// GALACTOS_KERNEL_HAVE_AVX2 / GALACTOS_KERNEL_HAVE_AVX512). core/kernel.cpp
+// owns the runtime CPUID dispatch between them; nothing else should call
+// these directly.
+#pragma once
+
+namespace galactos::core {
+
+#define GLX_KERNEL_ISA_DECL                                                  \
+  void kernel_running_product(const double* ux, const double* uy,            \
+                              const double* uz, const double* w, int count,  \
+                              int lmax, double* acc, int ilp,                \
+                              bool overwrite);                               \
+  void kernel_zbuffered(const double* ux, const double* uy,                  \
+                        const double* uz, const double* w, int count,        \
+                        int lmax, double* acc, double* zscratch,             \
+                        bool overwrite);
+
+namespace isa_scalar {
+GLX_KERNEL_ISA_DECL
+}
+#if defined(GALACTOS_KERNEL_HAVE_AVX2)
+namespace isa_avx2 {
+GLX_KERNEL_ISA_DECL
+}
+#endif
+#if defined(GALACTOS_KERNEL_HAVE_AVX512)
+namespace isa_avx512 {
+GLX_KERNEL_ISA_DECL
+}
+#endif
+
+#undef GLX_KERNEL_ISA_DECL
+
+}  // namespace galactos::core

@@ -90,8 +90,10 @@ class ZetaAccumulator {
                          const std::uint8_t* touched_b);
 
   // Subtracts the degenerate j == k "triplet" contribution for diagonal bin
-  // pairs: self[bin][llm] = sum_j w_j^2 conj(Y_lm(u_j)) Y_l'm(u_j).
-  void subtract_self(double wp, int bin, const std::complex<double>* self);
+  // pairs: self[llm] = sum_j w_j^2 conj(Y_lm(u_j)) Y_l'm(u_j), supplied as
+  // the SelfPairAccumulator's SoA real/imaginary planes in LlmIndex order.
+  void subtract_self(double wp, int bin, const double* self_re,
+                     const double* self_im);
 
   void merge(const ZetaAccumulator& other);
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "math/legendre.hpp"
+#include "math/simd.hpp"
 #include "math/sph_table.hpp"
 #include "util/check.hpp"
 
@@ -61,6 +62,65 @@ class YlmRecurrence {
         }
       }
       xym *= xy;
+    }
+  }
+
+  // Structure-of-arrays batch: evaluates `count` unit vectors at once,
+  // writing point i of harmonic (l, m) to re[lm_index(l, m) * stride + i]
+  // (and likewise im). Requires stride >= count. Full SIMD-width chunks run
+  // the recurrence vectorized across points via math/simd.hpp; points are
+  // independent and each lane executes eval_all's operation sequence, so
+  // per-point values match the scalar path (the ragged tail literally calls
+  // eval_all). Used by the isotropic Legendre baseline's pair loop.
+  void eval_batch(const double* ux, const double* uy, const double* uz,
+                  int count, std::size_t stride, double* re,
+                  double* im) const {
+    namespace sd = simd;
+    GLX_DCHECK(stride >= static_cast<std::size_t>(count));
+    int i = 0;
+    for (; i + sd::DVec::kWidth <= count; i += sd::DVec::kWidth) {
+      const sd::DVec x = sd::dv_load(ux + i);
+      const sd::DVec y = sd::dv_load(uy + i);
+      const sd::DVec z = sd::dv_load(uz + i);
+      sd::DVec xmr = sd::dv_broadcast(1.0);  // (x+iy)^m, SoA
+      sd::DVec xmi = sd::dv_zero();
+      for (int m = 0; m <= lmax_; ++m) {
+        sd::DVec qlm2 = sd::dv_broadcast(qmm_[m]);  // Q_{m,m}
+        sd::DVec s = sd::dv_broadcast(norm_[lm_index(m, m)]) * qlm2;
+        sd::dv_store(re + lm_index(m, m) * stride + i, s * xmr);
+        sd::dv_store(im + lm_index(m, m) * stride + i, s * xmi);
+        if (m + 1 <= lmax_) {
+          sd::DVec qlm1 = z * sd::dv_broadcast(2.0 * m + 1.0) * qlm2;
+          s = sd::dv_broadcast(norm_[lm_index(m + 1, m)]) * qlm1;
+          sd::dv_store(re + lm_index(m + 1, m) * stride + i, s * xmr);
+          sd::dv_store(im + lm_index(m + 1, m) * stride + i, s * xmi);
+          for (int l = m + 2; l <= lmax_; ++l) {
+            const sd::DVec qlm =
+                (sd::dv_broadcast(2.0 * l - 1.0) * z * qlm1 -
+                 sd::dv_broadcast(l + m - 1.0) * qlm2) /
+                sd::dv_broadcast(static_cast<double>(l - m));
+            s = sd::dv_broadcast(norm_[lm_index(l, m)]) * qlm;
+            sd::dv_store(re + lm_index(l, m) * stride + i, s * xmr);
+            sd::dv_store(im + lm_index(l, m) * stride + i, s * xmi);
+            qlm2 = qlm1;
+            qlm1 = qlm;
+          }
+        }
+        const sd::DVec tr = xmr * x - xmi * y;  // xym *= (x + iy)
+        const sd::DVec ti = xmr * y + xmi * x;
+        xmr = tr;
+        xmi = ti;
+      }
+    }
+    if (i < count) {
+      std::vector<std::complex<double>> tmp(nlm(lmax_));
+      for (; i < count; ++i) {
+        eval_all(ux[i], uy[i], uz[i], tmp.data());
+        for (int t = 0; t < nlm(lmax_); ++t) {
+          re[t * stride + i] = tmp[t].real();
+          im[t * stride + i] = tmp[t].imag();
+        }
+      }
     }
   }
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Gate BENCH_dist.json against a committed baseline.
+"""Gate a committed bench baseline against a freshly generated JSON.
 
-Compares a freshly generated bench_dist_scaling JSON against the baseline
-checked into the repo and FAILS (exit 1) when the distributed pipeline
-regressed, so the CI artifact trend is enforced rather than eyeballed:
+Two file kinds are understood, auto-detected from the "bench" tag:
+
+bench_dist_scaling (BENCH_dist.json) — FAILS (exit 1) when the
+distributed pipeline regressed, so the CI artifact trend is enforced
+rather than eyeballed:
 
   * pair imbalance — max/mean kernel pairs per (ranks, policy) run. The
     partition is deterministic for a given catalog/config, so this metric
@@ -25,14 +27,34 @@ regressed, so the CI artifact trend is enforced rather than eyeballed:
     microscopic in either file (< --hidden-floor seconds) are skipped:
     max/min noise there is meaningless.
 
-The run configs (n, rmax, side, lmax, max_ranks, catalog) must match
-between baseline and fresh file — comparing different workloads is
-meaningless — unless --allow-config-mismatch is given. Baseline runs
-missing from the fresh file fail too (shrinking coverage is a regression).
+fig4_breakdown (BENCH_fig4.json) — the kernel-GFLOP/s floor:
+
+  * engine kernel throughput (--kernel-gflops-floor) — for each
+    traversal driver (per_primary, leaf_blocked), the fresh
+    kernel_gflops must stay at or above baseline * FLOOR. FLOOR is a
+    fraction (e.g. 0.6): generous enough that runner-to-runner hardware
+    variance passes, tight enough that a silent fall-back to the scalar
+    kernel (a ~4-8x drop on any SIMD host) fails loudly. Baselines
+    recorded before the SIMD kernel carry no kernel_gflops key and are
+    skipped with a notice; a FRESH file missing the key is a violation
+    (the bench stopped reporting the gated metric).
+  * kernel ISA A/B coverage — every kernel_isa_ab row the baseline
+    marks supported must exist in the fresh file. A fresh row marked
+    unsupported is skipped with a notice (runner genuinely lacks the
+    ISA — e.g. no AVX-512); a missing row is a violation (the A/B
+    matrix silently shrank). Supported-on-both rows are also held to
+    the same GFLOP/s floor.
+
+The run configs must match between baseline and fresh file — comparing
+different workloads is meaningless — unless --allow-config-mismatch is
+given. Baseline runs missing from the fresh file fail too (shrinking
+coverage is a regression).
 
 Usage:
   tools/check_bench_regression.py --baseline bench/baselines/BENCH_dist.ci.json \
       --fresh BENCH_dist.ci.json [--imbalance-tol 0.25] [--time-tol 0.25]
+  tools/check_bench_regression.py --baseline bench/baselines/BENCH_fig4.ci.json \
+      --fresh BENCH_fig4.json --kernel-gflops-floor 0.6
 """
 
 import argparse
@@ -44,6 +66,12 @@ import sys
 IMBALANCE_ABS_FLOOR = 0.02
 
 CONFIG_KEYS = ("n", "rmax", "side", "lmax", "max_ranks", "catalog")
+
+# kernel_isa is deliberately absent: it records the level auto-detect
+# resolved to on the generating host, which legitimately differs between
+# the baseline machine and the runner.
+FIG4_CONFIG_KEYS = ("n", "rmax", "lmax", "nbins", "threads", "precision",
+                    "index")
 
 
 def load(path):
@@ -114,9 +142,87 @@ def check_hidden(baseline, fresh, tol, floor, violations):
         print(f"{name:<12} {base_frac:>12.3f} {fresh_frac:>13.3f}  {verdict}")
 
 
+def check_fig4(baseline, fresh, args):
+    """fig4_breakdown mode: the kernel-GFLOP/s floor + ISA A/B coverage."""
+    mismatched = [
+        k for k in FIG4_CONFIG_KEYS
+        if baseline.get("config", {}).get(k) != fresh.get("config", {}).get(k)
+    ]
+    if mismatched and not args.allow_config_mismatch:
+        for k in mismatched:
+            print(f"config mismatch on '{k}': baseline="
+                  f"{baseline.get('config', {}).get(k)!r} fresh="
+                  f"{fresh.get('config', {}).get(k)!r}")
+        sys.exit("error: baseline and fresh configs differ — these runs are "
+                 "not comparable (--allow-config-mismatch to override)")
+
+    floor = args.kernel_gflops_floor
+    if floor is None:
+        sys.exit("error: fig4_breakdown files need --kernel-gflops-floor "
+                 "(fraction of the baseline GFLOP/s the fresh run must keep, "
+                 "e.g. 0.6)")
+
+    violations = []
+    print(f"{'metric':<28} {'base GF/s':>10} {'fresh GF/s':>10}"
+          f" {'floor':>8}  verdict")
+
+    def gate(label, base_gf, fresh_gf):
+        if base_gf is None:
+            print(f"{label:<28} {'—':>10} {'—':>10} {'—':>8}  skipped "
+                  f"(baseline predates the kernel_gflops metric)")
+            return
+        if fresh_gf is None:
+            violations.append(
+                f"{label}: fresh file carries no kernel_gflops "
+                f"(the bench stopped reporting the gated metric)")
+            print(f"{label:<28} {base_gf:>10.2f} {'MISSING':>10}")
+            return
+        lim = base_gf * floor
+        bad = fresh_gf < lim
+        if bad:
+            violations.append(
+                f"{label}: kernel_gflops {base_gf:.2f} -> {fresh_gf:.2f} "
+                f"(below floor {lim:.2f} = baseline x {floor:g})")
+        print(f"{label:<28} {base_gf:>10.2f} {fresh_gf:>10.2f}"
+              f" {lim:>8.2f}  {'REGRESSED' if bad else 'ok'}")
+
+    for driver in ("per_primary", "leaf_blocked"):
+        gate(f"engine {driver}",
+             baseline.get(driver, {}).get("kernel_gflops"),
+             fresh.get(driver, {}).get("kernel_gflops"))
+
+    base_ab = {r["isa"]: r for r in baseline.get("kernel_isa_ab", [])}
+    fresh_ab = {r["isa"]: r for r in fresh.get("kernel_isa_ab", [])}
+    for isa, base_row in sorted(base_ab.items()):
+        label = f"bucket kernel isa:{isa}"
+        if not base_row.get("supported"):
+            continue  # the baseline host could not measure it
+        fresh_row = fresh_ab.get(isa)
+        if fresh_row is None:
+            violations.append(
+                f"kernel_isa_ab row '{isa}' missing from the fresh file "
+                f"(the A/B matrix shrank)")
+            print(f"{label:<28} {'—':>10} {'MISSING':>10}")
+            continue
+        if not fresh_row.get("supported"):
+            print(f"{label:<28} {'—':>10} {'—':>10} {'—':>8}  skipped "
+                  f"(runner does not support {isa})")
+            continue
+        gate(label, base_row.get("kernel_gflops"),
+             fresh_row.get("kernel_gflops"))
+
+    if violations:
+        print(f"\n{len(violations)} regression(s) vs {args.baseline}:")
+        for v in violations:
+            print(f"  - {v}")
+        sys.exit(1)
+    print(f"\nno regressions vs {args.baseline} "
+          f"(kernel GFLOP/s floor {floor:g}x baseline)")
+
+
 def main():
     ap = argparse.ArgumentParser(
-        description="fail on distributed-bench regressions vs a baseline")
+        description="fail on bench regressions vs a committed baseline")
     ap.add_argument("--baseline", required=True,
                     help="committed BENCH_dist.json to gate against")
     ap.add_argument("--fresh", required=True,
@@ -134,12 +240,24 @@ def main():
                     help="skip the hidden check when the halo window "
                          "(hidden+blocked) is below this many seconds in "
                          "either file (default 1e-3)")
+    ap.add_argument("--kernel-gflops-floor", type=float, default=None,
+                    help="fig4 files: fresh kernel_gflops must stay at or "
+                         "above baseline x FLOOR (a fraction, e.g. 0.6; "
+                         "required for fig4_breakdown baselines)")
     ap.add_argument("--allow-config-mismatch", action="store_true",
                     help="compare even when run configs differ")
     args = ap.parse_args()
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
+
+    if baseline.get("bench") == "fig4_breakdown" or \
+            fresh.get("bench") == "fig4_breakdown":
+        if baseline.get("bench") != fresh.get("bench"):
+            sys.exit(f"error: bench kind mismatch: baseline="
+                     f"{baseline.get('bench')!r} fresh={fresh.get('bench')!r}")
+        check_fig4(baseline, fresh, args)
+        return
 
     mismatched = [
         k for k in CONFIG_KEYS
