@@ -1,5 +1,7 @@
 #include "dist/comm.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +13,10 @@
 #include <thread>
 #include <tuple>
 
+#include "dist/fault.hpp"
+#include "dist/frame.hpp"
+#include "dist/tags.hpp"
+
 #if GALACTOS_WITH_MPI
 #include "dist/mpi_comm.hpp"
 #endif
@@ -18,10 +24,6 @@
 namespace galactos::dist {
 
 namespace {
-
-// Reserved tag for Session::run's closing world barrier — above every tag
-// the partitioner ((1<<22)+...) and runner ((1<<23)+...) use.
-constexpr int kSessionBarrierTag = 1 << 24;
 
 // --- the kThreads backend: an in-process mailbox world ----------------------
 
@@ -53,7 +55,8 @@ struct World {
     if (aborted) {
       auto it = queues.find(key);
       if (it == queues.end() || it->second.empty())
-        throw std::runtime_error(
+        throw PeerAbortError(
+            -1,
             "minimpi: world aborted while waiting for a message "
             "(a peer rank threw)");
     }
@@ -61,6 +64,32 @@ struct World {
     std::vector<unsigned char> bytes = std::move(q.front());
     q.pop_front();
     return bytes;
+  }
+
+  // Timed pop: true with the message in `out`, or false once `deadline`
+  // passes with the channel still empty. Same abort semantics as pop().
+  bool pop_until(const Key& key,
+                 std::chrono::steady_clock::time_point deadline,
+                 std::vector<unsigned char>& out) {
+    std::unique_lock<std::mutex> lock(mu);
+    auto ready = [&] {
+      if (aborted) return true;
+      auto it = queues.find(key);
+      return it != queues.end() && !it->second.empty();
+    };
+    if (!cv.wait_until(lock, deadline, ready)) return false;
+    if (aborted) {
+      auto it = queues.find(key);
+      if (it == queues.end() || it->second.empty())
+        throw PeerAbortError(
+            -1,
+            "minimpi: world aborted while waiting for a message "
+            "(a peer rank threw)");
+    }
+    auto& q = queues[key];
+    out = std::move(q.front());
+    q.pop_front();
+    return true;
   }
 
   // Non-blocking pop: claims the front message of `key` into `out` if one
@@ -75,16 +104,35 @@ struct World {
       return true;
     }
     if (aborted)
-      throw std::runtime_error(
+      throw PeerAbortError(
+          -1,
           "minimpi: world aborted while a receive was posted "
           "(a peer rank threw)");
     return false;
   }
 
-  void abort(std::exception_ptr err) {
+  // run_ranks rethrows ONE error for the whole world; `rank_class` orders
+  // candidates by how close they are to the root cause, because arrival
+  // order is a race: the failing rank broadcasts on the abort channel
+  // BEFORE its exception reaches this World (so echoes can land first),
+  // and one dropped message makes EVERY downstream phase time out (so a
+  // later-phase timeout can land before the stuck rank's own).
+  //   class 0 — hard failures (crash, protocol, logic): always win.
+  //   class 1 — TimeoutError, tie-broken by pipeline phase (earlier wins:
+  //             the halo timeout is the cause, the reduce one a symptom).
+  //   class 2 — PeerAbortError echoes of someone else's failure.
+  // Within a class (and phase), first arrival wins.
+  void abort(std::exception_ptr err, int rank_class, int phase_ord) {
     {
       std::lock_guard<std::mutex> lock(mu);
-      if (!first_error) first_error = err;
+      const bool replace =
+          !first_error || rank_class < first_class ||
+          (rank_class == first_class && phase_ord < first_phase);
+      if (replace) {
+        first_error = err;
+        first_class = rank_class;
+        first_phase = phase_ord;
+      }
       aborted = true;
     }
     cv.notify_all();
@@ -96,6 +144,8 @@ struct World {
   std::map<Key, std::deque<std::vector<unsigned char>>> queues;
   bool aborted = false;
   std::exception_ptr first_error;
+  int first_class = 3;  // see abort(); 3 = nothing stored yet
+  int first_phase = 0;
 };
 
 // One posted non-blocking operation. `payload` is valid once `claimed`;
@@ -117,6 +167,12 @@ class ThreadRecvState final : public detail::RequestState {
     if (claimed_) return;
     payload_ = world_->pop(key_);
     claimed_ = true;
+  }
+
+  bool wait_until(std::chrono::steady_clock::time_point deadline) override {
+    if (claimed_) return true;
+    claimed_ = world_->pop_until(key_, deadline, payload_);
+    return claimed_;
   }
 
   std::vector<unsigned char> take() override {
@@ -168,34 +224,206 @@ class ThreadTransport final : public detail::Transport {
 
 }  // namespace
 
+// --- failure control ---------------------------------------------------------
+
+namespace detail {
+
+// One per rank, created with the root Comm and shared by every copy /
+// sub_range (the partitioner halves communicators; the halves must inherit
+// the deadline and keep feeding the same abort probes).
+struct CommControl {
+  double timeout_s = 0.0;  // <= 0: deadlines off
+  Phase phase = Phase::kNone;
+  int my_world = -1;
+
+  // Silent receives armed on the reserved abort channel, one per peer that
+  // has ever been in a timed group. Neither backend holds resources for an
+  // unmatched posted receive, so abandoned probes are free.
+  struct AbortProbe {
+    int src_world;
+    std::shared_ptr<RequestState> state;
+  };
+  std::vector<AbortProbe> probes;
+
+  bool aborted = false;
+  int abort_from = -1;
+  std::string abort_reason;
+
+  bool has_probe(int src_world) const {
+    for (const AbortProbe& p : probes)
+      if (p.src_world == src_world) return true;
+    return false;
+  }
+
+  // Throws PeerAbortError if any peer has posted on the abort channel (or
+  // did so on an earlier poll). Called from every timed-wait slice, so a
+  // failing peer's reason reaches this rank within ~ms.
+  void poll_aborts() {
+    if (aborted) throw PeerAbortError(abort_from, abort_reason);
+    for (AbortProbe& p : probes) {
+      if (!p.state->test()) continue;
+      const Channel ch{p.src_world, my_world, tags::kAbort};
+      const std::vector<unsigned char> payload = deframe(p.state->take(), ch);
+      aborted = true;
+      abort_from = p.src_world;
+      abort_reason.assign(payload.begin(), payload.end());
+      throw PeerAbortError(abort_from, abort_reason);
+    }
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+// Every Comm receive goes through this wrapper: it deframes the payload on
+// take() (ProtocolError on corruption) and, while a comm deadline is set,
+// turns wait() into a sliced timed wait that polls the abort probes —
+// TimeoutError on expiry, PeerAbortError if a peer failed first.
+class FramedRecvState final : public detail::RequestState {
+ public:
+  FramedRecvState(std::shared_ptr<detail::RequestState> inner, Channel ch,
+                  std::shared_ptr<detail::CommControl> ctrl)
+      : inner_(std::move(inner)), ch_(ch), ctrl_(std::move(ctrl)) {}
+
+  bool test() override { return inner_->test(); }
+
+  void wait() override {
+    const double t = ctrl_->timeout_s;
+    if (t <= 0) {
+      inner_->wait();
+      return;
+    }
+    // Phase-graded deadline: a wait in pipeline phase p gets
+    // timeout_s * (1 + 0.1 p). In the overlapped pipeline one lost
+    // message stalls SEVERAL phases at nearly the same wall time — the
+    // stuck rank drains the halo while its peers already sit in the
+    // reduce waiting on it. Grading by phase ordinal guarantees the
+    // earliest dependent phase (the root cause) expires first and names
+    // the actually-stuck channel, instead of a coin flip between a halo
+    // and a reduce timeout.
+    const double graded =
+        t * (1.0 + 0.1 * static_cast<double>(static_cast<int>(ctrl_->phase)));
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<long long>(graded * 1e6));
+    if (!wait_deadline(deadline))
+      throw TimeoutError(ch_, ctrl_->phase, graded);
+  }
+
+  bool wait_until(std::chrono::steady_clock::time_point deadline) override {
+    return wait_deadline(deadline);
+  }
+
+  std::vector<unsigned char> take() override {
+    return detail::deframe(inner_->take(), ch_);
+  }
+
+ private:
+  // Slices the wait so abort probes are polled every few ms even while the
+  // inner backend blocks (cv.wait_until on minimpi, Improbe polling on
+  // MPI). The local deadline is checked BEFORE the abort probes: once this
+  // rank's own deadline has expired, its TimeoutError is the truthful
+  // local report — a peer's abort echo arriving in the same slice must not
+  // mask it (the echo is a symptom; the stuck channel is the cause).
+  bool wait_deadline(std::chrono::steady_clock::time_point deadline) {
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return expired_test();
+      const auto slice =
+          std::min(deadline, now + std::chrono::milliseconds(5));
+      if (inner_->wait_until(slice)) return true;
+      if (std::chrono::steady_clock::now() >= deadline)
+        return expired_test();
+      ctrl_->poll_aborts();
+    }
+  }
+
+  // The expiry-time completion check. If the thread world aborted while we
+  // slept, the backend's test() throws PeerAbortError even on a simple
+  // probe — here that just means "the message is never coming", which is
+  // exactly what the caller is about to report as a timeout.
+  bool expired_test() {
+    try {
+      return inner_->test();
+    } catch (const PeerAbortError&) {
+      return false;
+    }
+  }
+
+  std::shared_ptr<detail::RequestState> inner_;
+  Channel ch_;
+  std::shared_ptr<detail::CommControl> ctrl_;
+};
+
+}  // namespace
+
 // --- Comm over a Transport ---------------------------------------------------
 
 Comm::Comm(std::shared_ptr<detail::Transport> transport,
            std::vector<int> group, int rank)
     : transport_(std::move(transport)), group_(std::move(group)),
-      rank_(rank) {}
+      rank_(rank), ctrl_(std::make_shared<detail::CommControl>()) {
+  ctrl_->my_world = world_rank();
+}
 
 void Comm::send_bytes(int dest, int tag, const void* data,
                       std::size_t nbytes) {
   GLX_CHECK_MSG(dest >= 0 && dest < size() && dest != rank_,
                 "send: bad destination rank " << dest);
+  const std::vector<unsigned char> framed = detail::frame(data, nbytes);
   transport_->send_bytes(world_rank(),
-                         group_[static_cast<std::size_t>(dest)], tag, data,
-                         nbytes);
+                         group_[static_cast<std::size_t>(dest)], tag,
+                         framed.data(), framed.size());
 }
 
 std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
-  GLX_CHECK_MSG(src >= 0 && src < size() && src != rank_,
-                "recv: bad source rank " << src);
-  return transport_->recv_bytes(group_[static_cast<std::size_t>(src)],
-                                world_rank(), tag);
+  // One path for blocking and posted receives: the framed wrapper supplies
+  // the deframe + deadline semantics either way.
+  const std::shared_ptr<detail::RequestState> state = post_recv(src, tag);
+  state->wait();
+  return state->take();
 }
 
 std::shared_ptr<detail::RequestState> Comm::post_recv(int src, int tag) {
   GLX_CHECK_MSG(src >= 0 && src < size() && src != rank_,
                 "irecv: bad source rank " << src);
-  return transport_->post_recv(group_[static_cast<std::size_t>(src)],
-                               world_rank(), tag);
+  const int src_world = group_[static_cast<std::size_t>(src)];
+  const Channel ch{src_world, world_rank(), tag};
+  return std::make_shared<FramedRecvState>(
+      transport_->post_recv(src_world, world_rank(), tag), ch, ctrl_);
+}
+
+void Comm::set_timeout(double seconds) {
+  ctrl_->timeout_s = seconds;
+  if (seconds <= 0) return;
+  // Arm one silent probe per peer on the reserved abort channel so a
+  // failing peer's post_abort() is seen from inside any timed wait.
+  for (int w : group_) {
+    if (w == world_rank() || ctrl_->has_probe(w)) continue;
+    ctrl_->probes.push_back(
+        {w, transport_->post_recv(w, world_rank(), tags::kAbort)});
+  }
+}
+
+double Comm::timeout() const { return ctrl_->timeout_s; }
+
+void Comm::set_phase(Phase p) {
+  ctrl_->phase = p;
+  fault_on_phase(world_rank(), p);
+}
+
+Phase Comm::phase() const { return ctrl_->phase; }
+
+void Comm::post_abort(const std::string& reason) noexcept {
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    try {
+      send_bytes(r, tags::kAbort, reason.data(), reason.size());
+    } catch (...) {
+      // Best-effort: a peer we cannot reach is already failing on its own.
+    }
+  }
 }
 
 // Binomial-tree broadcast rooted at `root`: rank distance from the root
@@ -242,25 +470,45 @@ Comm Comm::sub_range(int begin, int end) const {
   GLX_CHECK_MSG(rank_ >= begin && rank_ < end,
                 "sub_range: caller rank " << rank_ << " not a member");
   std::vector<int> group(group_.begin() + begin, group_.begin() + end);
-  return Comm(transport_, std::move(group), rank_ - begin);
+  Comm sub(transport_, std::move(group), rank_ - begin);
+  sub.ctrl_ = ctrl_;  // deadline/phase/abort state follows the rank
+  return sub;
+}
+
+double timeout_from_env(double fallback) {
+  const char* env = std::getenv("GALACTOS_DIST_TIMEOUT_S");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  GLX_CHECK_MSG(end != nullptr && *end == '\0' && v == v,
+                "GALACTOS_DIST_TIMEOUT_S=\"" << env << "\" is not a number");
+  return v;
 }
 
 void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {
   GLX_CHECK_MSG(nranks >= 1, "run_ranks: nranks must be >= 1");
   auto world = std::make_shared<World>(nranks);
-  auto transport = std::make_shared<ThreadTransport>(world);
+  // The fault decorator sits between Comm and the mailbox so an active
+  // GALACTOS_FAULT_PLAN / set_fault_plan() hits this backend too.
+  std::shared_ptr<detail::Transport> transport =
+      detail::wrap_with_faults(std::make_shared<ThreadTransport>(world));
   std::vector<int> group(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) group[static_cast<std::size_t>(r)] = r;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&fn, transport, group, r] {
+    threads.emplace_back([&fn, world, transport, group, r] {
       Comm comm(transport, group, r);
       try {
         fn(comm);
+      } catch (const TimeoutError& e) {
+        world->abort(std::current_exception(), 1,
+                     static_cast<int>(e.phase()));
+      } catch (const PeerAbortError&) {
+        world->abort(std::current_exception(), 2, 0);
       } catch (...) {
-        transport->world().abort(std::current_exception());
+        world->abort(std::current_exception(), 0, 0);
       }
     });
   }
@@ -396,7 +644,7 @@ void Session::run(int nranks, const std::function<void(Comm&)>& fn) const {
   // Closing barrier over the FULL world: back-to-back run() calls (the
   // benches sweep rank counts) must not let a skipped rank race ahead into
   // the next call and inject same-tag traffic into this one.
-  world.barrier(kSessionBarrierTag);
+  world.barrier(tags::kSessionBarrier);
 }
 
 Session init(int* argc, char*** argv) {
@@ -438,7 +686,7 @@ Session init(int* argc, char*** argv) {
 #if GALACTOS_WITH_MPI
   if (choice == Backend::kMpi) {
     detail::MpiWorld w = detail::mpi_init_world(argc, argv);
-    s.impl_->transport = std::move(w.transport);
+    s.impl_->transport = detail::wrap_with_faults(std::move(w.transport));
     s.impl_->world_size = w.size;
     s.impl_->world_rank = w.rank;
     s.impl_->finalize_mpi = w.we_initialized;

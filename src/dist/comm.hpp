@@ -39,10 +39,19 @@
 #include <type_traits>
 #include <vector>
 
+#include "dist/error.hpp"
 #include "dist/transport.hpp"
 #include "util/check.hpp"
 
 namespace galactos::dist {
+
+namespace detail {
+// Shared failure-control state (deadline, pipeline phase, armed abort
+// probes) — one per rank, shared by every Comm copy and sub_range carved
+// from it, so a deadline set at pipeline entry governs the partitioner's
+// halved communicators too. Defined in comm.cpp.
+struct CommControl;
+}  // namespace detail
 
 // Handle for a posted non-blocking operation (MPI_Request analog).
 //
@@ -296,8 +305,32 @@ class Comm {
 
   // Communicator over this comm's ranks [begin, end); the caller must be a
   // member. Purely local (rank renumbering), like MPI_Comm_split on a
-  // contiguous color.
+  // contiguous color. Shares this comm's failure-control state (deadline,
+  // phase, abort probes).
   Comm sub_range(int begin, int end) const;
+
+  // --- deadlines, phases, graceful failure --------------------------------
+
+  // Comm-wide receive deadline in seconds; <= 0 (the default) disables it.
+  // While set, every blocking receive on this comm — recv/recv_value,
+  // RecvRequest::get, and therefore every collective — throws a structured
+  // dist::TimeoutError naming the channel and pipeline phase if no message
+  // arrives in time, instead of hanging forever on a lost message or dead
+  // peer. Arming also posts a silent probe on the reserved abort channel
+  // (tags::kAbort) per peer, so a failing peer's post_abort() unwinds this
+  // rank with dist::PeerAbortError carrying the original reason.
+  void set_timeout(double seconds);
+  double timeout() const;
+
+  // Marks the pipeline phase for diagnostics (TimeoutError / RankReport)
+  // and gives an active FaultPlan its stall/crash hook point.
+  void set_phase(Phase p);
+  Phase phase() const;
+
+  // Best-effort peer-failure broadcast: one message per peer on the
+  // reserved abort channel, never throws. run_rank calls this on the way
+  // out of a failed pipeline so every rank unwinds with the same error.
+  void post_abort(const std::string& reason) noexcept;
 
  private:
   friend class Session;
@@ -356,7 +389,11 @@ class Comm {
 
   // dest/src are ranks of THIS communicator; the transport is addressed by
   // world ranks so sub-communicator traffic cannot collide across groups —
-  // tags + (src, dst) world pairs identify a channel.
+  // tags + (src, dst) world pairs identify a channel. Every payload is
+  // framed on the wire (dist/frame.hpp: magic + length + FNV-1a checksum),
+  // so truncation or corruption surfaces as dist::ProtocolError at the
+  // receiver instead of a silently wrong result; the receive path honors
+  // the comm deadline (dist::TimeoutError on expiry).
   void send_bytes(int dest, int tag, const void* data, std::size_t nbytes);
   std::vector<unsigned char> recv_bytes(int src, int tag);
   std::shared_ptr<detail::RequestState> post_recv(int src, int tag);
@@ -365,7 +402,13 @@ class Comm {
   std::shared_ptr<detail::Transport> transport_;
   std::vector<int> group_;  // group rank -> world rank
   int rank_;
+  std::shared_ptr<detail::CommControl> ctrl_;
 };
+
+// Resolves the effective comm deadline: GALACTOS_DIST_TIMEOUT_S (when set
+// and non-empty — throws on a non-numeric value) overrides `fallback`,
+// which is typically DistRunConfig::timeout_s or a --timeout-s flag.
+double timeout_from_env(double fallback);
 
 // Spawns `nranks` threads, each running `fn` with its own Comm over the
 // world communicator, and joins them. If any rank throws, the world is

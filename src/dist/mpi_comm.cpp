@@ -2,12 +2,14 @@
 
 #include <mpi.h>
 
+#include <atomic>
 #include <chrono>
 #include <climits>
 #include <cstring>
 #include <deque>
 #include <iterator>
 
+#include "dist/tags.hpp"
 #include "util/check.hpp"
 
 // Every MPI call is checked; with MPI_ERRORS_RETURN installed a failure
@@ -25,11 +27,15 @@ namespace galactos::dist::detail {
 
 namespace {
 
-// The partitioner uses tags up to (1<<22)+7+P, the runner (1<<23)+..., the
-// session barrier 1<<24 — demand headroom above all of them. (The MPI
-// standard only guarantees 32767, but every mainstream implementation
-// provides far more; fail loudly on the exotic ones.)
-constexpr int kRequiredTagUb = (1 << 24) + (1 << 16);
+// The whole tag layout lives in dist/tags.hpp; the abort/control channel
+// (tags::kAbort = 1<<25) is the highest tag the library ever puts on the
+// wire — demand headroom above it. (The MPI standard only guarantees
+// 32767, but every mainstream implementation provides far more; fail
+// loudly on the exotic ones.)
+constexpr int kRequiredTagUb = tags::kAbort + (1 << 16);
+
+// See mpi_comm.hpp: the pending-send gauge the ctest suite asserts against.
+std::atomic<std::size_t> g_pending_sends{0};
 
 int checked_count(std::size_t nbytes) {
   GLX_CHECK_MSG(nbytes <= static_cast<std::size_t>(INT_MAX),
@@ -129,11 +135,13 @@ class MpiTransport final : public Transport {
     GLX_MPI_CHECK(MPI_Isend(s.buffer.empty() ? nullptr : s.buffer.data(),
                             checked_count(nbytes), MPI_BYTE, dst_world, tag,
                             MPI_COMM_WORLD, &s.request));
+    g_pending_sends.store(pending_.size(), std::memory_order_relaxed);
   }
 
   std::vector<unsigned char> recv_bytes(int src_world, int dst_world,
                                         int tag) override {
     (void)dst_world;  // always this process
+    reap_completed_sends();
     MpiRecvState state(src_world, tag);
     state.wait();
     return state.take();
@@ -142,6 +150,11 @@ class MpiTransport final : public Transport {
   std::shared_ptr<RequestState> post_recv(int src_world, int dst_world,
                                           int tag) override {
     (void)dst_world;
+    // Receives are where long-running protocols spend their calls (one
+    // send can face many posted receives) — reaping here too is what keeps
+    // the pending-send list bounded over an arbitrarily long run instead
+    // of growing until the next send happens to fire.
+    reap_completed_sends();
     return std::make_shared<MpiRecvState>(src_world, tag);
   }
 
@@ -160,6 +173,7 @@ class MpiTransport final : public Transport {
       GLX_MPI_CHECK(MPI_Test(&it->request, &done, MPI_STATUS_IGNORE));
       it = done ? pending_.erase(it) : std::next(it);
     }
+    g_pending_sends.store(pending_.size(), std::memory_order_relaxed);
   }
 
   // Normal shutdown finds everything already received (collectives are
@@ -180,6 +194,7 @@ class MpiTransport final : public Transport {
         if (s.request != MPI_REQUEST_NULL) MPI_Cancel(&s.request);
       new std::deque<PendingSend>(std::move(pending_));
       pending_.clear();
+      g_pending_sends.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -199,6 +214,10 @@ bool mpi_initialized() {
   MPI_Initialized(&inited);
   MPI_Finalized(&finalized);
   return inited && !finalized;
+}
+
+std::size_t mpi_pending_send_count() {
+  return g_pending_sends.load(std::memory_order_relaxed);
 }
 
 MpiWorld mpi_init_world(int* argc, char*** argv) {

@@ -22,6 +22,7 @@
 //                  matching order.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "dist/transport.hpp"
@@ -30,6 +31,13 @@ namespace galactos::dist::detail {
 
 // True once MPI_Init has run (and MPI_Finalize has not).
 bool mpi_initialized();
+
+// Number of MPI_Isend requests currently parked on the transport's
+// pending-send list. The list is reaped on EVERY send_bytes / recv_bytes /
+// post_recv call, so it stays bounded by the in-flight window of the
+// protocol (the MPI ctest suite asserts this); exposed so tests can watch
+// the bound instead of inferring it from RSS.
+std::size_t mpi_pending_send_count();
 
 struct MpiWorld {
   std::shared_ptr<Transport> transport;

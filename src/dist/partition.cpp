@@ -2,24 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <string>
+
+#include "dist/tags.hpp"
 
 namespace galactos::dist {
 
 namespace {
 
-// Internal tag space, far above anything user code or the tests use. Each
-// collective phase gets its own tag; FIFO per (src, dst, tag) makes reuse
-// across recursion levels safe because the calls are sequentially matched.
-constexpr int kTagBase = 1 << 22;
-constexpr int kTagBbox = kTagBase + 0;
-constexpr int kTagCount = kTagBase + 1;
-constexpr int kTagSplit = kTagBase + 2;
-constexpr int kTagLeftToRight = kTagBase + 3;
-constexpr int kTagRightToLeft = kTagBase + 4;
-constexpr int kTagDomains = kTagBase + 5;
-constexpr int kTagCost = kTagBase + 6;
-constexpr int kTagHalo = kTagBase + 7;  // + sender rank — keep this LAST
-                                        // (open-ended tag range)
+// The partitioner's tag space lives in dist/tags.hpp (one tag per
+// collective phase; FIFO per (src, dst, tag) makes reuse across recursion
+// levels safe because the calls are sequentially matched). Local aliases
+// keep the call sites readable.
+constexpr int kTagBbox = tags::kBbox;
+constexpr int kTagCount = tags::kCount;
+constexpr int kTagSplit = tags::kSplit;
+constexpr int kTagLeftToRight = tags::kLeftToRight;
+constexpr int kTagRightToLeft = tags::kRightToLeft;
+constexpr int kTagDomains = tags::kDomains;
+constexpr int kTagCost = tags::kCost;
+constexpr int kTagHalo = tags::kHalo;  // + sender rank (open-ended range)
 
 double& aabb_coord(sim::Vec3& v, int dim) {
   return dim == 0 ? v.x : (dim == 1 ? v.y : v.z);
@@ -168,6 +171,7 @@ double distributed_split_point_weighted(Comm& comm,
 PendingPartition post_halo_exchange(Comm& comm, const sim::Catalog& mine,
                                     double rmax, PartitionPolicy policy) {
   GLX_CHECK(rmax > 0);
+  comm.set_phase(Phase::kPartition);
   sim::Catalog pts = mine;
   sim::Aabb domain = global_bbox(comm, mine);
   Comm c = comm;
@@ -251,6 +255,7 @@ PendingPartition post_halo_exchange(Comm& comm, const sim::Catalog& mine,
   // posts the matching receives. Sends are buffered and receives are only
   // posted here, so the exchange is in flight when this returns — the
   // caller overlaps it with the owned-point index build.
+  comm.set_phase(Phase::kHaloPost);
   if (comm.size() > 1) {
     const sim::Catalog& own = pend.result.local;
     std::vector<double> mybox{pend.result.domain.lo.x, pend.result.domain.lo.y,
@@ -280,14 +285,54 @@ PendingPartition post_halo_exchange(Comm& comm, const sim::Catalog& mine,
 }
 
 bool PendingPartition::poll() {
+  // Called from inside the engine's OpenMP owned pass (master thread,
+  // between leaf batches) — an exception escaping an OMP structured block
+  // is std::terminate, so a world abort observed here must NOT throw.
+  // Report "not complete" instead; the blocking complete_halo_exchange()
+  // hits the same condition and rethrows it from a safe context.
   bool all = true;
-  for (auto& req : halo_recvs) all = req.test() && all;
+  for (auto& req : halo_recvs) {
+    bool done = false;
+    try {
+      done = req.test();
+    } catch (...) {
+      return false;
+    }
+    all = done && all;
+  }
   return all;
 }
 
 PartitionResult complete_halo_exchange(PendingPartition& pending) {
-  for (std::size_t i = 0; i < pending.peers.size(); ++i)
-    append_packed(pending.result.local, pending.halo_recvs[i].get());
+  for (std::size_t i = 0; i < pending.peers.size(); ++i) {
+    try {
+      append_packed(pending.result.local, pending.halo_recvs[i].get());
+    } catch (const TimeoutError& e) {
+      // Re-throw with the full exchange picture: how many peers (and
+      // which) never delivered, not just the one we happened to block on.
+      std::size_t outstanding = 1;
+      std::ostringstream ranks;
+      ranks << pending.peers[i];
+      for (std::size_t j = i + 1; j < pending.peers.size(); ++j) {
+        bool done = false;
+        try {
+          done = pending.halo_recvs[j].test();
+        } catch (...) {
+          // An aborted world counts as undelivered.
+        }
+        if (!done) {
+          ++outstanding;
+          ranks << "," << pending.peers[j];
+        }
+      }
+      std::ostringstream detail;
+      detail << outstanding << " of " << pending.peers.size()
+             << " halo messages still outstanding (from comm ranks "
+             << ranks.str() << ")";
+      throw TimeoutError(e.channel(), e.phase(), e.waited_seconds(),
+                         detail.str());
+    }
+  }
   pending.halo_recvs.clear();
   pending.peers.clear();
   pending.result.owned.resize(pending.result.local.size(), 0);

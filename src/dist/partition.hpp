@@ -25,6 +25,15 @@
 // owned-point spatial index while halo traffic is in flight and only then
 // complete_halo_exchange() to append the halo copies (dist/runner.cpp
 // overlaps exactly this way). kd_partition() is the fused convenience call.
+//
+// Failure semantics: both phases run under the comm's deadline when one is
+// set (Comm::set_timeout) — a lost or late message surfaces as
+// dist::TimeoutError naming the channel (all tags come from dist/tags.hpp)
+// and pipeline phase; complete_halo_exchange() additionally reports how
+// many halo peers were still outstanding. The phases are marked via
+// Comm::set_phase (kPartition during the k-d cuts, kHaloPost once halo
+// traffic is posted), which is also where an active FaultPlan's
+// stall/crash rules fire.
 #pragma once
 
 #include <cstdint>

@@ -1,19 +1,24 @@
 #include "dist/runner.hpp"
 
+#include <cstdio>
+#include <string>
+
+#include "dist/tags.hpp"
 #include "util/timer.hpp"
 
 namespace galactos::dist {
 
 namespace {
 
-constexpr int kTagReducePayload = (1 << 23) + 0;
-constexpr int kTagReduceCounts = (1 << 23) + 1;
-constexpr int kTagReducePairs = (1 << 23) + 2;
+// Tag layout lives in dist/tags.hpp; local aliases keep call sites short.
+constexpr int kTagReducePayload = tags::kReducePayload;
+constexpr int kTagReduceCounts = tags::kReduceCounts;
+constexpr int kTagReducePairs = tags::kReducePairs;
 // World-communicator traffic of the session driver (result fan-out to
 // ranks outside the compute sub-communicator).
-constexpr int kTagWorldPayload = (1 << 23) + 3;
-constexpr int kTagWorldCounts = (1 << 23) + 4;
-constexpr int kTagWorldReports = (1 << 23) + 5;
+constexpr int kTagWorldPayload = tags::kWorldPayload;
+constexpr int kTagWorldCounts = tags::kWorldCounts;
+constexpr int kTagWorldReports = tags::kWorldReports;
 
 sim::Catalog round_robin_slice(const sim::Catalog& full, int rank,
                                int nranks) {
@@ -23,6 +28,24 @@ sim::Catalog round_robin_slice(const sim::Catalog& full, int rank,
        i += static_cast<std::size_t>(nranks))
     mine.push_back(full.position(i), full.w[i]);
   return mine;
+}
+
+// Minimal escaping for the one-line JSON failure report (error strings may
+// quote the offending spec or channel).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -36,18 +59,27 @@ const char* overlap_mode_name(OverlapMode mode) {
   return "unknown";
 }
 
-core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
-                          const DistRunConfig& cfg, RankReport* report) {
+namespace {
+
+// The pipeline body, writing its accounting into `rep` as each stage
+// completes so run_rank's failure path can dump whatever was measured
+// before the error. Phases are marked on the comm both for diagnostics
+// (TimeoutError / failure_phase) and as FaultPlan stall/crash hook points.
+core::ZetaResult run_rank_pipeline(Comm& comm, const sim::Catalog& mine,
+                                   const DistRunConfig& cfg,
+                                   RankReport& rep) {
   const core::EngineConfig& engine_cfg = cfg.engine;
-  Timer total;
 
   Timer tpart;
   PendingPartition pending = post_halo_exchange(
       comm, mine, engine_cfg.bins.rmax(), cfg.partition);
   const double partition_seconds = tpart.seconds();
+  rep.partition_seconds = partition_seconds;
 
   const core::Engine engine(engine_cfg);
   const std::size_t n_owned = pending.result.local.size();
+  rep.owned = n_owned;
+  rep.levels = pending.result.levels;
 
   // The pipeline: halo traffic is already in flight (sends buffered,
   // receives posted), so everything timed between here and
@@ -66,9 +98,11 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
 
   PartitionResult part;
   if (cfg.overlap == OverlapMode::kSequential) {
+    comm.set_phase(Phase::kHaloComplete);
     Timer th;
     part = complete_halo_exchange(pending);
     halo_seconds = th.seconds();
+    rep.halo_seconds = halo_seconds;
     if (n_owned > 0) {
       // The owned galaxies stay the first n_owned entries of the completed
       // partition; snapshot that prefix once and MOVE it into the handle
@@ -91,6 +125,7 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
       halo_hidden_seconds += index_seconds;
     }
     if (cfg.overlap == OverlapMode::kTwoPass && staged.valid()) {
+      comm.set_phase(Phase::kOwnedPass);
       // Halo copies come from other ranks' domains, which tile space
       // disjointly from ours — so the k-d leaf domain bounds them away
       // from the interior, and pass 1 snapshots only the boundary shell's
@@ -102,11 +137,17 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
                             &bound);
       owned_pass_seconds = tp.seconds();
       halo_hidden_seconds += owned_pass_seconds;
+      rep.owned_pass_seconds = owned_pass_seconds;
     }
+    comm.set_phase(Phase::kHaloComplete);
     Timer th;
     part = complete_halo_exchange(pending);
     halo_seconds = th.seconds();
+    rep.halo_seconds = halo_seconds;
   }
+  rep.held = part.local.size();
+  rep.index_build_seconds = index_seconds;
+  rep.halo_hidden_seconds = halo_hidden_seconds;
 
   // Halo copies (appended after the owned block) act as secondaries only.
   if (staged.valid() && part.local.size() > n_owned) {
@@ -122,6 +163,7 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
   double engine_seconds = 0.0;
   core::ZetaResult local;
   if (cfg.overlap == OverlapMode::kTwoPass && staged.valid()) {
+    comm.set_phase(Phase::kSecondaryPass);
     Timer tsec;
     core::EngineStats sec_stats;
     local = staged.run_secondary_pass(&sec_stats);
@@ -129,16 +171,22 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
     stats.pairs += sec_stats.pairs;  // owned + halo = the single-node total
     engine_seconds = owned_pass_seconds + secondary_pass_seconds;
   } else {
+    comm.set_phase(Phase::kOwnedPass);  // the fused owned+halo traversal
     Timer teng;
     local = staged.valid() ? staged.run_indexed(nullptr, &stats)
                            : engine.empty_result();
     engine_seconds = teng.seconds();
   }
+  rep.pairs = stats.pairs;
+  rep.index_build_seconds = index_seconds;
+  rep.engine_seconds = engine_seconds;
+  rep.secondary_pass_seconds = secondary_pass_seconds;
 
   // Reduce: one allreduce for the additive double payload, one for the
   // integer counters — each a recursive-doubling butterfly with a fixed
   // lower-rank-first combine, so every rank ends with the same
   // deterministic totals in O(log P) steps.
+  comm.set_phase(Phase::kReduce);
   Timer tred;
   std::vector<double> payload = local.reduce_payload();
   comm.allreduce_sum(payload, kTagReducePayload);
@@ -160,24 +208,51 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
   const double sum_pairs = comm.allreduce_sum_value(my_pairs, kTagReducePairs);
   const double mean_pairs = sum_pairs / comm.size();
 
-  if (report) {
-    report->rank = comm.rank();
-    report->owned = n_owned;
-    report->held = part.local.size();
-    report->pairs = stats.pairs;
-    report->levels = part.levels;
-    report->partition_seconds = partition_seconds;
-    report->halo_seconds = halo_seconds;
-    report->index_build_seconds = index_seconds;
-    report->engine_seconds = engine_seconds;
-    report->owned_pass_seconds = owned_pass_seconds;
-    report->secondary_pass_seconds = secondary_pass_seconds;
-    report->halo_hidden_seconds = halo_hidden_seconds;
-    report->reduce_seconds = reduce_seconds;
-    report->total_seconds = total.seconds();
-    report->pair_imbalance = mean_pairs > 0 ? max_pairs / mean_pairs : 1.0;
-  }
+  rep.reduce_seconds = reduce_seconds;
+  rep.pair_imbalance = mean_pairs > 0 ? max_pairs / mean_pairs : 1.0;
   return out;
+}
+
+}  // namespace
+
+core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
+                          const DistRunConfig& cfg, RankReport* report) {
+  comm.set_timeout(timeout_from_env(cfg.timeout_s));
+  Timer total;
+  RankReport rep;
+  rep.rank = comm.rank();
+  try {
+    comm.set_phase(Phase::kScatter);  // pipeline entry (slicing is done)
+    core::ZetaResult out = run_rank_pipeline(comm, mine, cfg, rep);
+    comm.set_phase(Phase::kTeardown);
+    rep.total_seconds = total.seconds();
+    rep.failure_phase = static_cast<int>(Phase::kNone);
+    if (report) *report = rep;
+    return out;
+  } catch (const std::exception& e) {
+    // Graceful failure: record the phase, dump the partial accounting as
+    // one grep-able JSON line, tell every peer to unwind (the reserved
+    // abort channel — their timed waits convert it to PeerAbortError with
+    // this reason), then rethrow for the backend's abort path.
+    rep.total_seconds = total.seconds();
+    rep.failure_phase = static_cast<int>(comm.phase());
+    std::fprintf(
+        stderr,
+        "{\"galactos_rank_failure\":{\"rank\":%d,\"phase\":\"%s\","
+        "\"error\":\"%s\",\"owned\":%llu,\"held\":%llu,\"pairs\":%llu,"
+        "\"levels\":%d,\"partition_seconds\":%.6f,\"halo_seconds\":%.6f,"
+        "\"index_build_seconds\":%.6f,\"engine_seconds\":%.6f,"
+        "\"total_seconds\":%.6f}}\n",
+        rep.rank, phase_name(comm.phase()), json_escape(e.what()).c_str(),
+        static_cast<unsigned long long>(rep.owned),
+        static_cast<unsigned long long>(rep.held),
+        static_cast<unsigned long long>(rep.pairs), rep.levels,
+        rep.partition_seconds, rep.halo_seconds, rep.index_build_seconds,
+        rep.engine_seconds, rep.total_seconds);
+    comm.post_abort(e.what());
+    if (report) *report = rep;
+    throw;
+  }
 }
 
 core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,

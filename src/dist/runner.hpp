@@ -50,6 +50,13 @@ struct DistRunConfig {
   PartitionPolicy partition = PartitionPolicy::kPrimaryBalanced;
   // What hides the halo exchange (A/B/C measurement axis).
   OverlapMode overlap = OverlapMode::kTwoPass;
+  // Comm-wide receive deadline in seconds; <= 0 (the default) keeps the
+  // pre-deadline behavior (waits block forever). GALACTOS_DIST_TIMEOUT_S
+  // overrides this at run_rank entry (dist::timeout_from_env). On expiry
+  // the rank throws dist::TimeoutError naming the channel and phase,
+  // dumps its partial RankReport to stderr, and broadcasts an abort so
+  // every peer unwinds too.
+  double timeout_s = 0.0;
 };
 
 // Per-rank accounting mirrored from the paper's scaling studies: primary
@@ -80,6 +87,10 @@ struct RankReport {
   // max/mean kernel pairs across ranks — identical on every rank, so the
   // Fig. 7 imbalance story is readable from any single report.
   double pair_imbalance = 0.0;
+  // Pipeline phase the rank failed in, as int(dist::Phase) so the struct
+  // stays trivially copyable for allgather. 0 (Phase::kNone) = the run
+  // succeeded; see dist/error.hpp phase_name() for the names.
+  int failure_phase = 0;
 };
 
 // Rank-level driver for callers already inside run_ranks(): partitions the

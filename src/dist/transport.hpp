@@ -25,8 +25,10 @@
 // (mpi_comm.cpp).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace galactos::dist::detail {
@@ -41,7 +43,21 @@ class RequestState {
   virtual bool test() = 0;
   // Blocks until the message arrives (throws if the world aborts first).
   virtual void wait() = 0;
-  // Hands the payload to the caller; valid once complete, call once.
+  // Timed wait: true once complete, false if `deadline` passes first (the
+  // request stays valid — callers may wait again or abandon it). The
+  // default is an Improbe-style polling loop over test(); backends with a
+  // real timed primitive override it (the thread world's cv.wait_until).
+  // Throws, like wait(), if the world aborts first.
+  virtual bool wait_until(std::chrono::steady_clock::time_point deadline) {
+    while (!test()) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return true;
+  }
+  // Hands the payload to the caller. Contract — ENFORCED with a throw by
+  // every implementation, not just documented: callable only once the
+  // request is complete (test()/wait() observed it), and only once.
   virtual std::vector<unsigned char> take() = 0;
 };
 

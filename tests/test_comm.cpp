@@ -5,9 +5,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "dist/comm.hpp"
+#include "dist/error.hpp"
 
 namespace d = galactos::dist;
 
@@ -285,6 +288,71 @@ TEST_P(CommCollectives, BcastFromEveryRoot) {
       EXPECT_EQ(v[1], root * 100 + 1);
     }
   });
+}
+
+// --- deadlines + request contract (failure semantics) --------------------
+
+TEST(Comm, TimedRecvThrowsStructuredTimeout) {
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 1) {
+      c.set_timeout(0.3);
+      try {
+        (void)c.recv<int>(0, 55);  // never sent
+        ADD_FAILURE() << "recv should have timed out";
+      } catch (const d::TimeoutError& e) {
+        EXPECT_EQ(e.channel().src, 0);
+        EXPECT_EQ(e.channel().dst, 1);
+        EXPECT_EQ(e.channel().tag, 55);
+        EXPECT_NE(std::string(e.what()).find("dist::TimeoutError"),
+                  std::string::npos)
+            << e.what();
+      }
+      c.send_value<int>(0, 56, 1);  // release the peer
+    } else {
+      (void)c.recv_value<int>(1, 56);
+    }
+  });
+}
+
+TEST(Comm, TimeoutFromEnvOverridesConfig) {
+  ::setenv("GALACTOS_DIST_TIMEOUT_S", "2.5", 1);
+  EXPECT_DOUBLE_EQ(d::timeout_from_env(0.0), 2.5);
+  ::unsetenv("GALACTOS_DIST_TIMEOUT_S");
+  EXPECT_DOUBLE_EQ(d::timeout_from_env(1.25), 1.25);
+}
+
+TEST(Request, GetTwiceThrows) {
+  // take() hands the payload out exactly once; a second get() must fail
+  // loudly instead of returning an empty moved-from buffer.
+  d::run_ranks(2, [](d::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 57, 9);
+    } else {
+      d::RecvRequest<int> r = c.irecv<int>(0, 57);
+      EXPECT_EQ(r.get()[0], 9);
+      EXPECT_THROW(r.get(), std::logic_error);
+    }
+  });
+}
+
+TEST(Request, WaitAfterAbortKeepsThrowing) {
+  // After the world dies every wait() on a posted receive must fail —
+  // deterministically, each time — so a caller's retry loop cannot hang,
+  // and take() without completion stays an error rather than handing back
+  // an empty payload.
+  try {
+    d::run_ranks(2, [](d::Comm& c) {
+      if (c.rank() == 0) throw std::runtime_error("original failure");
+      d::RecvRequest<int> r = c.irecv<int>(0, 58);
+      EXPECT_THROW(r.wait(), d::PeerAbortError);
+      EXPECT_THROW(r.wait(), d::PeerAbortError);
+      EXPECT_THROW(r.get(), d::Error);
+      throw std::runtime_error("secondary failure");  // expected: world dead
+    });
+    FAIL() << "run_ranks should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "original failure");
+  }
 }
 
 TEST(Comm, LargePayloadRoundTrip) {

@@ -15,9 +15,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "dist/error.hpp"
+#include "dist/fault.hpp"
+#include "dist/mpi_comm.hpp"
 #include "dist/runner.hpp"
 #include "sim/generators.hpp"
 
@@ -177,6 +181,95 @@ TEST(MpiBackend, PolicyAndOverlapSweepMatchesMinimpi) {
       expect_bitwise_equal(over_mpi, over_threads);
     }
   }
+}
+
+// The MPI_Isend pending list is reaped on every send/recv/post_recv, so
+// even a send-heavy full pipeline run must leave it near-empty — not
+// growing with the message count (the PR-7 bound this suite asserts).
+TEST(MpiBackend, PendingSendListStaysBounded) {
+  if (!on_mpi()) GTEST_SKIP() << "not under mpirun";
+  d::DistRunConfig cfg;
+  cfg.engine = small_config();
+  cfg.ranks = session().size();
+  const s::Catalog cat = s::uniform_box(800, s::Aabb::cube(60), 42);
+  (void)d::run_distributed(session(), cat, cfg);
+  // Everything a completed collective posted must have been reaped along
+  // the way; only the tail of the final broadcast may still be in flight.
+  EXPECT_LE(d::detail::mpi_pending_send_count(), 8u)
+      << "pending MPI_Isend list is not being reaped";
+}
+
+// Deadline machinery over real MPI: a receive that can never match must
+// surface dist::TimeoutError — caught INSIDE the run lambda (an escaping
+// exception would MPI_Abort the whole test binary) — and the world must
+// still be usable afterwards.
+TEST(MpiBackend, TimedRecvOverMpiThrowsTimeout) {
+  if (!on_mpi() || session().size() < 2) GTEST_SKIP() << "needs MPI np>=2";
+  session().run(2, [](d::Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.set_timeout(0.3);
+      bool timed_out = false;
+      try {
+        (void)comm.recv<int>(0, 70);  // never sent
+      } catch (const d::TimeoutError& e) {
+        timed_out = true;
+        EXPECT_NE(std::string(e.what()).find("dist::TimeoutError"),
+                  std::string::npos)
+            << e.what();
+      }
+      EXPECT_TRUE(timed_out);
+      comm.set_timeout(0.0);
+      comm.send_value<int>(0, 71, 1);  // release the peer: world still live
+      EXPECT_EQ(comm.recv_value<int>(0, 72), 2);
+    } else {
+      (void)comm.recv_value<int>(1, 71);
+      comm.send_value<int>(0, 72, 2);
+    }
+  });
+}
+
+// Send-side fault injection interposes on the real MPI transport too: a
+// dropped message trips the receiver's deadline, and after clearing the
+// plan the same channel works again.
+TEST(MpiBackend, InjectedDropOverMpiTripsDeadline) {
+  if (!on_mpi() || session().size() < 2) GTEST_SKIP() << "needs MPI np>=2";
+  d::set_fault_plan(d::FaultPlan::parse("drop:dst=1,tag=80,count=1"));
+  session().run(2, [](d::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 80, 5);  // eaten by the plan
+      (void)comm.recv_value<int>(1, 81);
+      d::clear_fault_plan();
+      comm.send_value<int>(1, 80, 6);  // retry after the plan is gone
+    } else {
+      comm.set_timeout(0.3);
+      bool timed_out = false;
+      try {
+        (void)comm.recv_value<int>(0, 80);
+      } catch (const d::TimeoutError&) {
+        timed_out = true;
+      }
+      EXPECT_TRUE(timed_out);
+      comm.set_timeout(0.0);
+      comm.send_value<int>(0, 81, 1);
+      EXPECT_EQ(comm.recv_value<int>(0, 80), 6);
+    }
+  });
+  d::clear_fault_plan();
+}
+
+// A duplicated halo message over real MPI must be invisible in the result:
+// the extra copy is never claimed, the reduced bits match the clean run.
+TEST(MpiBackend, InjectedDupOverMpiIsHarmless) {
+  if (!on_mpi() || session().size() < 2) GTEST_SKIP() << "needs MPI np>=2";
+  const s::Catalog cat = s::uniform_box(700, s::Aabb::cube(55), 77);
+  d::DistRunConfig cfg;
+  cfg.engine = small_config();
+  cfg.ranks = session().size();
+  const c::ZetaResult clean = d::run_distributed(session(), cat, cfg);
+  d::set_fault_plan(d::FaultPlan::parse("dup:tag=halo,count=1"));
+  const c::ZetaResult dup = d::run_distributed(session(), cat, cfg);
+  d::clear_fault_plan();
+  expect_bitwise_equal(clean, dup);
 }
 
 // MPI ranks can still host thread-backed minimpi worlds internally (the

@@ -50,16 +50,27 @@ different workloads is meaningless — unless --allow-config-mismatch is
 given. Baseline runs missing from the fresh file fail too (shrinking
 coverage is a regression).
 
+Every failure mode exits with a single-line "error: ..." diagnostic —
+a missing, truncated, or schema-malformed JSON file must read as one
+actionable line in a CI log, never a Python traceback. `--self-test`
+exercises exactly those paths by re-invoking this script as a
+subprocess against synthetic good/bad fixtures (wired into ctest and
+the CI chaos leg, so the gate's own error handling is itself gated).
+
 Usage:
   tools/check_bench_regression.py --baseline bench/baselines/BENCH_dist.ci.json \
       --fresh BENCH_dist.ci.json [--imbalance-tol 0.25] [--time-tol 0.25]
   tools/check_bench_regression.py --baseline bench/baselines/BENCH_fig4.ci.json \
       --fresh BENCH_fig4.json --kernel-gflops-floor 0.6
+  tools/check_bench_regression.py --self-test
 """
 
 import argparse
 import json
+import os
+import subprocess
 import sys
+import tempfile
 
 # Below this, max/mean noise (a handful of pairs moving across a cut) can
 # exceed any relative tolerance without meaning anything.
@@ -77,9 +88,13 @@ FIG4_CONFIG_KEYS = ("n", "rmax", "lmax", "nbins", "threads", "precision",
 def load(path):
     try:
         with open(path) as f:
-            return json.load(f)
+            doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot load {path}: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path}: top level is {type(doc).__name__}, "
+                 f"expected a JSON object")
+    return doc
 
 
 def runs_by_key(doc):
@@ -220,34 +235,7 @@ def check_fig4(baseline, fresh, args):
           f"(kernel GFLOP/s floor {floor:g}x baseline)")
 
 
-def main():
-    ap = argparse.ArgumentParser(
-        description="fail on bench regressions vs a committed baseline")
-    ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_dist.json to gate against")
-    ap.add_argument("--fresh", required=True,
-                    help="freshly generated BENCH_dist.json")
-    ap.add_argument("--imbalance-tol", type=float, default=0.25,
-                    help="max fractional pair-imbalance growth (default .25)")
-    ap.add_argument("--time-tol", type=float, default=None,
-                    help="max fractional normalized wall-time growth "
-                         "(omitted = time check off)")
-    ap.add_argument("--hidden-tol", type=float, default=None,
-                    help="max absolute drop of the per-mode halo hidden "
-                         "fraction hidden/(hidden+blocked) "
-                         "(omitted = hidden check off)")
-    ap.add_argument("--hidden-floor", type=float, default=1e-3,
-                    help="skip the hidden check when the halo window "
-                         "(hidden+blocked) is below this many seconds in "
-                         "either file (default 1e-3)")
-    ap.add_argument("--kernel-gflops-floor", type=float, default=None,
-                    help="fig4 files: fresh kernel_gflops must stay at or "
-                         "above baseline x FLOOR (a fraction, e.g. 0.6; "
-                         "required for fig4_breakdown baselines)")
-    ap.add_argument("--allow-config-mismatch", action="store_true",
-                    help="compare even when run configs differ")
-    args = ap.parse_args()
-
+def compare(args):
     baseline = load(args.baseline)
     fresh = load(args.fresh)
 
@@ -327,6 +315,137 @@ def main():
           + (f", hidden tol {args.hidden_tol:.2f}"
              if args.hidden_tol is not None else ", hidden check off")
           + ")")
+
+
+def self_test():
+    """Re-invoke this script against synthetic fixtures and assert every
+    failure mode stays a single actionable line (never a traceback)."""
+    me = os.path.abspath(__file__)
+
+    dist_doc = {
+        "bench": "dist_scaling",
+        "config": {k: 1 for k in CONFIG_KEYS},
+        "runs": [
+            {"ranks": 1, "policy": "pair_weighted", "pair_imbalance": 1.0,
+             "elapsed_seconds": 2.0},
+            {"ranks": 4, "policy": "pair_weighted", "pair_imbalance": 1.1,
+             "elapsed_seconds": 0.6},
+        ],
+    }
+    regressed = json.loads(json.dumps(dist_doc))
+    regressed["runs"][1]["pair_imbalance"] = 2.0
+    malformed = json.loads(json.dumps(dist_doc))
+    del malformed["runs"][1]["ranks"]
+    fig4 = {
+        "bench": "fig4_breakdown",
+        "config": {k: 1 for k in FIG4_CONFIG_KEYS},
+        "per_primary": {"kernel_gflops": 10.0},
+        "leaf_blocked": {"kernel_gflops": 12.0},
+        "kernel_isa_ab": [],
+    }
+    fig4_slow = json.loads(json.dumps(fig4))
+    fig4_slow["per_primary"]["kernel_gflops"] = 1.0
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        def fixture(name, content):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as f:
+                f.write(content if isinstance(content, str)
+                        else json.dumps(content))
+            return path
+
+        good = fixture("good.json", dist_doc)
+        cases = [
+            ("identical files pass", 0, "no regressions",
+             ["--baseline", good, "--fresh", good]),
+            ("imbalance regression fails", 1, "regression",
+             ["--baseline", good, "--fresh",
+              fixture("regressed.json", regressed)]),
+            ("missing file is one line", None, "error: cannot load",
+             ["--baseline", good, "--fresh",
+              os.path.join(tmp, "nope.json")]),
+            ("truncated JSON is one line", None, "error: cannot load",
+             ["--baseline", good, "--fresh",
+              fixture("truncated.json", '{"bench": "dist_sc')]),
+            ("non-object JSON is one line", None, "expected a JSON object",
+             ["--baseline", good, "--fresh",
+              fixture("array.json", "[1, 2]")]),
+            ("missing field is one line", None, "malformed bench JSON",
+             ["--baseline", good, "--fresh",
+              fixture("malformed.json", malformed)]),
+            ("fig4 needs an explicit floor", None, "--kernel-gflops-floor",
+             ["--baseline", fixture("fig4.json", fig4), "--fresh",
+              fixture("fig4b.json", fig4)]),
+            ("fig4 floor violation fails", 1, "below floor",
+             ["--baseline", os.path.join(tmp, "fig4.json"), "--fresh",
+              fixture("fig4_slow.json", fig4_slow),
+              "--kernel-gflops-floor", "0.6"]),
+        ]
+        for name, want_rc, needle, argv in cases:
+            p = subprocess.run([sys.executable, me] + argv,
+                               capture_output=True, text=True)
+            out = p.stdout + p.stderr
+            ok = (needle in out and "Traceback" not in out
+                  and (p.returncode == want_rc if want_rc is not None
+                       else p.returncode != 0))
+            print(f"self-test: {'ok  ' if ok else 'FAIL'} {name} "
+                  f"(exit {p.returncode})")
+            if not ok:
+                failures.append(name)
+                sys.stderr.write(out)
+    if failures:
+        sys.exit(f"self-test: {len(failures)} of {len(cases)} cases failed")
+    print(f"self-test: all {len(cases)} cases passed")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail on bench regressions vs a committed baseline")
+    ap.add_argument("--baseline",
+                    help="committed BENCH_dist.json to gate against")
+    ap.add_argument("--fresh",
+                    help="freshly generated BENCH_dist.json")
+    ap.add_argument("--imbalance-tol", type=float, default=0.25,
+                    help="max fractional pair-imbalance growth (default .25)")
+    ap.add_argument("--time-tol", type=float, default=None,
+                    help="max fractional normalized wall-time growth "
+                         "(omitted = time check off)")
+    ap.add_argument("--hidden-tol", type=float, default=None,
+                    help="max absolute drop of the per-mode halo hidden "
+                         "fraction hidden/(hidden+blocked) "
+                         "(omitted = hidden check off)")
+    ap.add_argument("--hidden-floor", type=float, default=1e-3,
+                    help="skip the hidden check when the halo window "
+                         "(hidden+blocked) is below this many seconds in "
+                         "either file (default 1e-3)")
+    ap.add_argument("--kernel-gflops-floor", type=float, default=None,
+                    help="fig4 files: fresh kernel_gflops must stay at or "
+                         "above baseline x FLOOR (a fraction, e.g. 0.6; "
+                         "required for fig4_breakdown baselines)")
+    ap.add_argument("--allow-config-mismatch", action="store_true",
+                    help="compare even when run configs differ")
+    ap.add_argument("--self-test", action="store_true",
+                    help="exercise the gate's own failure modes against "
+                         "synthetic fixtures and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.baseline or not args.fresh:
+        ap.error("--baseline and --fresh are required (or use --self-test)")
+
+    try:
+        compare(args)
+    except SystemExit:
+        raise
+    except (KeyError, TypeError, AttributeError, IndexError) as e:
+        # A bench file with the right JSON shape but missing/mis-typed
+        # fields must still die on one actionable line, not a traceback.
+        sys.exit(f"error: malformed bench JSON "
+                 f"({type(e).__name__}: {e}) — missing or mis-typed field; "
+                 f"regenerate the file with the current bench binary")
 
 
 if __name__ == "__main__":

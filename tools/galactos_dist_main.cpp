@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "dist/error.hpp"
 #include "dist/runner.hpp"
 #include "io/catalog_io.hpp"
 #include "io/zeta_io.hpp"
@@ -53,6 +54,9 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
   const int nbins = args.get<int>("nbins", 10);
   const int lmax = args.get<int>("lmax", 10);
   const int threads = args.get<int>("threads", 1);
+  // Comm-wide receive deadline (seconds); 0 = wait forever (the default).
+  // GALACTOS_DIST_TIMEOUT_S overrides the flag inside run_rank.
+  const double timeout_s = args.get<double>("timeout-s", 0.0);
   // kThreads: rank count (default 4). kMpi: defaults to the mpirun world;
   // smaller values run on a leading sub-communicator.
   const int ranks_arg = args.get<int>(
@@ -92,6 +96,7 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
   cfg.engine.threads = threads;
   cfg.engine.precision = core::TreePrecision::kMixed;
   cfg.ranks = ranks_arg;
+  cfg.timeout_s = timeout_s;
   cfg.partition = policy == "primary"
                       ? dist::PartitionPolicy::kPrimaryBalanced
                       : dist::PartitionPolicy::kPairWeighted;
@@ -166,16 +171,37 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
   return 0;
 }
 
+// Structured failure taxonomy (documented in README "Failure semantics"):
+// scripts and the CI chaos leg key off these codes, so keep them stable.
+//   3  dist::TimeoutError   — a deadline expired (what() names the channel)
+//   4  dist::ProtocolError  — a framed payload failed integrity checks
+//   5  other dist::Error    — peer abort, injected crash, plan parse, ...
+//   1  anything else        — argument errors, I/O, std::exception
 int run(int argc, char** argv) {
   // init() first: MPI_Init may consume launcher-injected argv entries.
   dist::Session session = dist::init(&argc, &argv);
   // Catch INSIDE the session's scope: the diagnostic must print before
-  // anything tears the MPI world down. Under real MPI a clean exit(1)
-  // would leave peers blocked in collectives forever, so after reporting,
-  // take the whole job down (no-op on the thread backend, where the error
-  // is rank-local and a plain exit is safe).
+  // anything tears the MPI world down. Under real MPI a clean exit would
+  // leave peers blocked in collectives forever, so after reporting, take
+  // the whole job down with the taxonomy code (no-op on the thread
+  // backend, where the error is rank-local and a plain exit is safe).
   try {
     return run_with_session(session, argc, argv);
+  } catch (const dist::TimeoutError& e) {
+    std::fprintf(stderr, "galactos_dist_main: FAILED [TimeoutError] %s\n",
+                 e.what());
+    dist::abort_mpi_world(3);
+    return 3;
+  } catch (const dist::ProtocolError& e) {
+    std::fprintf(stderr, "galactos_dist_main: FAILED [ProtocolError] %s\n",
+                 e.what());
+    dist::abort_mpi_world(4);
+    return 4;
+  } catch (const dist::Error& e) {
+    std::fprintf(stderr, "galactos_dist_main: FAILED [DistError] %s\n",
+                 e.what());
+    dist::abort_mpi_world(5);
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "galactos_dist_main: error: %s\n", e.what());
     dist::abort_mpi_world(1);
