@@ -96,6 +96,11 @@ int main(int argc, char** argv) {
                      stats.phases.total(),
                  "%.1f%%"));
     print_kv("pairs processed", fmt(static_cast<double>(stats.pairs), "%.3e"));
+    print_kv("candidates / pairs",
+             fmt(stats.pairs > 0 ? static_cast<double>(stats.candidates) /
+                                       static_cast<double>(stats.pairs)
+                                 : 0.0,
+                 "%.3f"));
     print_kv("kernel GFLOP/s (paper acct.)",
              fmt(stats.kernel_flop_count / kern / 1e9, "%.2f"));
     print_kv("wall time (s)", fmt(stats.wall_seconds, "%.3f"));

@@ -48,14 +48,25 @@ struct TraversalPartials {
 
 namespace {
 
+// `for_secondary`: halo indexes answer only per-point and per-box queries
+// (never gather_leaf_neighbors), so they skip the interaction-list build;
+// the Morton layout is shared with the primary build.
 template <typename Real, typename Index>
-Index make_index(const sim::Catalog& catalog, const EngineConfig& cfg) {
+Index make_index(const sim::Catalog& catalog, const EngineConfig& cfg,
+                 bool for_secondary) {
+  const double ilist_rmax =
+      (!for_secondary && cfg.interaction_lists) ? cfg.bins.rmax() : 0.0;
   if constexpr (std::is_same_v<Index, tree::KdTree<Real>>) {
     typename tree::KdTree<Real>::BuildParams bp;
     bp.leaf_size = cfg.leaf_size;
+    bp.morton = cfg.morton_order;
+    bp.interaction_rmax = ilist_rmax;
     return tree::KdTree<Real>(catalog, bp);
   } else {
-    return tree::CellGrid<Real>(catalog, cfg.bins.rmax());
+    typename tree::CellGrid<Real>::BuildParams bp;
+    bp.morton = cfg.morton_order;
+    bp.interaction_rmax = ilist_rmax;
+    return tree::CellGrid<Real>(catalog, cfg.bins.rmax(), bp);
   }
 }
 
@@ -1132,7 +1143,7 @@ struct StagedImplT final : detail::EngineStagedImpl {
       owned = &o;
     }
     owned_size = owned->size();
-    primary = make_index<Real, Index>(*owned, cfg);
+    primary = make_index<Real, Index>(*owned, cfg, /*for_secondary=*/false);
   }
 
   // Move variant: adopts the caller's buffer as storage (no copy).
@@ -1141,11 +1152,11 @@ struct StagedImplT final : detail::EngineStagedImpl {
     storage = std::move(o);
     owned = &storage;
     owned_size = owned->size();
-    primary = make_index<Real, Index>(*owned, cfg);
+    primary = make_index<Real, Index>(*owned, cfg, /*for_secondary=*/false);
   }
 
   void extend(const sim::Catalog& halo) override {
-    secondary.emplace(make_index<Real, Index>(halo, cfg));
+    secondary.emplace(make_index<Real, Index>(halo, cfg, /*for_secondary=*/true));
   }
 
   bool has_secondary() const override { return secondary.has_value(); }

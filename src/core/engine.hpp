@@ -74,6 +74,17 @@ struct EngineConfig {
   TraversalMode traversal = TraversalMode::kLeafBlocked;
   int leaf_size = 32;
 
+  // Cache-aware traversal knobs (both default on; exposed for ablation and
+  // the equivalence tests). morton_order lays the index storage out in
+  // Z-order of the leaf centers — a pure permutation, so per-primary
+  // results are bitwise independent of it. interaction_lists precomputes
+  // each primary-index leaf's pruned neighbor list once per build, so the
+  // leaf-blocked gather replays it instead of re-walking the tree
+  // (secondary/halo indexes never build lists: they are only queried per
+  // point or per box).
+  bool morton_order = true;
+  bool interaction_lists = true;
+
   KernelScheme scheme = KernelScheme::kRunningProduct;
   int ilp = 4;
   int bucket_capacity = 128;

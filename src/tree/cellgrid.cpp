@@ -4,17 +4,18 @@
 #include <cmath>
 #include <limits>
 
+#include "tree/morton.hpp"
 #include "util/check.hpp"
 
 namespace galactos::tree {
 
 template <typename Real>
 CellGrid<Real>::CellGrid(const sim::Catalog& catalog, double rmax_hint,
-                         double cell_size) {
+                         BuildParams params) {
   const std::size_t n = catalog.size();
   if (n == 0) return;
   bounds_ = sim::Aabb::of(catalog);
-  cell_ = cell_size > 0 ? cell_size : rmax_hint;
+  cell_ = params.cell_size > 0 ? params.cell_size : rmax_hint;
   GLX_CHECK(cell_ > 0);
 
   auto dims = [&](double extent) {
@@ -27,44 +28,91 @@ CellGrid<Real>::CellGrid(const sim::Catalog& catalog, double rmax_hint,
       static_cast<std::size_t>(nx_) * ny_ * nz_;
   GLX_CHECK_MSG(ncells < (1ull << 31), "cell grid too fine");
 
-  // Counting sort into CSR.
-  std::vector<std::int64_t> counts(ncells + 1, 0);
+  std::vector<std::int64_t> counts(ncells, 0);
   std::vector<std::size_t> cell_idx(n);
   for (std::size_t i = 0; i < n; ++i) {
     cell_idx[i] = cell_of(catalog.x[i], catalog.y[i], catalog.z[i]);
-    ++counts[cell_idx[i] + 1];
+    ++counts[cell_idx[i]];
   }
-  for (std::size_t c = 0; c < ncells; ++c) counts[c + 1] += counts[c];
-  starts_ = counts;
 
-  xs_.resize(n);
-  ys_.resize(n);
-  zs_.resize(n);
+  // Storage rank per non-empty cell: Morton order of the integer cell
+  // coordinates by default (space-adjacent cells become memory-adjacent, so
+  // a leaf gather streams a handful of contiguous ranges), ascending flat
+  // id otherwise. Within-cell point order is always catalog order, so
+  // per-primary candidate sequences — cells visited in (ix, iy, iz) window
+  // order regardless of storage — are bitwise independent of this choice.
+  for (std::size_t c = 0; c < ncells; ++c)
+    if (counts[c] > 0) leaf_cells_.push_back(static_cast<std::int64_t>(c));
+  if (params.morton && leaf_cells_.size() > 1) {
+    auto mkey = [&](std::int64_t c) {
+      const auto cz = static_cast<std::uint32_t>(c % nz_);
+      const auto cy = static_cast<std::uint32_t>((c / nz_) % ny_);
+      const auto cx = static_cast<std::uint32_t>(
+          c / (static_cast<std::int64_t>(ny_) * nz_));
+      return morton_encode3(cx, cy, cz);
+    };
+    std::stable_sort(
+        leaf_cells_.begin(), leaf_cells_.end(),
+        [&](std::int64_t a, std::int64_t b) { return mkey(a) < mkey(b); });
+  }
+  const std::size_t nleaves = leaf_cells_.size();
+  rank_.assign(ncells, -1);
+  for (std::size_t r = 0; r < nleaves; ++r)
+    rank_[static_cast<std::size_t>(leaf_cells_[r])] =
+        static_cast<std::int32_t>(r);
+  rstarts_.assign(nleaves + 1, 0);
+  for (std::size_t r = 0; r < nleaves; ++r)
+    rstarts_[r + 1] =
+        rstarts_[r] + counts[static_cast<std::size_t>(leaf_cells_[r])];
+
+  // Scatter into rank order (stable within a cell), SoA planes padded to
+  // the SIMD lane width (zeroed tail — never gathered); exact per-cell and
+  // whole-index point bounds tracked on the fly.
+  n_ = n;
+  const std::size_t lanes = kSimdAlign / sizeof(Real);
+  const std::size_t padded = (n + lanes - 1) / lanes * lanes;
+  xs_.reset(padded);
+  ys_.reset(padded);
+  zs_.reset(padded);
   ws_.resize(n);
   orig_.resize(n);
-  for (std::size_t c = 0; c < ncells; ++c)
-    if (starts_[c + 1] > starts_[c])
-      leaf_cells_.push_back(static_cast<std::int64_t>(c));
-
-  std::vector<std::int64_t> cursor(starts_.begin(), starts_.end() - 1);
+  leaf_lo_.assign(3 * nleaves, std::numeric_limits<Real>::max());
+  leaf_hi_.assign(3 * nleaves, std::numeric_limits<Real>::lowest());
   for (int d = 0; d < 3; ++d) {
     plo_[d] = std::numeric_limits<Real>::max();
     phi_[d] = std::numeric_limits<Real>::lowest();
   }
+  std::vector<std::int64_t> cursor(rstarts_.begin(), rstarts_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::int64_t dst = cursor[cell_idx[i]]++;
-    xs_[dst] = static_cast<Real>(catalog.x[i]);
-    ys_[dst] = static_cast<Real>(catalog.y[i]);
-    zs_[dst] = static_cast<Real>(catalog.z[i]);
+    const std::int32_t r = rank_[cell_idx[i]];
+    const std::int64_t dst = cursor[static_cast<std::size_t>(r)]++;
+    const Real px = static_cast<Real>(catalog.x[i]);
+    const Real py = static_cast<Real>(catalog.y[i]);
+    const Real pz = static_cast<Real>(catalog.z[i]);
+    xs_[dst] = px;
+    ys_[dst] = py;
+    zs_[dst] = pz;
     ws_[dst] = catalog.w[i];
     orig_[dst] = static_cast<std::int64_t>(i);
-    plo_[0] = std::min(plo_[0], xs_[dst]);
-    phi_[0] = std::max(phi_[0], xs_[dst]);
-    plo_[1] = std::min(plo_[1], ys_[dst]);
-    phi_[1] = std::max(phi_[1], ys_[dst]);
-    plo_[2] = std::min(plo_[2], zs_[dst]);
-    phi_[2] = std::max(phi_[2], zs_[dst]);
+    Real* llo = leaf_lo_.data() + 3 * static_cast<std::size_t>(r);
+    Real* lhi = leaf_hi_.data() + 3 * static_cast<std::size_t>(r);
+    llo[0] = std::min(llo[0], px);
+    lhi[0] = std::max(lhi[0], px);
+    llo[1] = std::min(llo[1], py);
+    lhi[1] = std::max(lhi[1], py);
+    llo[2] = std::min(llo[2], pz);
+    lhi[2] = std::max(lhi[2], pz);
+    plo_[0] = std::min(plo_[0], px);
+    phi_[0] = std::max(phi_[0], px);
+    plo_[1] = std::min(plo_[1], py);
+    phi_[1] = std::max(phi_[1], py);
+    plo_[2] = std::min(plo_[2], pz);
+    phi_[2] = std::max(phi_[2], pz);
   }
+  for (std::size_t i = n; i < padded; ++i) xs_[i] = ys_[i] = zs_[i] = 0;
+
+  if (params.interaction_rmax > 0.0)
+    build_interaction_lists(params.interaction_rmax);
 }
 
 template <typename Real>
@@ -83,7 +131,7 @@ template <typename Real>
 void CellGrid<Real>::gather_neighbors(double qx, double qy, double qz,
                                       double rmax,
                                       NeighborList<Real>& out) const {
-  if (xs_.empty()) return;
+  if (n_ == 0) return;
   const Real q[3] = {static_cast<Real>(qx), static_cast<Real>(qy),
                      static_cast<Real>(qz)};
   const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
@@ -104,7 +152,17 @@ void CellGrid<Real>::gather_neighbors(double qx, double qy, double qz,
            iz <= std::min(nz_ - 1, cz + reach); ++iz) {
         const std::size_t c =
             (static_cast<std::size_t>(ix) * ny_ + iy) * nz_ + iz;
-        for (std::int64_t i = starts_[c]; i < starts_[c + 1]; ++i) {
+        const std::int32_t r = rank_[c];
+        if (r < 0) continue;
+        // Cell-level prune against the exact point bounds: the monotone
+        // Real box distance never exceeds any stored point's Real r2, so
+        // this only skips cells whose every point the filter below would
+        // reject — the accepted set and order are unchanged.
+        const std::size_t rr3 = 3 * static_cast<std::size_t>(r);
+        if (point_box_dist2<Real>(q[0], q[1], q[2], leaf_lo_.data() + rr3,
+                                  leaf_hi_.data() + rr3) > r2max)
+          continue;
+        for (std::int64_t i = rstarts_[r]; i < rstarts_[r + 1]; ++i) {
           const Real dx = xs_[i] - q[0];
           const Real dy = ys_[i] - q[1];
           const Real dz = zs_[i] - q[2];
@@ -115,9 +173,77 @@ void CellGrid<Real>::gather_neighbors(double qx, double qy, double qz,
 }
 
 template <typename Real>
+void CellGrid<Real>::append_refined(std::int64_t begin, std::int64_t end,
+                                    const Real lo[3], const Real hi[3],
+                                    Real r2max,
+                                    NeighborBlock<Real>& out) const {
+  for (std::int64_t i = begin; i < end; ++i)
+    if (point_box_dist2<Real>(xs_[i], ys_[i], zs_[i], lo, hi) <= r2max)
+      out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
+}
+
+template <typename Real>
+void CellGrid<Real>::build_interaction_lists(double rmax) {
+  ilist_rmax_ = rmax;
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  const std::size_t nleaves = leaf_cells_.size();
+  ilist_offsets_.assign(nleaves + 1, 0);
+  ilist_points_.assign(nleaves, 0);
+  ilist_ranks_.clear();
+  const int reach = static_cast<int>(std::ceil(rmax / cell_));
+  for (std::size_t l = 0; l < nleaves; ++l) {
+    const std::int64_t c = leaf_cells_[l];
+    const int cz = static_cast<int>(c % nz_);
+    const int cy = static_cast<int>((c / nz_) % ny_);
+    const int cx =
+        static_cast<int>(c / (static_cast<std::int64_t>(ny_) * nz_));
+    const Real* slo = leaf_lo_.data() + 3 * l;
+    const Real* shi = leaf_hi_.data() + 3 * l;
+    std::int64_t pts = 0;
+    for (int ix = std::max(0, cx - reach);
+         ix <= std::min(nx_ - 1, cx + reach); ++ix)
+      for (int iy = std::max(0, cy - reach);
+           iy <= std::min(ny_ - 1, cy + reach); ++iy)
+        for (int iz = std::max(0, cz - reach);
+             iz <= std::min(nz_ - 1, cz + reach); ++iz) {
+          const std::size_t cc =
+              (static_cast<std::size_t>(ix) * ny_ + iy) * nz_ + iz;
+          const std::int32_t r = rank_[cc];
+          if (r < 0) continue;
+          const std::size_t rr3 = 3 * static_cast<std::size_t>(r);
+          if (box_box_dist2<Real>(slo, shi, leaf_lo_.data() + rr3,
+                                  leaf_hi_.data() + rr3) > r2max)
+            continue;
+          ilist_ranks_.push_back(r);
+          pts += rstarts_[r + 1] - rstarts_[r];
+        }
+    ilist_offsets_[l + 1] = static_cast<std::int64_t>(ilist_ranks_.size());
+    ilist_points_[l] = pts;
+  }
+}
+
+template <typename Real>
 void CellGrid<Real>::gather_leaf_neighbors(std::size_t leaf, double rmax,
                                            NeighborBlock<Real>& out) const {
   GLX_DCHECK(leaf < leaf_cells_.size());
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  const Real* slo = leaf_lo_.data() + 3 * leaf;
+  const Real* shi = leaf_hi_.data() + 3 * leaf;
+
+  if (has_interaction_lists(rmax)) {
+    // Replay the precomputed list: the same surviving cells in the same
+    // (ix, iy, iz) window order the fresh walk below visits — the prune is
+    // a pure function of the static bounds and rmax.
+    out.reserve(out.size() +
+                static_cast<std::size_t>(ilist_points_[leaf]));
+    for (std::int64_t k = ilist_offsets_[leaf]; k < ilist_offsets_[leaf + 1];
+         ++k) {
+      const std::int32_t r = ilist_ranks_[static_cast<std::size_t>(k)];
+      append_refined(rstarts_[r], rstarts_[r + 1], slo, shi, r2max, out);
+    }
+    return;
+  }
+
   const std::int64_t c = leaf_cells_[leaf];
   const int reach = static_cast<int>(std::ceil(rmax / cell_));
   // Decompose the flat id back into integer cell coordinates; these equal
@@ -134,28 +260,22 @@ void CellGrid<Real>::gather_leaf_neighbors(std::size_t leaf, double rmax,
            iz <= std::min(nz_ - 1, cz + reach); ++iz) {
         const std::size_t cc =
             (static_cast<std::size_t>(ix) * ny_ + iy) * nz_ + iz;
-        for (std::int64_t i = starts_[cc]; i < starts_[cc + 1]; ++i)
-          out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
+        const std::int32_t r = rank_[cc];
+        if (r < 0) continue;
+        const std::size_t rr3 = 3 * static_cast<std::size_t>(r);
+        if (box_box_dist2<Real>(slo, shi, leaf_lo_.data() + rr3,
+                                leaf_hi_.data() + rr3) > r2max)
+          continue;
+        append_refined(rstarts_[r], rstarts_[r + 1], slo, shi, r2max, out);
       }
 }
 
 template <typename Real>
 void CellGrid<Real>::leaf_box(std::size_t leaf, Real lo[3], Real hi[3]) const {
   GLX_DCHECK(leaf < leaf_cells_.size());
-  const std::int64_t begin = leaf_begin(leaf);
-  const std::int64_t end = leaf_end(leaf);
-  GLX_DCHECK(begin < end);
   for (int d = 0; d < 3; ++d) {
-    lo[d] = std::numeric_limits<Real>::max();
-    hi[d] = std::numeric_limits<Real>::lowest();
-  }
-  for (std::int64_t i = begin; i < end; ++i) {
-    lo[0] = std::min(lo[0], xs_[i]);
-    hi[0] = std::max(hi[0], xs_[i]);
-    lo[1] = std::min(lo[1], ys_[i]);
-    hi[1] = std::max(hi[1], ys_[i]);
-    lo[2] = std::min(lo[2], zs_[i]);
-    hi[2] = std::max(hi[2], zs_[i]);
+    lo[d] = leaf_lo_[3 * leaf + d];
+    hi[d] = leaf_hi_[3 * leaf + d];
   }
 }
 
@@ -163,7 +283,7 @@ template <typename Real>
 void CellGrid<Real>::gather_box_neighbors(const Real lo[3], const Real hi[3],
                                           double rmax,
                                           NeighborBlock<Real>& out) const {
-  if (xs_.empty()) return;
+  if (n_ == 0) return;
   // Any point the engine's Real r2 filter could accept against a primary in
   // the box has coordinate v in [lo - rmax, hi + rmax] up to Real rounding:
   // the separation slop scales with rmax (|dx|² never exceeds the rounded
@@ -172,7 +292,9 @@ void CellGrid<Real>::gather_box_neighbors(const Real lo[3], const Real hi[3],
   // positions, the filter runs on the Real-stored ones). `reach` pads both
   // terms with a wide margin. The stored cell index is the clamped monotone
   // floor((v - origin)/cell), so walking the clamped cell range of the
-  // padded box visits a superset of every such cell.
+  // padded box visits a superset of every such cell; the box-box prune and
+  // per-point refinement inside the walk only drop candidates every in-box
+  // query's Real filter rejects.
   const double max_abs =
       std::max({std::abs(bounds_.lo.x), std::abs(bounds_.lo.y),
                 std::abs(bounds_.lo.z), std::abs(bounds_.hi.x),
@@ -194,21 +316,27 @@ void CellGrid<Real>::gather_box_neighbors(const Real lo[3], const Real hi[3],
   const int y1 = cell_hi(static_cast<double>(hi[1]), bounds_.lo.y, ny_);
   const int z0 = cell_lo(static_cast<double>(lo[2]), bounds_.lo.z, nz_);
   const int z1 = cell_hi(static_cast<double>(hi[2]), bounds_.lo.z, nz_);
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
 
   for (int ix = x0; ix <= x1; ++ix)
     for (int iy = y0; iy <= y1; ++iy)
       for (int iz = z0; iz <= z1; ++iz) {
         const std::size_t c =
             (static_cast<std::size_t>(ix) * ny_ + iy) * nz_ + iz;
-        for (std::int64_t i = starts_[c]; i < starts_[c + 1]; ++i)
-          out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
+        const std::int32_t r = rank_[c];
+        if (r < 0) continue;
+        const std::size_t rr3 = 3 * static_cast<std::size_t>(r);
+        if (box_box_dist2<Real>(lo, hi, leaf_lo_.data() + rr3,
+                                leaf_hi_.data() + rr3) > r2max)
+          continue;
+        append_refined(rstarts_[r], rstarts_[r + 1], lo, hi, r2max, out);
       }
 }
 
 template <typename Real>
 bool CellGrid<Real>::box_beyond_reach(const Real lo[3], const Real hi[3],
                                       double rmax) const {
-  if (xs_.empty()) return true;
+  if (n_ == 0) return true;
   const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
   return box_box_dist2<Real>(lo, hi, plo_, phi_) > r2max;
 }

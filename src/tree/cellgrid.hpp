@@ -5,6 +5,15 @@
 // (paper §2.3). We provide it both to back that baseline and as an ablation
 // against the k-d tree: for near-uniform densities and fixed R_max a grid
 // query touches a constant number of cells.
+//
+// Cache-aware layout (PR 8): non-empty cells are laid out in Morton
+// (Z-order) of their integer coordinates — the per-cell CSR became a
+// rank-indexed CSR (`rank_` maps flat cell id -> storage rank) so the
+// storage order is free to differ from the ascending flat-id order. Exact
+// per-cell point bounds are precomputed at build, which makes leaf_box O(1)
+// and lets every gather prune cells by box-box distance and refine
+// candidates per point, and per-cell interaction lists can be precomputed
+// once per build (`interaction_rmax`).
 #pragma once
 
 #include <cstdint>
@@ -13,52 +22,66 @@
 #include "sim/box.hpp"
 #include "sim/catalog.hpp"
 #include "tree/neighbors.hpp"
+#include "util/aligned.hpp"
 
 namespace galactos::tree {
 
 template <typename Real>
 class CellGrid {
  public:
-  CellGrid() = default;
-  // `cell_size` defaults to rmax_hint when <= 0 (one ring of 27 cells per
-  // query).
-  CellGrid(const sim::Catalog& catalog, double rmax_hint,
-           double cell_size = -1.0);
+  struct BuildParams {
+    // Cell edge length; defaults to rmax_hint when <= 0 (one ring of 27
+    // cells per query).
+    double cell_size = -1.0;
+    // Morton-order the cell storage (pure permutation of the layout;
+    // within-cell point order is always catalog order).
+    bool morton = true;
+    // > 0: precompute per-cell interaction lists for gather_leaf_neighbors
+    // at this radius (the engine passes R_max for primary indexes, 0 for
+    // secondary ones).
+    double interaction_rmax = 0.0;
+  };
 
-  std::size_t size() const { return xs_.size(); }
+  CellGrid() = default;
+  CellGrid(const sim::Catalog& catalog, double rmax_hint, BuildParams params);
+  // `cell_size` defaults to rmax_hint when <= 0.
+  CellGrid(const sim::Catalog& catalog, double rmax_hint,
+           double cell_size = -1.0)
+      : CellGrid(catalog, rmax_hint, BuildParams{cell_size, true, 0.0}) {}
+
+  std::size_t size() const { return n_; }
 
   void gather_neighbors(double qx, double qy, double qz, double rmax,
                         NeighborList<Real>& out) const;
 
   // --- Leaf-blocked traversal --------------------------------------------
   //
-  // A "leaf" is a non-empty grid cell; its points are a contiguous CSR
-  // range. One gather per cell visits exactly the cells a per-primary
-  // query from any point stored in the cell would visit: the query's
-  // unclamped floor((v - lo)/cell) equals the stored (clamped) cell
-  // coordinate for every catalog point, because FP subtraction and
-  // division are monotone, so lo <= v <= hi bounds the quotient inside
-  // [0, nx) — cell_of's clamp never actually engages. The block is
-  // therefore an exact superset of each per-primary gather in the same
-  // candidate order.
+  // A "leaf" is a non-empty grid cell; its points are a contiguous storage
+  // range. One gather per cell visits the cells a per-primary query from
+  // any point stored in the cell would visit: the query's unclamped
+  // floor((v - lo)/cell) equals the stored (clamped) cell coordinate for
+  // every catalog point, because FP subtraction and division are monotone,
+  // so lo <= v <= hi bounds the quotient inside [0, nx) — cell_of's clamp
+  // never actually engages. Candidates are then refined per point against
+  // the source cell's exact point bounds in the same monotone Real
+  // arithmetic, so the block stays an exact superset of each per-primary
+  // gather in the same candidate order.
   std::size_t leaf_count() const { return leaf_cells_.size(); }
-  std::int64_t leaf_begin(std::size_t leaf) const {
-    return starts_[leaf_cells_[leaf]];
-  }
-  std::int64_t leaf_end(std::size_t leaf) const {
-    return starts_[leaf_cells_[leaf] + 1];
-  }
+  std::int64_t leaf_begin(std::size_t leaf) const { return rstarts_[leaf]; }
+  std::int64_t leaf_end(std::size_t leaf) const { return rstarts_[leaf + 1]; }
   void gather_leaf_neighbors(std::size_t leaf, double rmax,
                              NeighborBlock<Real>& out) const;
 
-  // Bounding box of the leaf cell's stored points (exact Real min/max over
-  // the CSR range — mirrors KdTree::leaf_box for the staged engine).
+  // Bounding box of the leaf cell's stored points — exact Real min/max,
+  // precomputed at build (mirrors KdTree::leaf_box for the staged engine).
   void leaf_box(std::size_t leaf, Real lo[3], Real hi[3]) const;
 
-  // Appends every point whose cell intersects the rmax-expansion of the box
-  // [lo, hi] to `out`: the cell-range walk bounds each coordinate by
-  // monotone FP floor-division exactly as the per-point query does, so the
-  // result is a superset of any per-point gather from inside the box.
+  // Appends every point a Real-precision query from inside [lo, hi] could
+  // accept within rmax to `out`: the cell-range walk bounds each coordinate
+  // by monotone FP floor-division exactly as the per-point query does, and
+  // the box-box cell prune plus per-point refinement never exceed any
+  // in-box query's Real distance, so the result is a superset of any
+  // per-point gather from inside the box.
   void gather_box_neighbors(const Real lo[3], const Real hi[3], double rmax,
                             NeighborBlock<Real>& out) const;
 
@@ -77,27 +100,63 @@ class CellGrid {
       fn(l, leaf_begin(l), leaf_end(l));
   }
 
-  // Storage-order access (mirrors KdTree's tree-order accessors).
+  // Storage-order access (mirrors KdTree's storage-order accessors).
   Real x(std::size_t i) const { return xs_[i]; }
   Real y(std::size_t i) const { return ys_[i]; }
   Real z(std::size_t i) const { return zs_[i]; }
   double weight(std::size_t i) const { return ws_[i]; }
   std::int64_t original_index(std::size_t i) const { return orig_[i]; }
 
+  // Raw coordinate planes — SIMD-aligned, padded to the lane width (tests
+  // assert the alignment; the padded tail is zero-initialized).
+  const Real* x_plane() const { return xs_.data(); }
+  const Real* y_plane() const { return ys_.data(); }
+  const Real* z_plane() const { return zs_.data(); }
+  std::size_t plane_size() const { return xs_.size(); }  // padded length
+
+  // True when gather_leaf_neighbors at `rmax` replays the precomputed CSR
+  // lists instead of re-walking the cell window.
+  bool has_interaction_lists(double rmax) const {
+    return ilist_rmax_ > 0.0 && ilist_rmax_ == rmax &&
+           !ilist_offsets_.empty();
+  }
+  // Candidate point count (pre-refinement upper bound) of one leaf's list.
+  std::int64_t interaction_points(std::size_t leaf) const {
+    return ilist_points_[leaf];
+  }
+
  private:
   std::size_t cell_of(double x, double y, double z) const;
+  void build_interaction_lists(double rmax);
+  // Copies the points of storage range [begin, end) that survive the
+  // point-box refinement against [lo, hi] into `out`.
+  void append_refined(std::int64_t begin, std::int64_t end, const Real lo[3],
+                      const Real hi[3], Real r2max,
+                      NeighborBlock<Real>& out) const;
 
   sim::Aabb bounds_;
   // Exact Real min/max of the stored points (box_beyond_reach's box).
   Real plo_[3] = {0, 0, 0}, phi_[3] = {0, 0, 0};
   double cell_ = 1.0;
   int nx_ = 0, ny_ = 0, nz_ = 0;
-  // CSR layout: points of cell c live at [starts_[c], starts_[c+1]).
-  std::vector<std::int64_t> starts_;
-  std::vector<std::int64_t> leaf_cells_;  // non-empty cell ids, ascending
-  std::vector<Real> xs_, ys_, zs_;
+  std::size_t n_ = 0;
+  // Storage rank of each flat cell id (-1 = empty); points of the cell with
+  // rank r live at [rstarts_[r], rstarts_[r+1]).
+  std::vector<std::int32_t> rank_;
+  std::vector<std::int64_t> rstarts_;
+  std::vector<std::int64_t> leaf_cells_;  // flat cell id per rank
+  // Exact per-cell point bounds, [3 * rank + dim].
+  std::vector<Real> leaf_lo_, leaf_hi_;
+  AlignedBuffer<Real> xs_, ys_, zs_;  // padded to the SIMD lane width
   std::vector<double> ws_;
   std::vector<std::int64_t> orig_;
+
+  // Interaction lists (CSR over ranks): leaf l replays neighbor ranks
+  // ilist_ranks_[ilist_offsets_[l] .. ilist_offsets_[l+1]).
+  std::vector<std::int64_t> ilist_offsets_;
+  std::vector<std::int32_t> ilist_ranks_;
+  std::vector<std::int64_t> ilist_points_;  // candidate points per leaf
+  double ilist_rmax_ = 0.0;
 };
 
 extern template class CellGrid<float>;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
+#include "tree/morton.hpp"
 #include "util/check.hpp"
 
 namespace galactos::tree {
@@ -24,20 +26,35 @@ KdTree<Real>::KdTree(const sim::Catalog& catalog, BuildParams params) {
   root_ = build(0, static_cast<std::int32_t>(n), perm, catalog,
                 params.leaf_size);
 
-  // Reorder coordinates into tree order for contiguous leaf scans.
-  xs_.resize(n);
-  ys_.resize(n);
-  zs_.resize(n);
+  // Storage layout: Morton order of the leaf centers (cache-adjacent
+  // leaves are space-adjacent) composed with the build permutation; plain
+  // tree order when disabled. `slot[i]` is the build-order position stored
+  // at final position i.
+  std::vector<std::int32_t> slot;
+  if (params.morton && leaves_.size() > 1) slot = morton_order_leaves();
+
+  // Reorder coordinates into contiguous leaf ranges, SoA planes padded to
+  // the SIMD lane width (zeroed tail — never gathered, loops stop at end).
+  n_ = n;
+  const std::size_t lanes = kSimdAlign / sizeof(Real);
+  const std::size_t padded = (n + lanes - 1) / lanes * lanes;
+  xs_.reset(padded);
+  ys_.reset(padded);
+  zs_.reset(padded);
   ws_.resize(n);
   orig_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::int32_t p = perm[i];
+    const std::int32_t p = perm[slot.empty() ? i : slot[i]];
     xs_[i] = static_cast<Real>(catalog.x[p]);
     ys_[i] = static_cast<Real>(catalog.y[p]);
     zs_[i] = static_cast<Real>(catalog.z[p]);
     ws_[i] = catalog.w[p];
     orig_[i] = p;
   }
+  for (std::size_t i = n; i < padded; ++i) xs_[i] = ys_[i] = zs_[i] = 0;
+
+  if (params.interaction_rmax > 0.0)
+    build_interaction_lists(params.interaction_rmax);
 }
 
 template <typename Real>
@@ -110,6 +127,50 @@ std::int32_t KdTree<Real>::build(std::int32_t begin, std::int32_t end,
   return id;
 }
 
+template <typename Real>
+std::vector<std::int32_t> KdTree<Real>::morton_order_leaves() {
+  const Node& root = nodes_[static_cast<std::size_t>(root_)];
+  double rlo[3], rhi[3];
+  for (int d = 0; d < 3; ++d) {
+    rlo[d] = static_cast<double>(root.lo[d]);
+    rhi[d] = static_cast<double>(root.hi[d]);
+  }
+
+  std::vector<std::uint64_t> key(leaves_.size());
+  for (std::size_t l = 0; l < leaves_.size(); ++l) {
+    const Node& nd = nodes_[leaves_[l]];
+    key[l] = morton_key(
+        0.5 * (static_cast<double>(nd.lo[0]) + static_cast<double>(nd.hi[0])),
+        0.5 * (static_cast<double>(nd.lo[1]) + static_cast<double>(nd.hi[1])),
+        0.5 * (static_cast<double>(nd.lo[2]) + static_cast<double>(nd.hi[2])),
+        rlo, rhi);
+  }
+  std::vector<std::size_t> order(leaves_.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Stable on the key so equal-key leaves keep tree order: the layout is a
+  // deterministic function of the build, never of sort internals.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return key[a] < key[b]; });
+
+  // The root range covers every point (n_ isn't set yet at this stage of
+  // construction).
+  std::vector<std::int32_t> slot(static_cast<std::size_t>(root.end));
+  std::vector<std::int32_t> sorted_leaves(leaves_.size());
+  std::int32_t pos = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::int32_t id = leaves_[order[k]];
+    Node& nd = nodes_[id];
+    const std::int32_t len = nd.end - nd.begin;
+    for (std::int32_t i = 0; i < len; ++i) slot[pos + i] = nd.begin + i;
+    nd.begin = pos;
+    nd.end = pos + len;
+    pos += len;
+    sorted_leaves[k] = id;
+  }
+  leaves_ = std::move(sorted_leaves);
+  return slot;
+}
+
 namespace {
 
 // Squared distance from point q to box [lo, hi] (componentwise), in Real.
@@ -135,10 +196,11 @@ void KdTree<Real>::traverse(Prune&& prune, LeafFn&& leaf_fn) const {
   int sp = 0;
   stack[sp++] = root_;
   while (sp > 0) {
-    const Node& nd = nodes_[stack[--sp]];
+    const std::int32_t id = stack[--sp];
+    const Node& nd = nodes_[id];
     if (prune(nd)) continue;
     if (nd.left < 0) {
-      leaf_fn(nd);
+      leaf_fn(id, nd);
     } else {
       GLX_DCHECK(sp + 2 <= 128);
       stack[sp++] = nd.left;
@@ -156,7 +218,7 @@ void KdTree<Real>::gather_neighbors(double qx, double qy, double qz,
   const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
   traverse(
       [&](const Node& nd) { return box_dist2<Real>(q, nd.lo, nd.hi) > r2max; },
-      [&](const Node& nd) {
+      [&](std::int32_t, const Node& nd) {
         for (std::int32_t i = nd.begin; i < nd.end; ++i) {
           const Real dx = xs_[i] - q[0];
           const Real dy = ys_[i] - q[1];
@@ -176,7 +238,7 @@ std::size_t KdTree<Real>::count_within(double qx, double qy, double qz,
   std::size_t count = 0;
   traverse(
       [&](const Node& nd) { return box_dist2<Real>(q, nd.lo, nd.hi) > r2max; },
-      [&](const Node& nd) {
+      [&](std::int32_t, const Node& nd) {
         for (std::int32_t i = nd.begin; i < nd.end; ++i) {
           const Real dx = xs_[i] - q[0];
           const Real dy = ys_[i] - q[1];
@@ -188,10 +250,57 @@ std::size_t KdTree<Real>::count_within(double qx, double qy, double qz,
 }
 
 template <typename Real>
+void KdTree<Real>::append_refined(std::int32_t begin, std::int32_t end,
+                                  const Real lo[3], const Real hi[3],
+                                  Real r2max,
+                                  NeighborBlock<Real>& out) const {
+  for (std::int32_t i = begin; i < end; ++i)
+    if (point_box_dist2<Real>(xs_[i], ys_[i], zs_[i], lo, hi) <= r2max)
+      out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
+}
+
+template <typename Real>
+void KdTree<Real>::build_interaction_lists(double rmax) {
+  ilist_rmax_ = rmax;
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  ilist_offsets_.assign(leaves_.size() + 1, 0);
+  ilist_points_.assign(leaves_.size(), 0);
+  ilist_nodes_.clear();
+  for (std::size_t l = 0; l < leaves_.size(); ++l) {
+    const Node& src = nodes_[leaves_[l]];
+    std::int64_t pts = 0;
+    traverse(
+        [&](const Node& nd) {
+          return box_box_dist2<Real>(src.lo, src.hi, nd.lo, nd.hi) > r2max;
+        },
+        [&](std::int32_t id, const Node& nd) {
+          ilist_nodes_.push_back(id);
+          pts += nd.end - nd.begin;
+        });
+    ilist_offsets_[l + 1] = static_cast<std::int64_t>(ilist_nodes_.size());
+    ilist_points_[l] = pts;
+  }
+}
+
+template <typename Real>
 void KdTree<Real>::gather_leaf_neighbors(std::size_t leaf, double rmax,
                                          NeighborBlock<Real>& out) const {
   GLX_DCHECK(leaf < leaves_.size());
   const Node& src = nodes_[leaves_[leaf]];
+  if (has_interaction_lists(rmax)) {
+    // Replay the precomputed list: the same node set in the same canonical
+    // traverse order (the prune is a pure function of the static boxes and
+    // rmax), with the tree walk already paid at build time.
+    const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+    out.reserve(out.size() +
+                static_cast<std::size_t>(ilist_points_[leaf]));
+    for (std::int64_t k = ilist_offsets_[leaf]; k < ilist_offsets_[leaf + 1];
+         ++k) {
+      const Node& nd = nodes_[ilist_nodes_[static_cast<std::size_t>(k)]];
+      append_refined(nd.begin, nd.end, src.lo, src.hi, r2max, out);
+    }
+    return;
+  }
   gather_box_neighbors(src.lo, src.hi, rmax, out);
 }
 
@@ -214,9 +323,8 @@ void KdTree<Real>::gather_box_neighbors(const Real lo[3], const Real hi[3],
       [&](const Node& nd) {
         return box_box_dist2<Real>(lo, hi, nd.lo, nd.hi) > r2max;
       },
-      [&](const Node& nd) {
-        for (std::int32_t i = nd.begin; i < nd.end; ++i)
-          out.push(xs_[i], ys_[i], zs_[i], ws_[i], orig_[i]);
+      [&](std::int32_t, const Node& nd) {
+        append_refined(nd.begin, nd.end, lo, hi, r2max, out);
       });
 }
 

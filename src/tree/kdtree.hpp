@@ -3,6 +3,15 @@
 // boxes for pruning. Templated on coordinate precision: the paper runs the
 // tree search in single precision ("mixed" mode) because galaxy positions
 // are insensitive to float rounding, while all multipole math stays double.
+//
+// Cache-aware layout (PR 8): leaf storage is laid out in Morton (Z-order) of
+// the leaf centers, the coordinate planes live in SIMD-aligned buffers
+// padded to the lane width, and each leaf's pruned neighbor-node list can be
+// precomputed once per build into a CSR arena (`interaction_rmax`) so the
+// leaf-blocked traversal replays it instead of re-walking the tree per leaf.
+// All of it is storage-side only: tree topology and every query's candidate
+// order are unchanged, so per-primary results stay bitwise identical to an
+// unsorted build.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +20,7 @@
 #include "sim/box.hpp"
 #include "sim/catalog.hpp"
 #include "tree/neighbors.hpp"
+#include "util/aligned.hpp"
 
 namespace galactos::tree {
 
@@ -19,12 +29,18 @@ class KdTree {
  public:
   struct BuildParams {
     int leaf_size = 32;
+    // Morton-order the leaf storage (pure permutation; see header comment).
+    bool morton = true;
+    // > 0: precompute per-leaf interaction lists for gather_leaf_neighbors
+    // at this radius (the engine passes R_max for primary indexes and 0 for
+    // secondary ones, which are only ever queried per point or per box).
+    double interaction_rmax = 0.0;
   };
 
   KdTree() = default;
   explicit KdTree(const sim::Catalog& catalog, BuildParams params = {});
 
-  std::size_t size() const { return xs_.size(); }
+  std::size_t size() const { return n_; }
   std::size_t node_count() const { return nodes_.size(); }
 
   // Appends every point with |p - q|^2 <= rmax^2 to `out` (separations
@@ -39,13 +55,15 @@ class KdTree {
 
   // --- Leaf-blocked traversal (paper §3.3) ---------------------------------
   //
-  // Leaves are contiguous tree-order ranges; one pruned node-vs-node
-  // traversal per source leaf collects every point within rmax of the
-  // leaf's bounding box, so a single gather serves all ~leaf_size
-  // primaries stored in the leaf. Pruning uses box-box distance, which in
-  // Real arithmetic never exceeds any contained point's point-box
-  // distance, so the block is an exact superset of each per-primary
-  // gather and the engine's r2 filter recovers identical pair sets.
+  // Leaves are contiguous storage ranges (Morton order of leaf centers by
+  // default); one pruned node-vs-node traversal per source leaf collects
+  // every point within rmax of the leaf's bounding box, so a single gather
+  // serves all ~leaf_size primaries stored in the leaf. Pruning is
+  // two-tier: box-box distance at the node level, then a per-point box
+  // refinement against the query box — both in Real arithmetic that never
+  // exceeds any contained primary's point distance, so the block is an
+  // exact superset of each per-primary gather and the engine's r2 filter
+  // recovers identical pair sets in identical order.
   std::size_t leaf_count() const { return leaves_.size(); }
   std::int32_t leaf_begin(std::size_t leaf) const {
     return nodes_[leaves_[leaf]].begin;
@@ -61,10 +79,10 @@ class KdTree {
   // points union into the leaf's candidate block (staged distributed runs).
   void leaf_box(std::size_t leaf, Real lo[3], Real hi[3]) const;
 
-  // Appends every point within rmax of the box [lo, hi] to `out` — the
-  // external-box generalization of gather_leaf_neighbors, same pruning
-  // arithmetic, so the block is a superset of any per-point gather from
-  // inside the box.
+  // Appends every point a Real-precision query from inside [lo, hi] could
+  // accept within rmax to `out` — the external-box generalization of
+  // gather_leaf_neighbors, same two-tier pruning, so the block is a
+  // superset of any per-point gather from inside the box.
   void gather_box_neighbors(const Real lo[3], const Real hi[3], double rmax,
                             NeighborBlock<Real>& out) const;
 
@@ -79,19 +97,37 @@ class KdTree {
   bool box_beyond_reach(const Real lo[3], const Real hi[3],
                         double rmax) const;
 
-  // Visits fn(leaf_id, begin, end) for every leaf, in tree order.
+  // Visits fn(leaf_id, begin, end) for every leaf, in storage order.
   template <typename Fn>
   void for_each_leaf(Fn&& fn) const {
     for (std::size_t l = 0; l < leaves_.size(); ++l)
       fn(l, leaf_begin(l), leaf_end(l));
   }
 
-  // Tree-order access (for iteration over all points).
+  // Storage-order access (for iteration over all points).
   Real x(std::size_t i) const { return xs_[i]; }
   Real y(std::size_t i) const { return ys_[i]; }
   Real z(std::size_t i) const { return zs_[i]; }
   double weight(std::size_t i) const { return ws_[i]; }
   std::int64_t original_index(std::size_t i) const { return orig_[i]; }
+
+  // Raw coordinate planes — SIMD-aligned, padded to the lane width (tests
+  // assert the alignment; the padded tail is zero-initialized).
+  const Real* x_plane() const { return xs_.data(); }
+  const Real* y_plane() const { return ys_.data(); }
+  const Real* z_plane() const { return zs_.data(); }
+  std::size_t plane_size() const { return xs_.size(); }  // padded length
+
+  // True when gather_leaf_neighbors at `rmax` replays the precomputed CSR
+  // lists instead of walking the tree.
+  bool has_interaction_lists(double rmax) const {
+    return ilist_rmax_ > 0.0 && ilist_rmax_ == rmax &&
+           !ilist_offsets_.empty();
+  }
+  // Candidate point count (pre-refinement upper bound) of one leaf's list.
+  std::int64_t interaction_points(std::size_t leaf) const {
+    return ilist_points_[leaf];
+  }
 
  private:
   struct Node {
@@ -105,6 +141,24 @@ class KdTree {
                      std::vector<std::int32_t>& perm,
                      const sim::Catalog& catalog, int leaf_size);
 
+  // Reorders `leaves_` by the Morton key of each leaf-box center and
+  // rewrites the leaf nodes' [begin, end) to the new storage layout,
+  // returning the point permutation new-slot -> build-slot. Internal nodes'
+  // ranges are left stale — no query reads them (traversal descends by
+  // child ids and only leaf_fn touches begin/end).
+  std::vector<std::int32_t> morton_order_leaves();
+
+  // Precomputes, for every leaf, the node ids its gather at `rmax` visits
+  // (canonical traverse order) plus the candidate point-count prefix sums
+  // used to reserve NeighborBlock capacity.
+  void build_interaction_lists(double rmax);
+
+  // Copies the points of [begin, end) that survive the point-box
+  // refinement against [lo, hi] into `out`.
+  void append_refined(std::int32_t begin, std::int32_t end, const Real lo[3],
+                      const Real hi[3], Real r2max,
+                      NeighborBlock<Real>& out) const;
+
   // Single traversal core shared by all queries: depth-first from the
   // root, skipping subtrees where prune(node) is true and handing reached
   // leaves to leaf_fn(node). All queries therefore visit surviving leaves
@@ -114,11 +168,19 @@ class KdTree {
   void traverse(Prune&& prune, LeafFn&& leaf_fn) const;
 
   std::vector<Node> nodes_;
-  std::vector<std::int32_t> leaves_;  // leaf node ids, tree order
-  std::vector<Real> xs_, ys_, zs_;
+  std::vector<std::int32_t> leaves_;  // leaf node ids, storage order
+  std::size_t n_ = 0;
+  AlignedBuffer<Real> xs_, ys_, zs_;  // padded to the SIMD lane width
   std::vector<double> ws_;
   std::vector<std::int64_t> orig_;
   std::int32_t root_ = -1;
+
+  // Interaction lists (CSR over leaves_): leaf l replays node ids
+  // ilist_nodes_[ilist_offsets_[l] .. ilist_offsets_[l+1]).
+  std::vector<std::int64_t> ilist_offsets_;
+  std::vector<std::int32_t> ilist_nodes_;
+  std::vector<std::int64_t> ilist_points_;  // candidate points per leaf
+  double ilist_rmax_ = 0.0;
 };
 
 extern template class KdTree<float>;

@@ -31,6 +31,16 @@ struct NeighborBlock {
     w.clear();
     idx.clear();
   }
+  // Indexes with interaction lists know each leaf's candidate count up
+  // front (prefix sums recorded at build), so one reserve per gather keeps
+  // block staging from reallocating mid-traversal.
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+    w.reserve(n);
+    idx.reserve(n);
+  }
   std::size_t size() const { return x.size(); }
   void push(Real px, Real py, Real pz, double weight, std::int64_t index) {
     x.push_back(px);
@@ -54,6 +64,28 @@ inline Real box_box_dist2(const Real alo[3], const Real ahi[3],
     Real diff = 0;
     if (bhi[d] < alo[d]) diff = alo[d] - bhi[d];
     else if (blo[d] > ahi[d]) diff = blo[d] - ahi[d];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+// Squared distance from point p to box [lo, hi]. The same monotonicity
+// argument as box_box_dist2, pointwise: for any query q with lo <= q <= hi
+// (componentwise, in Real), fl(p - q) has magnitude >= the clamped diff
+// computed here, so the value never exceeds the Real r2 any in-box query
+// forms against p. Filtering a gathered candidate on
+// point_box_dist2 > r2max therefore only drops points EVERY in-box primary
+// rejects — the accepted set and candidate order are untouched, which keeps
+// the leaf-blocked driver's bitwise agreement with the per-primary path.
+template <typename Real>
+inline Real point_box_dist2(Real px, Real py, Real pz, const Real lo[3],
+                            const Real hi[3]) {
+  const Real p[3] = {px, py, pz};
+  Real d2 = 0;
+  for (int d = 0; d < 3; ++d) {
+    Real diff = 0;
+    if (p[d] < lo[d]) diff = lo[d] - p[d];
+    else if (p[d] > hi[d]) diff = p[d] - hi[d];
     d2 += diff * diff;
   }
   return d2;

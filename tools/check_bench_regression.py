@@ -44,6 +44,18 @@ fig4_breakdown (BENCH_fig4.json) — the kernel-GFLOP/s floor:
     ISA — e.g. no AVX-512); a missing row is a violation (the A/B
     matrix silently shrank). Supported-on-both rows are also held to
     the same GFLOP/s floor.
+  * candidate ratio (--candidate-ratio-ceiling) — per driver, the fresh
+    candidates/pairs ratio must stay at or below an ABSOLUTE ceiling.
+    The ratio is a pure function of the pruning geometry (deterministic
+    for a given catalog/config, machine-independent), so any growth is
+    a real pruning regression, not runner noise. Baselines recorded
+    before the metric existed are skipped with a notice; a FRESH file
+    missing the metric while the baseline has it is a violation.
+  * neighbor-query share (--query-share-tol) — per driver, the fresh
+    neighbor-query seconds as a fraction of total_seconds must not
+    exceed the baseline's share by more than TOL (absolute). Shares,
+    not seconds, so a uniformly slower/faster runner cannot trip it;
+    only the traversal growing relative to the rest of the engine can.
 
 The run configs must match between baseline and fresh file — comparing
 different workloads is meaningless — unless --allow-config-mismatch is
@@ -157,6 +169,15 @@ def check_hidden(baseline, fresh, tol, floor, violations):
         print(f"{name:<12} {base_frac:>12.3f} {fresh_frac:>13.3f}  {verdict}")
 
 
+def query_share(driver_row):
+    """neighbor-query seconds / total_seconds; None when not computable."""
+    total = driver_row.get("total_seconds")
+    query = driver_row.get("neighbor query")
+    if total is None or query is None or total <= 0:
+        return None
+    return query / total
+
+
 def check_fig4(baseline, fresh, args):
     """fig4_breakdown mode: the kernel-GFLOP/s floor + ISA A/B coverage."""
     mismatched = [
@@ -206,6 +227,56 @@ def check_fig4(baseline, fresh, args):
              baseline.get(driver, {}).get("kernel_gflops"),
              fresh.get(driver, {}).get("kernel_gflops"))
 
+    if args.candidate_ratio_ceiling is not None:
+        ceiling = args.candidate_ratio_ceiling
+        for driver in ("per_primary", "leaf_blocked"):
+            label = f"{driver} candidate ratio"
+            base_cr = baseline.get(driver, {}).get("candidate_ratio")
+            fresh_cr = fresh.get(driver, {}).get("candidate_ratio")
+            if fresh_cr is None:
+                if base_cr is None:
+                    print(f"{label:<28} {'—':>10} {'—':>10} {'—':>8}  skipped "
+                          f"(pre-candidate-ratio baseline and fresh file)")
+                    continue
+                violations.append(
+                    f"{label}: fresh file carries no candidate_ratio "
+                    f"(the bench stopped reporting the gated metric)")
+                print(f"{label:<28} {base_cr:>10.3f} {'MISSING':>10}")
+                continue
+            bad = fresh_cr > ceiling
+            if bad:
+                violations.append(
+                    f"{label}: candidates/pairs {fresh_cr:.3f} exceeds the "
+                    f"ceiling {ceiling:g} (pruning regressed)")
+            base_s = f"{base_cr:.3f}" if base_cr is not None else "—"
+            print(f"{label:<28} {base_s:>10} {fresh_cr:>10.3f}"
+                  f" {ceiling:>8.3f}  {'REGRESSED' if bad else 'ok'}")
+
+    if args.query_share_tol is not None:
+        tol = args.query_share_tol
+        for driver in ("per_primary", "leaf_blocked"):
+            label = f"{driver} query share"
+            base_sh = query_share(baseline.get(driver, {}))
+            fresh_sh = query_share(fresh.get(driver, {}))
+            if base_sh is None:
+                print(f"{label:<28} {'—':>10} {'—':>10} {'—':>8}  skipped "
+                      f"(baseline predates the phase breakdown)")
+                continue
+            if fresh_sh is None:
+                violations.append(
+                    f"{label}: fresh file carries no neighbor-query phase "
+                    f"(the bench stopped reporting the gated metric)")
+                print(f"{label:<28} {base_sh:>10.3f} {'MISSING':>10}")
+                continue
+            lim = base_sh + tol
+            bad = fresh_sh > lim
+            if bad:
+                violations.append(
+                    f"{label}: neighbor-query share {base_sh:.3f} -> "
+                    f"{fresh_sh:.3f} (above {lim:.3f} = baseline + {tol:g})")
+            print(f"{label:<28} {base_sh:>10.3f} {fresh_sh:>10.3f}"
+                  f" {lim:>8.3f}  {'REGRESSED' if bad else 'ok'}")
+
     base_ab = {r["isa"]: r for r in baseline.get("kernel_isa_ab", [])}
     fresh_ab = {r["isa"]: r for r in fresh.get("kernel_isa_ab", [])}
     for isa, base_row in sorted(base_ab.items()):
@@ -232,7 +303,14 @@ def check_fig4(baseline, fresh, args):
             print(f"  - {v}")
         sys.exit(1)
     print(f"\nno regressions vs {args.baseline} "
-          f"(kernel GFLOP/s floor {floor:g}x baseline)")
+          f"(kernel GFLOP/s floor {floor:g}x baseline"
+          + (f", candidate ratio <= {args.candidate_ratio_ceiling:g}"
+             if args.candidate_ratio_ceiling is not None
+             else ", ratio check off")
+          + (f", query share tol {args.query_share_tol:g}"
+             if args.query_share_tol is not None
+             else ", query share check off")
+          + ")")
 
 
 def compare(args):
@@ -339,12 +417,24 @@ def self_test():
     fig4 = {
         "bench": "fig4_breakdown",
         "config": {k: 1 for k in FIG4_CONFIG_KEYS},
-        "per_primary": {"kernel_gflops": 10.0},
-        "leaf_blocked": {"kernel_gflops": 12.0},
+        "per_primary": {"kernel_gflops": 10.0, "candidate_ratio": 1.0,
+                        "neighbor query": 2.0, "total_seconds": 10.0},
+        "leaf_blocked": {"kernel_gflops": 12.0, "candidate_ratio": 1.7,
+                         "neighbor query": 1.0, "total_seconds": 8.0},
         "kernel_isa_ab": [],
     }
     fig4_slow = json.loads(json.dumps(fig4))
     fig4_slow["per_primary"]["kernel_gflops"] = 1.0
+    fig4_fat = json.loads(json.dumps(fig4))
+    fig4_fat["leaf_blocked"]["candidate_ratio"] = 2.6
+    fig4_slowquery = json.loads(json.dumps(fig4))
+    fig4_slowquery["leaf_blocked"]["neighbor query"] = 4.0
+    # A baseline recorded before the candidate-ratio / phase metrics
+    # existed: both new gates must skip with a notice, not fail.
+    fig4_prepr = json.loads(json.dumps(fig4))
+    for drv in ("per_primary", "leaf_blocked"):
+        for key in ("candidate_ratio", "neighbor query", "total_seconds"):
+            del fig4_prepr[drv][key]
 
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -381,6 +471,28 @@ def self_test():
              ["--baseline", os.path.join(tmp, "fig4.json"), "--fresh",
               fixture("fig4_slow.json", fig4_slow),
               "--kernel-gflops-floor", "0.6"]),
+            ("fig4 ratio ceiling violation fails", 1, "exceeds the ceiling",
+             ["--baseline", os.path.join(tmp, "fig4.json"), "--fresh",
+              fixture("fig4_fat.json", fig4_fat),
+              "--kernel-gflops-floor", "0.6",
+              "--candidate-ratio-ceiling", "1.8"]),
+            ("fig4 query share regression fails", 1, "neighbor-query share",
+             ["--baseline", os.path.join(tmp, "fig4.json"), "--fresh",
+              fixture("fig4_slowquery.json", fig4_slowquery),
+              "--kernel-gflops-floor", "0.6",
+              "--query-share-tol", "0.1"]),
+            ("fig4 pre-metric files skip new gates", 0, "skipped",
+             ["--baseline", fixture("fig4_prepr.json", fig4_prepr), "--fresh",
+              os.path.join(tmp, "fig4_prepr.json"),
+              "--kernel-gflops-floor", "0.6",
+              "--candidate-ratio-ceiling", "1.8",
+              "--query-share-tol", "0.1"]),
+            ("fig4 fresh dropping ratio metric fails", 1,
+             "stopped reporting",
+             ["--baseline", os.path.join(tmp, "fig4.json"), "--fresh",
+              os.path.join(tmp, "fig4_prepr.json"),
+              "--kernel-gflops-floor", "0.6",
+              "--candidate-ratio-ceiling", "1.8"]),
         ]
         for name, want_rc, needle, argv in cases:
             p = subprocess.run([sys.executable, me] + argv,
@@ -423,6 +535,15 @@ def main():
                     help="fig4 files: fresh kernel_gflops must stay at or "
                          "above baseline x FLOOR (a fraction, e.g. 0.6; "
                          "required for fig4_breakdown baselines)")
+    ap.add_argument("--candidate-ratio-ceiling", type=float, default=None,
+                    help="fig4 files: per-driver candidates/pairs must stay "
+                         "at or below this ABSOLUTE ceiling (the ratio is "
+                         "deterministic for a config, so no baseline slack "
+                         "is needed; omitted = ratio check off)")
+    ap.add_argument("--query-share-tol", type=float, default=None,
+                    help="fig4 files: per-driver neighbor-query share of "
+                         "total_seconds may exceed the baseline share by at "
+                         "most this much, absolute (omitted = check off)")
     ap.add_argument("--allow-config-mismatch", action="store_true",
                     help="compare even when run configs differ")
     ap.add_argument("--self-test", action="store_true",
