@@ -56,38 +56,38 @@ int main(int argc, char** argv) {
 
   for (int k : {8, 32, 512, 1024}) {
     core::EngineConfig cfg = base;
-    cfg.bucket_capacity = k;
+    cfg.tree.bucket_capacity = k;
     row("bucket size", "k=" + fmt(k, "%.0f"), run_best(cfg, cat));
   }
   for (int ilp : {1, 2}) {
     core::EngineConfig cfg = base;
-    cfg.ilp = ilp;
+    cfg.tree.ilp = ilp;
     row("ILP streams", "ilp=" + fmt(ilp, "%.0f"), run_best(cfg, cat));
   }
   {
     core::EngineConfig cfg = base;
-    cfg.scheme = core::KernelScheme::kZBuffered;
+    cfg.tree.scheme = core::KernelScheme::kZBuffered;
     row("kernel scheme", "z-buffered (cache-blocked)", run_best(cfg, cat));
   }
   {
     core::EngineConfig cfg = base;
-    cfg.schedule = core::OmpSchedule::kStatic;
+    cfg.tree.schedule = core::OmpSchedule::kStatic;
     row("omp schedule", "static (paper: dynamic wins)", run_best(cfg, cat));
   }
   {
     core::EngineConfig cfg = base;
-    cfg.index = core::NeighborIndex::kCellGrid;
+    cfg.tree.index = core::NeighborIndex::kCellGrid;
     row("neighbor index", "cell grid (S&E15 gridding)", run_best(cfg, cat));
   }
   {
     core::EngineConfig cfg = base;
-    cfg.precision = core::TreePrecision::kDouble;
+    cfg.tree.precision = core::TreePrecision::kDouble;
     row("precision", "all-double (paper: mixed ~9% faster)",
         run_best(cfg, cat));
   }
   for (int leaf : {8, 64, 128}) {
     core::EngineConfig cfg = base;
-    cfg.leaf_size = leaf;
+    cfg.tree.leaf_size = leaf;
     row("kd leaf size", "leaf=" + fmt(leaf, "%.0f"), run_best(cfg, cat));
   }
   {

@@ -227,7 +227,7 @@ int main(int argc, char** argv) {
   ecfg.bins = core::RadialBins(rmax / 10, rmax, 10);
   ecfg.lmax = lmax;
   ecfg.threads = 1;  // one engine thread per rank: ranks scale, not OpenMP
-  ecfg.precision = core::TreePrecision::kMixed;
+  ecfg.tree.precision = core::TreePrecision::kMixed;
 
   // --- Section 1: rank scaling, both policies ----------------------------
   std::vector<RunSummary> results;

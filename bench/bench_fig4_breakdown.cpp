@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
 
   auto run_mode = [&](core::TraversalMode mode, const char* name,
                       core::EngineStats& stats) {
-    cfg.traversal = mode;
+    cfg.tree.traversal = mode;
     const core::ZetaResult res = core::Engine(cfg).run(cat, nullptr, &stats);
     std::printf("\n[%s] phase breakdown (wall-equivalent shares):\n%s\n",
                 name, stats.phases.report().c_str());

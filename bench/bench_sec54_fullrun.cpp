@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   Table t({"precision", "time (s)", "pairs", "kernel GF/s", "end-to-end GF/s"});
   for (const Mode& m : modes) {
     core::EngineConfig cfg = paper_engine_config(rmax, 10, 0);
-    cfg.precision = m.precision;
+    cfg.tree.precision = m.precision;
     core::EngineStats stats;
     (void)core::Engine(cfg).run(cat, nullptr, &stats);
     // End-to-end rate with the paper's 609 FLOP/pair accounting

@@ -42,7 +42,7 @@ inline core::EngineConfig paper_engine_config(double rmax, int nbins = 10,
   cfg.bins = core::RadialBins(rmax / nbins, rmax, nbins);
   cfg.lmax = 10;
   cfg.threads = threads;
-  cfg.precision = core::TreePrecision::kMixed;  // paper's fast mode
+  cfg.tree.precision = core::TreePrecision::kMixed;  // paper's fast mode
   return cfg;
 }
 

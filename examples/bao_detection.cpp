@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   core::EngineConfig cfg;
   cfg.bins = core::RadialBins(40.0, 140.0, 10);
   cfg.lmax = lmax;
-  cfg.precision = core::TreePrecision::kMixed;
+  cfg.tree.precision = core::TreePrecision::kMixed;
 
   // Interior primaries: complete R_max spheres, so xi and zeta carry no
   // box-edge bias (all galaxies still act as secondaries).

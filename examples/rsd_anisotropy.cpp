@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   core::EngineConfig cfg;
   cfg.bins = core::RadialBins(15.0, 65.0, 5);
   cfg.lmax = 4;
-  cfg.precision = core::TreePrecision::kMixed;
+  cfg.tree.precision = core::TreePrecision::kMixed;
 
   // Interior primaries remove the uncorrected-box edge bias from xi.
   const sim::Aabb box = sim::Aabb::cube(lp.box_side);

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   cfg.lmax = 2;
   cfg.los = core::LineOfSight::kRadial;  // survey mode: per-primary LOS
   cfg.observer = observer;
-  cfg.precision = core::TreePrecision::kMixed;
+  cfg.tree.precision = core::TreePrecision::kMixed;
 
   core::EngineStats stats;
   const core::ZetaResult corrected =

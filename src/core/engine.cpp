@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "core/alm.hpp"
+#include "core/fft_estimator.hpp"
 #include "core/twopcf.hpp"
 #include "tree/cellgrid.hpp"
 #include "tree/kdtree.hpp"
@@ -55,16 +56,16 @@ template <typename Real, typename Index>
 Index make_index(const sim::Catalog& catalog, const EngineConfig& cfg,
                  bool for_secondary) {
   const double ilist_rmax =
-      (!for_secondary && cfg.interaction_lists) ? cfg.bins.rmax() : 0.0;
+      (!for_secondary && cfg.tree.interaction_lists) ? cfg.bins.rmax() : 0.0;
   if constexpr (std::is_same_v<Index, tree::KdTree<Real>>) {
     typename tree::KdTree<Real>::BuildParams bp;
-    bp.leaf_size = cfg.leaf_size;
-    bp.morton = cfg.morton_order;
+    bp.leaf_size = cfg.tree.leaf_size;
+    bp.morton = cfg.tree.morton_order;
     bp.interaction_rmax = ilist_rmax;
     return tree::KdTree<Real>(catalog, bp);
   } else {
     typename tree::CellGrid<Real>::BuildParams bp;
-    bp.morton = cfg.morton_order;
+    bp.morton = cfg.tree.morton_order;
     bp.interaction_rmax = ilist_rmax;
     return tree::CellGrid<Real>(catalog, cfg.bins.rmax(), bp);
   }
@@ -261,7 +262,7 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
   // Too few leaves starve a leaf-parallel run (e.g. a CellGrid whose
   // extent is a handful of R_max cells); the per-primary driver computes
   // the same answer, so fall back to it rather than idle most threads.
-  TraversalMode traversal = cfg.traversal;
+  TraversalMode traversal = cfg.tree.traversal;
   if (traversal == TraversalMode::kLeafBlocked &&
       index.leaf_count() < 2 * static_cast<std::size_t>(nthreads))
     traversal = TraversalMode::kPerPrimary;
@@ -308,9 +309,9 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
     KernelConfig kc;
     kc.lmax = lmax;
     kc.nbins = nbins;
-    kc.bucket_capacity = cfg.bucket_capacity;
-    kc.scheme = cfg.scheme;
-    kc.ilp = cfg.ilp;
+    kc.bucket_capacity = cfg.tree.bucket_capacity;
+    kc.scheme = cfg.tree.scheme;
+    kc.ilp = cfg.tree.ilp;
     MultipoleAccumulator acc(kc);
     std::vector<std::complex<double>> alm(
         static_cast<std::size_t>(nbins) * nlm);
@@ -444,7 +445,7 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
         finish_primary(p);
       };
 
-      if (cfg.schedule == OmpSchedule::kDynamic) {
+      if (cfg.tree.schedule == OmpSchedule::kDynamic) {
 #pragma omp for schedule(dynamic, 4)
         for (std::int64_t i = 0; i < np; ++i) process(i);
       } else {
@@ -462,7 +463,7 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
       std::vector<Real> sdx, sdy, sdz, sr2;
       PairStage ps;
       std::vector<std::size_t> leaf_prims;
-      BinStage stage(nbins, cfg.bucket_capacity);
+      BinStage stage(nbins, cfg.tree.bucket_capacity);
       const Real r2max = static_cast<Real>(cfg.bins.rmax()) *
                          static_cast<Real>(cfg.bins.rmax());
 
@@ -553,7 +554,7 @@ void run_indexed_impl(const EngineConfig& cfg, const sim::Catalog& catalog,
 
       const std::int64_t nleaves =
           static_cast<std::int64_t>(index.leaf_count());
-      if (cfg.schedule == OmpSchedule::kDynamic) {
+      if (cfg.tree.schedule == OmpSchedule::kDynamic) {
 #pragma omp for schedule(dynamic, 1)
         for (std::int64_t l = 0; l < nleaves; ++l) process_leaf(l);
       } else {
@@ -670,7 +671,7 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
                 "run_secondary_pass: thread count changed since the owned "
                 "pass (" << parts.nthreads << " -> " << nthreads << ")");
 
-  TraversalMode traversal = cfg.traversal;
+  TraversalMode traversal = cfg.tree.traversal;
   if (traversal == TraversalMode::kLeafBlocked &&
       index.leaf_count() < 2 * static_cast<std::size_t>(nthreads))
     traversal = TraversalMode::kPerPrimary;
@@ -726,9 +727,9 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
       KernelConfig kc;
       kc.lmax = lmax;
       kc.nbins = nbins;
-      kc.bucket_capacity = cfg.bucket_capacity;
-      kc.scheme = cfg.scheme;
-      kc.ilp = cfg.ilp;
+      kc.bucket_capacity = cfg.tree.bucket_capacity;
+      kc.scheme = cfg.tree.scheme;
+      kc.ilp = cfg.tree.ilp;
       MultipoleAccumulator acc_a(kc);  // owned-only recompute (A)
       MultipoleAccumulator acc_b(kc);  // halo-only (B)
       std::vector<std::complex<double>> alm_a(
@@ -871,7 +872,7 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
           finish_cross(p);
         };
 
-        if (cfg.schedule == OmpSchedule::kDynamic) {
+        if (cfg.tree.schedule == OmpSchedule::kDynamic) {
 #pragma omp for schedule(dynamic, 4)
           for (std::int64_t i = 0; i < np; ++i) process(i);
         } else {
@@ -883,8 +884,8 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
         std::vector<Real> bdx, bdy, bdz, br2, adx, ady, adz, ar2;
         PairStage ps;
         std::vector<std::size_t> leaf_prims;
-        BinStage stage_a(nbins, cfg.bucket_capacity);
-        BinStage stage_b(nbins, cfg.bucket_capacity);
+        BinStage stage_a(nbins, cfg.tree.bucket_capacity);
+        BinStage stage_b(nbins, cfg.tree.bucket_capacity);
         const Real r2max = static_cast<Real>(cfg.bins.rmax()) *
                            static_cast<Real>(cfg.bins.rmax());
 
@@ -1020,7 +1021,7 @@ void run_secondary_pass_impl(const EngineConfig& cfg,
 
         const std::int64_t nleaves =
             static_cast<std::int64_t>(index.leaf_count());
-        if (cfg.schedule == OmpSchedule::kDynamic) {
+        if (cfg.tree.schedule == OmpSchedule::kDynamic) {
 #pragma omp for schedule(dynamic, 1)
           for (std::int64_t l = 0; l < nleaves; ++l) process_leaf(l);
         } else {
@@ -1193,6 +1194,22 @@ struct StagedImplT final : detail::EngineStagedImpl {
 
 }  // namespace
 
+const char* backend_name(EstimatorBackend b) {
+  switch (b) {
+    case EstimatorBackend::kTree: return "tree";
+    case EstimatorBackend::kFFT: return "fft";
+  }
+  return "?";
+}
+
+EstimatorBackend backend_from_name(const std::string& name) {
+  if (name == "tree") return EstimatorBackend::kTree;
+  if (name == "fft") return EstimatorBackend::kFFT;
+  GLX_CHECK_MSG(false, "unknown estimator backend '" << name
+                                                     << "' (tree|fft)");
+  return EstimatorBackend::kTree;
+}
+
 Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   GLX_CHECK(cfg_.lmax >= 0 && cfg_.lmax <= 16);
   GLX_CHECK(cfg_.bins.count() >= 1);
@@ -1214,8 +1231,8 @@ struct StagedTag {
 template <typename Make>
 std::shared_ptr<detail::EngineStagedImpl> dispatch_staged(
     const EngineConfig& cfg, Make&& make) {
-  const bool mixed = cfg.precision == TreePrecision::kMixed;
-  const bool grid = cfg.index == NeighborIndex::kCellGrid;
+  const bool mixed = cfg.tree.precision == TreePrecision::kMixed;
+  const bool grid = cfg.tree.index == NeighborIndex::kCellGrid;
   if (mixed && grid) return make(StagedTag<float, tree::CellGrid<float>>{});
   if (mixed) return make(StagedTag<float, tree::KdTree<float>>{});
   if (grid) return make(StagedTag<double, tree::CellGrid<double>>{});
@@ -1229,6 +1246,9 @@ Engine::Staged Engine::build_index(const sim::Catalog& owned) const {
 }
 
 Engine::Staged Engine::build_index(sim::Catalog&& owned) const {
+  GLX_CHECK_MSG(cfg_.backend == EstimatorBackend::kTree,
+                "build_index: the staged pipeline is tree-backend only "
+                "(the FFT backend decomposes the mesh, not the points)");
   GLX_CHECK_MSG(!owned.empty(), "build_index: empty catalog");
   Timer tbuild;
   Staged staged;
@@ -1243,6 +1263,9 @@ Engine::Staged Engine::build_index(sim::Catalog&& owned) const {
 
 Engine::Staged Engine::build_index_impl(const sim::Catalog& owned,
                                         bool copy_owned) const {
+  GLX_CHECK_MSG(cfg_.backend == EstimatorBackend::kTree,
+                "build_index: the staged pipeline is tree-backend only "
+                "(the FFT backend decomposes the mesh, not the points)");
   GLX_CHECK_MSG(!owned.empty(), "build_index: empty catalog");
   Timer tbuild;
   Staged staged;
@@ -1348,6 +1371,8 @@ ZetaResult Engine::run(const sim::Catalog& catalog,
                        const std::vector<std::int64_t>* primaries,
                        EngineStats* stats) const {
   GLX_CHECK_MSG(!catalog.empty(), "empty catalog");
+  if (cfg_.backend == EstimatorBackend::kFFT)
+    return fft_3pcf(cfg_, catalog, primaries, stats);
   Timer wall;
   // The catalog outlives this call, so the staged handle references it
   // instead of copying (it never escapes this scope).
@@ -1356,6 +1381,42 @@ ZetaResult Engine::run(const sim::Catalog& catalog,
           .run_indexed(primaries, stats);
   if (stats) stats->wall_seconds = wall.seconds();
   return result;
+}
+
+ZetaResult Estimator::empty_result() const {
+  return ZetaResult::zero_like(cfg_.bins, cfg_.lmax);
+}
+
+namespace {
+
+// The tree backend behind the Estimator interface: a thin shell over
+// Engine, whose run() IS the tree path when backend == kTree.
+class TreeEstimator final : public Estimator {
+ public:
+  explicit TreeEstimator(EngineConfig cfg)
+      : Estimator(std::move(cfg)), engine_(cfg_) {}
+
+  ZetaResult run(const sim::Catalog& catalog,
+                 const std::vector<std::int64_t>* primaries,
+                 EngineStats* stats) const override {
+    return engine_.run(catalog, primaries, stats);
+  }
+
+ private:
+  Engine engine_;
+};
+
+}  // namespace
+
+std::unique_ptr<Estimator> make_estimator(const EngineConfig& cfg) {
+  switch (cfg.backend) {
+    case EstimatorBackend::kTree:
+      return std::make_unique<TreeEstimator>(cfg);
+    case EstimatorBackend::kFFT:
+      return std::make_unique<FftEstimator>(cfg);
+  }
+  GLX_CHECK_MSG(false, "unknown estimator backend");
+  return nullptr;
 }
 
 }  // namespace galactos::core

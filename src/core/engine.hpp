@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "core/bins.hpp"
+#include "core/gridder.hpp"
 #include "core/kernel.hpp"
 #include "core/los.hpp"
 #include "core/zeta.hpp"
@@ -63,12 +64,18 @@ enum class NeighborIndex { kKdTree, kCellGrid };
 enum class OmpSchedule { kDynamic, kStatic };
 enum class TraversalMode { kPerPrimary, kLeafBlocked };
 
-struct EngineConfig {
-  RadialBins bins{1.0, 200.0, 10};
-  int lmax = 10;
-  LineOfSight los = LineOfSight::kPlaneParallelZ;
-  sim::Vec3 observer{0.0, 0.0, 0.0};  // used when los == kRadial
+// Which estimator computes the multipole coefficients: the tree backend
+// pair-counts with a spatial index (exact, O(N * pairs-per-primary)); the
+// FFT backend grids the catalog and convolves with binned Y_lm kernels in
+// Fourier space (Slepian & Eisenstein 1506.04746) — O(Ngrid log Ngrid),
+// periodic boxes with a plane-parallel LOS only, accuracy set by the mesh.
+enum class EstimatorBackend { kTree, kFFT };
 
+const char* backend_name(EstimatorBackend b);
+EstimatorBackend backend_from_name(const std::string& name);  // "tree"|"fft"
+
+// Tree-backend knobs (the pair-counting engine).
+struct TreeConfig {
   TreePrecision precision = TreePrecision::kDouble;
   NeighborIndex index = NeighborIndex::kKdTree;
   TraversalMode traversal = TraversalMode::kLeafBlocked;
@@ -90,11 +97,45 @@ struct EngineConfig {
   int bucket_capacity = 128;
 
   OmpSchedule schedule = OmpSchedule::kDynamic;
+};
+
+// FFT-backend knobs. The catalog must live in the periodic box
+// [0, box_side)^3, box_side > 0 (the FFT path has no ghost replication —
+// periodicity is native to the mesh). Accuracy improves with grid_n and
+// assignment order; interlacing (a second half-cell-shifted mesh averaged
+// in Fourier space) cancels the leading aliased images, and compensation
+// divides the density spectrum by the assignment window (squared: once for
+// assignment, once for the field interpolation back at the primaries).
+struct FftConfig {
+  std::size_t grid_n = 64;  // power of two
+  MassAssignment assignment = MassAssignment::kCic;
+  bool interlace = false;
+  bool compensate = true;
+  // Volume-fraction bin membership for kernel cells straddling a radial bin
+  // edge (supersampled), instead of all-or-nothing assignment by the cell
+  // center radius. Cuts the radial quantization error — the dominant error
+  // term at practical grids — at identical runtime. Disable to make the
+  // mesh reproduce the tree's sharp binning on exactly-gridded data (the
+  // cross-backend equivalence tests do).
+  bool edge_antialias = true;
+  double box_side = 0.0;  // REQUIRED for kFFT
+};
+
+struct EngineConfig {
+  RadialBins bins{1.0, 200.0, 10};
+  int lmax = 10;
+  LineOfSight los = LineOfSight::kPlaneParallelZ;
+  sim::Vec3 observer{0.0, 0.0, 0.0};  // used when los == kRadial
+
+  EstimatorBackend backend = EstimatorBackend::kTree;
+  TreeConfig tree;  // read when backend == kTree
+  FftConfig fft;    // read when backend == kFFT
+
   int threads = 0;  // 0 = OpenMP default
 
   // Subtract degenerate j == k contributions from diagonal bin pairs
   // (slow path: per-secondary Y_lm evaluation; used for validation and
-  // small science runs).
+  // small science runs). Tree backend only.
   bool subtract_self_pairs = false;
 };
 
@@ -203,6 +244,9 @@ class Engine {
   // exchange is still in flight, then extend_with_secondaries(halo) and
   // run_indexed (paper §3.2–3.3 overlap). The handle keeps its own copy of
   // `owned`, so the caller's buffer is free to move afterwards.
+  // Tree backend only (the FFT backend has no spatial index; its
+  // distributed path decomposes the mesh into slabs instead — see
+  // dist/fft_slab.hpp). Throws for backend == kFFT.
   Staged build_index(const sim::Catalog& owned) const;
 
   // Move overload: adopts `owned` as the handle's storage instead of
@@ -216,6 +260,8 @@ class Engine {
   // All points always act as secondaries. The list must not contain
   // duplicates (the leaf-blocked driver tests membership per point);
   // duplicates are rejected like out-of-range indices.
+  // Dispatches on cfg.backend: the tree path is unchanged by backend
+  // selection (bit-for-bit), the FFT path delegates to FftEstimator.
   ZetaResult run(const sim::Catalog& catalog,
                  const std::vector<std::int64_t>* primaries = nullptr,
                  EngineStats* stats = nullptr) const;
@@ -233,5 +279,33 @@ class Engine {
 
   EngineConfig cfg_;
 };
+
+// Backend-neutral estimator interface: one `run` contract (same primaries
+// semantics and ZetaResult shape as Engine::run) that every backend
+// implements. Engine::run is the convenience front door; code that wants to
+// hold a backend by value (the distributed runner, benches sweeping
+// backends) goes through make_estimator.
+class Estimator {
+ public:
+  explicit Estimator(EngineConfig cfg) : cfg_(std::move(cfg)) {}
+  virtual ~Estimator() = default;
+
+  const EngineConfig& config() const { return cfg_; }
+
+  virtual ZetaResult run(const sim::Catalog& catalog,
+                         const std::vector<std::int64_t>* primaries = nullptr,
+                         EngineStats* stats = nullptr) const = 0;
+
+  // Zero-valued result with this configuration's shape (see
+  // Engine::empty_result).
+  ZetaResult empty_result() const;
+
+ protected:
+  EngineConfig cfg_;
+};
+
+// Constructs the backend named by cfg.backend (validates the per-backend
+// config eagerly; the FFT backend's gates are listed in fft_estimator.hpp).
+std::unique_ptr<Estimator> make_estimator(const EngineConfig& cfg);
 
 }  // namespace galactos::core

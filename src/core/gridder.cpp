@@ -1,0 +1,132 @@
+#include "core/gridder.hpp"
+
+#include <cmath>
+
+namespace galactos::core {
+
+const char* assignment_name(MassAssignment a) {
+  switch (a) {
+    case MassAssignment::kNgp: return "ngp";
+    case MassAssignment::kCic: return "cic";
+    case MassAssignment::kTsc: return "tsc";
+  }
+  return "?";
+}
+
+MassAssignment assignment_from_name(const std::string& name) {
+  if (name == "ngp") return MassAssignment::kNgp;
+  if (name == "cic") return MassAssignment::kCic;
+  if (name == "tsc") return MassAssignment::kTsc;
+  GLX_CHECK_MSG(false, "unknown mass assignment '" << name
+                                                   << "' (ngp|cic|tsc)");
+  return MassAssignment::kCic;
+}
+
+int assignment_order(MassAssignment a) {
+  switch (a) {
+    case MassAssignment::kNgp: return 1;
+    case MassAssignment::kCic: return 2;
+    case MassAssignment::kTsc: return 3;
+  }
+  return 0;
+}
+
+namespace {
+
+inline int wrap_cell(int i, int n) {
+  i %= n;
+  return i < 0 ? i + n : i;
+}
+
+}  // namespace
+
+AxisStencil axis_stencil(MassAssignment a, double x, double h, std::size_t n,
+                         double shift) {
+  const int ni = static_cast<int>(n);
+  const double g = x / h + shift;  // position in cell units
+  AxisStencil s;
+  switch (a) {
+    case MassAssignment::kNgp: {
+      // All weight on the cell whose center is nearest: cell floor(g).
+      s.lo = static_cast<int>(std::floor(g));
+      s.w[0] = 1.0;
+      s.count = 1;
+      break;
+    }
+    case MassAssignment::kCic: {
+      // Linear split between the two nearest cell centers.
+      const double d = g - 0.5;
+      const int i0 = static_cast<int>(std::floor(d));
+      const double f = d - static_cast<double>(i0);
+      s.lo = i0;
+      s.w[0] = 1.0 - f;
+      s.w[1] = f;
+      s.count = 2;
+      break;
+    }
+    case MassAssignment::kTsc: {
+      // Quadratic over the nearest center and both neighbors.
+      const int i1 = static_cast<int>(std::floor(g));
+      const double d = g - (static_cast<double>(i1) + 0.5);  // in [-0.5, 0.5)
+      s.lo = i1 - 1;
+      s.w[0] = 0.5 * (0.5 - d) * (0.5 - d);
+      s.w[1] = 0.75 - d * d;
+      s.w[2] = 0.5 * (0.5 + d) * (0.5 + d);
+      s.count = 3;
+      break;
+    }
+  }
+  for (int k = 0; k < s.count; ++k) s.cell[k] = wrap_cell(s.lo + k, ni);
+  return s;
+}
+
+void assign_to_mesh(const sim::Catalog& c, MassAssignment a, std::size_t n,
+                    double box_side, double shift, std::vector<double>& mesh) {
+  GLX_CHECK(n >= 2 && box_side > 0);
+  const double h = box_side / static_cast<double>(n);
+  mesh.assign(n * n * n, 0.0);
+  // Serial scatter: deterministic accumulation order, and assignment is a
+  // tiny fraction of the estimator's cost.
+  for (std::size_t p = 0; p < c.size(); ++p) {
+    const AxisStencil sx = axis_stencil(a, c.x[p], h, n, shift);
+    const AxisStencil sy = axis_stencil(a, c.y[p], h, n, shift);
+    const AxisStencil sz = axis_stencil(a, c.z[p], h, n, shift);
+    const double wp = c.w[p];
+    for_each_stencil_cell(sx, sy, sz, n, [&](double w, std::size_t idx) {
+      mesh[idx] += wp * w;
+    });
+  }
+}
+
+double interpolate(const std::vector<double>& mesh, MassAssignment a,
+                   std::size_t n, double box_side, double x, double y,
+                   double z) {
+  GLX_CHECK(mesh.size() == n * n * n);
+  const double h = box_side / static_cast<double>(n);
+  const AxisStencil sx = axis_stencil(a, x, h, n, 0.0);
+  const AxisStencil sy = axis_stencil(a, y, h, n, 0.0);
+  const AxisStencil sz = axis_stencil(a, z, h, n, 0.0);
+  double v = 0.0;
+  for_each_stencil_cell(sx, sy, sz, n,
+                        [&](double w, std::size_t idx) { v += w * mesh[idx]; });
+  return v;
+}
+
+sim::Catalog mesh_to_catalog(const std::vector<double>& mesh, std::size_t n,
+                             double box_side, double weight_floor) {
+  GLX_CHECK(mesh.size() == n * n * n);
+  const double h = box_side / static_cast<double>(n);
+  sim::Catalog out;
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        const double w = mesh[(ix * n + iy) * n + iz];
+        if (std::abs(w) <= weight_floor) continue;
+        out.push_back((static_cast<double>(ix) + 0.5) * h,
+                      (static_cast<double>(iy) + 0.5) * h,
+                      (static_cast<double>(iz) + 0.5) * h, w);
+      }
+  return out;
+}
+
+}  // namespace galactos::core

@@ -324,4 +324,34 @@ void ZetaResult::accumulate(const ZetaResult& other) {
     xi_raw[i] += other.xi_raw[i];
 }
 
+double max_gated_rel_err(const ZetaResult& ref, const ZetaResult& other,
+                         double gate_frac) {
+  ref.check_compatible(other);
+  double zmax = 0.0;
+  for (const std::complex<double>& z : ref.zeta_data)
+    zmax = std::max(zmax, std::abs(z));
+  const double gate = gate_frac * zmax;
+  double err = 0.0;
+  for (std::size_t i = 0; i < ref.zeta_data.size(); ++i) {
+    const double mag = std::abs(ref.zeta_data[i]);
+    if (mag < gate) continue;
+    err = std::max(err, std::abs(ref.zeta_data[i] - other.zeta_data[i]) / mag);
+  }
+  for (std::size_t b = 0; b < ref.pair_counts.size(); ++b)
+    if (ref.pair_counts[b] != 0.0)
+      err = std::max(err, std::abs(ref.pair_counts[b] - other.pair_counts[b]) /
+                              std::abs(ref.pair_counts[b]));
+  return err;
+}
+
+double l2_rel_err(const ZetaResult& ref, const ZetaResult& other) {
+  ref.check_compatible(other);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < ref.zeta_data.size(); ++i) {
+    num += std::norm(ref.zeta_data[i] - other.zeta_data[i]);
+    den += std::norm(ref.zeta_data[i]);
+  }
+  return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
 }  // namespace galactos::core

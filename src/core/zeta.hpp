@@ -165,4 +165,20 @@ struct ZetaResult {
   void set_reduce_payload(const std::vector<double>& payload);
 };
 
+// Cross-backend accuracy metric: max relative deviation of `other` from
+// `ref` over the GATED coefficients — zeta entries whose |ref| is at least
+// `gate_frac` times the largest |ref| entry — plus every pair count.
+// Coefficients below the gate are cancellation-dominated in both backends
+// and carry no science; the gate keeps the metric meaningful. Used by the
+// tree-vs-FFT validation tests and the FFT bench/regression gate.
+double max_gated_rel_err(const ZetaResult& ref, const ZetaResult& other,
+                         double gate_frac);
+
+// Global relative L2 deviation sqrt(sum |delta zeta|^2 / sum |zeta_ref|^2)
+// over all zeta coefficients. Aggregates over the whole coefficient set, so
+// unlike the max metric it averages out which single coefficient a noise
+// term lands on — the right metric for broadband effects like aliasing
+// (the interlacing A/B test uses it).
+double l2_rel_err(const ZetaResult& ref, const ZetaResult& other);
+
 }  // namespace galactos::core

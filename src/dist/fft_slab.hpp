@@ -1,0 +1,54 @@
+// Slab-decomposed FFT estimator backend over dist::Comm.
+//
+// The serial backend (core/fft_estimator.cpp) grids the catalog, forms the
+// density spectrum, and runs one convolution per (l, m, bin) kernel. Here
+// the n^3 mesh is split into x-slabs of n / P planes per rank and every
+// stage is distributed:
+//
+//   1. Points are redistributed to the rank owning their x-plane
+//      (floor(x / h) / (n / P)) — that rank both grids them and serves
+//      them as primaries.
+//   2. Mass assignment runs on the local points only; stencil planes that
+//      spill past the slab (AxisStencil::lo is unwrapped, at most two
+//      planes either side for TSC on the half-cell-shifted interlaced
+//      mesh) are folded onto the x-adjacent ranks.
+//   3. The 3-D FFT is a slab transform (SlabFft): local z- and y-line
+//      passes, an all-to-all x<->y transpose, then the x-line pass. Both
+//      spectra (density and kernels) land in the same y-slab layout, so
+//      interlace combination, window compensation and the per-kernel
+//      pointwise products stay rank-local.
+//   4. Kernel sampling reuses FftBinCells::build with this rank's plane
+//      range — the cell list was designed around the slab seam.
+//   5. After the inverse transform each a_lm field is widened by one ghost
+//      plane per side (interpolation stencils reach at most one plane past
+//      the slab) and interpolated at the local primaries' exact positions;
+//      accumulation reuses core::FftZetaAccumulator.
+//
+// The returned ZetaResult is this rank's UNREDUCED contribution; the
+// runner's existing payload allreduce combines ranks, so the P-rank total
+// matches the serial backend to FFT round-off (the transform orders
+// differ), and P == 1 delegates to core::fft_3pcf outright — bitwise the
+// serial answer.
+#pragma once
+
+#include "core/engine.hpp"
+#include "dist/comm.hpp"
+#include "sim/catalog.hpp"
+
+namespace galactos::dist {
+
+// Throws unless the slab decomposition fits: valid FFT config (see
+// core::validate_fft_config), grid_n divisible by comm.size(), and at
+// least two planes per rank (spill and ghost traffic is nearest-neighbor).
+void validate_fft_slab(const core::EngineConfig& cfg, int nranks);
+
+// Runs the FFT backend slab-decomposed over `comm`. `mine` is this rank's
+// slice of the catalog (the rank-disjoint union must be the full catalog);
+// any slicing works — points are redistributed by owning plane first.
+// Collective: every rank of `comm` must enter. Returns the LOCAL
+// (unreduced) result; n_pairs is 0 as in the serial FFT backend.
+core::ZetaResult fft_slab_3pcf(Comm& comm, const sim::Catalog& mine,
+                               const core::EngineConfig& cfg,
+                               core::EngineStats* stats = nullptr);
+
+}  // namespace galactos::dist

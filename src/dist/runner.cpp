@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <string>
 
+#include "dist/fft_slab.hpp"
 #include "dist/tags.hpp"
 #include "util/timer.hpp"
 
@@ -61,14 +62,67 @@ const char* overlap_mode_name(OverlapMode mode) {
 
 namespace {
 
-// The pipeline body, writing its accounting into `rep` as each stage
-// completes so run_rank's failure path can dump whatever was measured
+// Shared tail of both backends' pipelines: one allreduce for the additive
+// double payload, one for the integer counters — each a recursive-doubling
+// butterfly with a fixed lower-rank-first combine, so every rank ends with
+// the same deterministic totals in O(log P) steps. Also fills the
+// pair-imbalance collectives (max/mean across ranks) so Fig. 7 is readable
+// from any single report.
+core::ZetaResult reduce_across_ranks(Comm& comm,
+                                     const core::EngineConfig& engine_cfg,
+                                     const core::ZetaResult& local,
+                                     std::uint64_t my_pair_count,
+                                     RankReport& rep) {
+  comm.set_phase(Phase::kReduce);
+  Timer tred;
+  std::vector<double> payload = local.reduce_payload();
+  comm.allreduce_sum(payload, kTagReducePayload);
+  std::vector<std::uint64_t> counts{local.n_primaries, local.n_pairs};
+  comm.allreduce_sum(counts, kTagReduceCounts);
+  const double reduce_seconds = tred.seconds();
+
+  core::ZetaResult out =
+      core::ZetaResult::zero_like(engine_cfg.bins, engine_cfg.lmax);
+  out.set_reduce_payload(payload);
+  out.n_primaries = counts[0];
+  out.n_pairs = counts[1];
+
+  const double my_pairs = static_cast<double>(my_pair_count);
+  const double max_pairs = comm.allreduce_max_value(my_pairs, kTagReducePairs);
+  const double sum_pairs = comm.allreduce_sum_value(my_pairs, kTagReducePairs);
+  const double mean_pairs = sum_pairs / comm.size();
+
+  rep.reduce_seconds = reduce_seconds;
+  rep.pair_imbalance = mean_pairs > 0 ? max_pairs / mean_pairs : 1.0;
+  return out;
+}
+
+// The tree-backend pipeline body, writing its accounting into `rep` as each
+// stage completes so run_rank's failure path can dump whatever was measured
 // before the error. Phases are marked on the comm both for diagnostics
 // (TimeoutError / failure_phase) and as FaultPlan stall/crash hook points.
 core::ZetaResult run_rank_pipeline(Comm& comm, const sim::Catalog& mine,
                                    const DistRunConfig& cfg,
                                    RankReport& rep) {
   const core::EngineConfig& engine_cfg = cfg.engine;
+
+  // The FFT backend replaces the whole k-d / halo / traversal pipeline
+  // with the slab-decomposed mesh path; only the reduce tail is shared.
+  // The mesh has no discrete pair count, so the imbalance collective runs
+  // on owned-primary counts instead.
+  if (engine_cfg.backend == core::EstimatorBackend::kFFT) {
+    comm.set_phase(Phase::kOwnedPass);
+    Timer teng;
+    core::EngineStats stats;
+    const core::ZetaResult local = fft_slab_3pcf(comm, mine, engine_cfg,
+                                                 &stats);
+    rep.engine_seconds = teng.seconds();
+    rep.owned = local.n_primaries;
+    rep.held = local.n_primaries;
+    rep.pairs = 0;
+    return reduce_across_ranks(comm, engine_cfg, local, local.n_primaries,
+                               rep);
+  }
 
   Timer tpart;
   PendingPartition pending = post_halo_exchange(
@@ -182,35 +236,7 @@ core::ZetaResult run_rank_pipeline(Comm& comm, const sim::Catalog& mine,
   rep.engine_seconds = engine_seconds;
   rep.secondary_pass_seconds = secondary_pass_seconds;
 
-  // Reduce: one allreduce for the additive double payload, one for the
-  // integer counters — each a recursive-doubling butterfly with a fixed
-  // lower-rank-first combine, so every rank ends with the same
-  // deterministic totals in O(log P) steps.
-  comm.set_phase(Phase::kReduce);
-  Timer tred;
-  std::vector<double> payload = local.reduce_payload();
-  comm.allreduce_sum(payload, kTagReducePayload);
-  std::vector<std::uint64_t> counts{local.n_primaries, local.n_pairs};
-  comm.allreduce_sum(counts, kTagReduceCounts);
-  const double reduce_seconds = tred.seconds();
-
-  core::ZetaResult out =
-      core::ZetaResult::zero_like(engine_cfg.bins, engine_cfg.lmax);
-  out.set_reduce_payload(payload);
-  out.n_primaries = counts[0];
-  out.n_pairs = counts[1];
-
-  // Pair-imbalance (max/mean across ranks) so Fig. 7 is readable from any
-  // single report. Collective, so it runs on every rank regardless of
-  // whether this one wants the report.
-  const double my_pairs = static_cast<double>(stats.pairs);
-  const double max_pairs = comm.allreduce_max_value(my_pairs, kTagReducePairs);
-  const double sum_pairs = comm.allreduce_sum_value(my_pairs, kTagReducePairs);
-  const double mean_pairs = sum_pairs / comm.size();
-
-  rep.reduce_seconds = reduce_seconds;
-  rep.pair_imbalance = mean_pairs > 0 ? max_pairs / mean_pairs : 1.0;
-  return out;
+  return reduce_across_ranks(comm, engine_cfg, local, stats.pairs, rep);
 }
 
 }  // namespace

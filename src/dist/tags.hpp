@@ -11,6 +11,7 @@
 //   [1<<22+7, 1<<22+7+65536)  halo payloads, tag = kHalo + sender world rank
 //   [1<<23, 1<<23+3)          runner reduce collectives
 //   [1<<23+3, 1<<23+6)        session-driver world traffic
+//   [1<<23+8, 1<<23+14)       FFT slab estimator (points/spill/transpose/ghost)
 //   1<<24                     Session::run closing world barrier
 //   1<<25                     reserved abort/control channel (Comm-internal)
 //
@@ -42,6 +43,21 @@ constexpr int kWorldPayload = kRunnerBase + 3;
 constexpr int kWorldCounts = kRunnerBase + 4;
 constexpr int kWorldReports = kRunnerBase + 5;
 
+// --- FFT slab estimator (dist/fft_slab.cpp) ---------------------------------
+// Slab-decomposed FFT backend: point redistribution by owning x-plane,
+// assignment spill-plane folds and interpolation ghost planes between
+// x-adjacent ranks, and the x<->y transposes of the distributed 3-D FFT.
+// Lo/Hi name the role at the RECEIVER (its low / high boundary), so the two
+// messages a rank exchanges with one wrapped neighbor (P == 2) stay on
+// distinct channels.
+constexpr int kFftSlabBase = kRunnerBase + 8;
+constexpr int kFftPoints = kFftSlabBase + 0;
+constexpr int kFftSpillLo = kFftSlabBase + 1;
+constexpr int kFftSpillHi = kFftSlabBase + 2;
+constexpr int kFftTranspose = kFftSlabBase + 3;
+constexpr int kFftGhostLo = kFftSlabBase + 4;
+constexpr int kFftGhostHi = kFftSlabBase + 5;
+
 // --- comm-internal control channels (dist/comm.cpp) -------------------------
 constexpr int kSessionBarrier = 1 << 24;
 // Reserved peer-failure broadcast channel: a failing rank posts one framed
@@ -57,6 +73,7 @@ inline const char* family(int tag) {
   if (tag == kSessionBarrier) return "session-barrier";
   if (tag >= kHalo && tag < kHaloLimit) return "halo";
   if (tag >= kPartitionBase && tag < kHalo) return "partition";
+  if (tag >= kFftPoints && tag <= kFftGhostHi) return "fft-slab";
   if (tag >= kReducePayload && tag < kWorldPayload) return "reduce";
   if (tag >= kWorldPayload && tag <= kWorldReports) return "world";
   return "user";

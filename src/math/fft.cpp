@@ -42,15 +42,11 @@ void fft_1d(cplx* a, std::size_t n, int sign) {
   }
 }
 
-void fft_3d(std::vector<cplx>& data, std::size_t n, int sign) {
-  GLX_CHECK(data.size() == n * n * n);
-  GLX_CHECK_MSG(is_pow2(n), "FFT grid size must be a power of two");
-  // z-axis: contiguous rows.
-#pragma omp parallel for schedule(static)
-  for (long long row = 0; row < static_cast<long long>(n * n); ++row)
-    fft_1d(data.data() + static_cast<std::size_t>(row) * n, n, sign);
+namespace {
 
-  // y-axis and x-axis: gather into a scratch row, transform, scatter back.
+// y-axis then x-axis passes over an n^3 cube (the strided axes); the
+// contiguous z-axis pass differs between the c2c / r2c / c2r entry points.
+void transform_yx_axes(cplx* data, std::size_t n, int sign) {
 #pragma omp parallel
   {
     std::vector<cplx> scratch(n);
@@ -78,6 +74,84 @@ void fft_3d(std::vector<cplx>& data, std::size_t n, int sign) {
         for (std::size_t ix = 0; ix < n; ++ix)
           data[base + ix * n * n] = scratch[ix];
       }
+  }
+}
+
+}  // namespace
+
+void fft_3d(std::vector<cplx>& data, std::size_t n, int sign) {
+  GLX_CHECK(data.size() == n * n * n);
+  GLX_CHECK_MSG(is_pow2(n), "FFT grid size must be a power of two");
+  // z-axis: contiguous rows.
+#pragma omp parallel for schedule(static)
+  for (long long row = 0; row < static_cast<long long>(n * n); ++row)
+    fft_1d(data.data() + static_cast<std::size_t>(row) * n, n, sign);
+  transform_yx_axes(data.data(), n, sign);
+}
+
+void fft_r2c_3d(const double* in, std::size_t stride, std::size_t n,
+                std::vector<cplx>& out) {
+  GLX_CHECK_MSG(is_pow2(n), "FFT grid size must be a power of two");
+  GLX_CHECK(stride >= 1 && n >= 2);
+  out.resize(n * n * n);
+  // z-axis: pack two real rows as one complex row c = r0 + i*r1, transform
+  // once, and split using F0[k] = (C[k] + conj(C[n-k]))/2,
+  // F1[k] = (C[k] - conj(C[n-k]))/(2i).
+#pragma omp parallel
+  {
+    std::vector<cplx> packed(n);
+#pragma omp for schedule(static)
+    for (long long pair = 0; pair < static_cast<long long>(n * n / 2);
+         ++pair) {
+      const std::size_t r0 = 2 * static_cast<std::size_t>(pair);
+      const double* a = in + r0 * n * stride;
+      const double* b = in + (r0 + 1) * n * stride;
+      for (std::size_t j = 0; j < n; ++j)
+        packed[j] = cplx(a[j * stride], b[j * stride]);
+      fft_1d(packed.data(), n, -1);
+      cplx* o0 = out.data() + r0 * n;
+      cplx* o1 = o0 + n;
+      o0[0] = cplx(packed[0].real(), 0.0);
+      o1[0] = cplx(packed[0].imag(), 0.0);
+      for (std::size_t k = 1; k < n; ++k) {
+        const cplx ck = packed[k];
+        const cplx cnk = std::conj(packed[n - k]);
+        o0[k] = 0.5 * (ck + cnk);
+        o1[k] = cplx(0.0, -0.5) * (ck - cnk);
+      }
+    }
+  }
+  transform_yx_axes(out.data(), n, -1);
+}
+
+void fft_c2r_3d(std::vector<cplx>& spec, std::size_t n, double* out,
+                std::size_t stride) {
+  GLX_CHECK(spec.size() == n * n * n);
+  GLX_CHECK_MSG(is_pow2(n), "FFT grid size must be a power of two");
+  GLX_CHECK(stride >= 1 && n >= 2);
+  transform_yx_axes(spec.data(), n, 1);
+  // z-axis: two rows per complex transform. For a Hermitian spectrum both
+  // output rows are real, so ifft(Z0 + i*Z1) = z0 + i*z1 splits exactly into
+  // real and imaginary parts.
+#pragma omp parallel
+  {
+    std::vector<cplx> packed(n);
+#pragma omp for schedule(static)
+    for (long long pair = 0; pair < static_cast<long long>(n * n / 2);
+         ++pair) {
+      const std::size_t r0 = 2 * static_cast<std::size_t>(pair);
+      const cplx* s0 = spec.data() + r0 * n;
+      const cplx* s1 = s0 + n;
+      for (std::size_t k = 0; k < n; ++k)
+        packed[k] = s0[k] + cplx(0.0, 1.0) * s1[k];
+      fft_1d(packed.data(), n, 1);
+      double* a = out + r0 * n * stride;
+      double* b = out + (r0 + 1) * n * stride;
+      for (std::size_t j = 0; j < n; ++j) {
+        a[j * stride] = packed[j].real();
+        b[j * stride] = packed[j].imag();
+      }
+    }
   }
 }
 

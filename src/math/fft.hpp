@@ -1,9 +1,12 @@
 // Minimal power-of-two FFT — the transform substrate for the lognormal mock
-// generator (the stand-in for the Outer Rim simulation data).
+// generator and the FFT estimator backend's mesh convolutions.
 //
-// Scope: iterative radix-2 Cooley–Tukey, complex-to-complex, 1-D and 3-D,
-// double precision. Sizes are power-of-two (enforced). Normalization:
-// forward is unnormalized; inverse divides by N, so ifft(fft(x)) == x.
+// Scope: iterative radix-2 Cooley–Tukey, double precision, 1-D and 3-D,
+// complex-to-complex plus real-input (r2c) / real-output (c2r) 3-D variants
+// that read/write strided real arrays directly so mesh pipelines never stage
+// a full real copy into a complex cube. Sizes are power-of-two (enforced).
+// Normalization: forward is unnormalized; inverse divides by N, so
+// ifft(fft(x)) == x.
 #pragma once
 
 #include <complex>
@@ -24,6 +27,24 @@ void fft_1d(cplx* data, std::size_t n, int sign);
 // In-place 3-D transform on an n*n*n cube stored row-major as
 // data[(ix*n + iy)*n + iz].
 void fft_3d(std::vector<cplx>& data, std::size_t n, int sign);
+
+// Forward 3-D transform of a real field read in place: sample (ix,iy,iz)
+// lives at in[((ix*n + iy)*n + iz) * stride]. `out` is resized to n^3 and
+// receives the full complex spectrum, out[(jx*n + jy)*n + jz] — identical
+// to staging `in` into a complex cube and calling fft_3d(out, n, -1), but
+// the z-axis pass transforms two real rows per complex FFT (packed as
+// re + i*im), halving that pass and skipping the staging copy.
+void fft_r2c_3d(const double* in, std::size_t stride, std::size_t n,
+                std::vector<cplx>& out);
+
+// Inverse of fft_r2c_3d for (numerically) Hermitian spectra: transforms
+// `spec` IN PLACE (sign = +1, 1/N^3 total normalization) and writes the
+// real part of sample (ix,iy,iz) to out[((ix*n + iy)*n + iz) * stride].
+// The z-axis pass again does two rows per complex FFT, which is exact when
+// the output field is real; non-Hermitian round-off leaks between row
+// pairs at machine precision. `spec` is clobbered (scratch afterwards).
+void fft_c2r_3d(std::vector<cplx>& spec, std::size_t n, double* out,
+                std::size_t stride);
 
 // Naive O(N^2) DFT used only as an oracle in tests.
 std::vector<cplx> dft_reference(const std::vector<cplx>& in, int sign);

@@ -27,7 +27,7 @@ TEST(Engine, DeterministicAcrossRunsStaticSchedule) {
   // thread-ordered merge makes results bitwise reproducible.
   const s::Catalog cat = s::uniform_box(800, s::Aabb::cube(60), 5);
   c::EngineConfig cfg = small_config();
-  cfg.schedule = c::OmpSchedule::kStatic;
+  cfg.tree.schedule = c::OmpSchedule::kStatic;
   c::Engine engine(cfg);
   const c::ZetaResult a = engine.run(cat);
   const c::ZetaResult b = engine.run(cat);
@@ -58,9 +58,9 @@ TEST(Engine, ThreadCountDoesNotChangeResult) {
 TEST(Engine, ScheduleDoesNotChangeResult) {
   const s::Catalog cat = s::uniform_box(500, s::Aabb::cube(40), 9);
   c::EngineConfig cfg = small_config();
-  cfg.schedule = c::OmpSchedule::kDynamic;
+  cfg.tree.schedule = c::OmpSchedule::kDynamic;
   const c::ZetaResult dyn = c::Engine(cfg).run(cat);
-  cfg.schedule = c::OmpSchedule::kStatic;
+  cfg.tree.schedule = c::OmpSchedule::kStatic;
   const c::ZetaResult sta = c::Engine(cfg).run(cat);
   expect_results_match(dyn, sta, 1e-10, 1e-10);
 }
@@ -68,9 +68,9 @@ TEST(Engine, ScheduleDoesNotChangeResult) {
 TEST(Engine, CellGridIndexMatchesKdTree) {
   const s::Catalog cat = s::uniform_box(700, s::Aabb::cube(50), 10);
   c::EngineConfig cfg = small_config();
-  cfg.index = c::NeighborIndex::kKdTree;
+  cfg.tree.index = c::NeighborIndex::kKdTree;
   const c::ZetaResult kd = c::Engine(cfg).run(cat);
-  cfg.index = c::NeighborIndex::kCellGrid;
+  cfg.tree.index = c::NeighborIndex::kCellGrid;
   const c::ZetaResult grid = c::Engine(cfg).run(cat);
   expect_results_match(kd, grid, 1e-10, 1e-10);
 }
@@ -78,11 +78,11 @@ TEST(Engine, CellGridIndexMatchesKdTree) {
 TEST(Engine, KernelSchemesAgree) {
   const s::Catalog cat = galactos::testing::clumpy_catalog(500, 40.0, 11);
   c::EngineConfig cfg = small_config();
-  cfg.scheme = c::KernelScheme::kZBuffered;
+  cfg.tree.scheme = c::KernelScheme::kZBuffered;
   const c::ZetaResult zb = c::Engine(cfg).run(cat);
-  cfg.scheme = c::KernelScheme::kRunningProduct;
+  cfg.tree.scheme = c::KernelScheme::kRunningProduct;
   for (int ilp : {1, 2, 4}) {
-    cfg.ilp = ilp;
+    cfg.tree.ilp = ilp;
     const c::ZetaResult rp = c::Engine(cfg).run(cat);
     expect_results_match(zb, rp, 1e-10, 1e-10);
   }
@@ -91,10 +91,10 @@ TEST(Engine, KernelSchemesAgree) {
 TEST(Engine, BucketCapacityInvariance) {
   const s::Catalog cat = s::uniform_box(600, s::Aabb::cube(45), 12);
   c::EngineConfig cfg = small_config();
-  cfg.bucket_capacity = 128;
+  cfg.tree.bucket_capacity = 128;
   const c::ZetaResult base = c::Engine(cfg).run(cat);
   for (int cap : {8, 32, 512}) {
-    cfg.bucket_capacity = cap;
+    cfg.tree.bucket_capacity = cap;
     const c::ZetaResult other = c::Engine(cfg).run(cat);
     expect_results_match(base, other, 1e-10, 1e-10);
   }
@@ -103,9 +103,9 @@ TEST(Engine, BucketCapacityInvariance) {
 TEST(Engine, MixedPrecisionCloseToDouble) {
   const s::Catalog cat = s::uniform_box(1000, s::Aabb::cube(80), 13);
   c::EngineConfig cfg = small_config();
-  cfg.precision = c::TreePrecision::kDouble;
+  cfg.tree.precision = c::TreePrecision::kDouble;
   const c::ZetaResult dd = c::Engine(cfg).run(cat);
-  cfg.precision = c::TreePrecision::kMixed;
+  cfg.tree.precision = c::TreePrecision::kMixed;
   const c::ZetaResult mm = c::Engine(cfg).run(cat);
   // Float separations shift bin assignments of knife-edge pairs; overall
   // statistics must agree to float-ish precision.

@@ -97,9 +97,9 @@ TEST_P(EngineVsDirect, MatchesDirectSummation) {
   const s::Catalog cat = galactos::testing::clumpy_catalog(tc.n, 45.0, tc.seed);
 
   c::EngineConfig ecfg = engine_cfg(ocfg);
-  ecfg.precision = tc.precision;
-  ecfg.scheme = tc.scheme;
-  ecfg.index = tc.index;
+  ecfg.tree.precision = tc.precision;
+  ecfg.tree.scheme = tc.scheme;
+  ecfg.tree.index = tc.index;
   const c::ZetaResult direct = b::direct_summation(cat, ocfg);
   const c::ZetaResult engine = c::Engine(ecfg).run(cat);
   const double tol = tc.precision == c::TreePrecision::kMixed ? 2e-3 : 1e-9;

@@ -125,6 +125,98 @@ TEST(Fft3d, SeparableSingleMode) {
       }
 }
 
+TEST(FftR2c, MatchesComplexTransform) {
+  // The strided real-input path must agree with staging into a complex cube.
+  const std::size_t n = 8;
+  for (std::size_t stride : {std::size_t{1}, std::size_t{3}}) {
+    m::Rng rng(41 + stride);
+    std::vector<double> real(n * n * n * stride, -7.0);  // sentinel between
+    for (std::size_t i = 0; i < n * n * n; ++i) real[i * stride] = rng.normal();
+    std::vector<cd> staged(n * n * n);
+    for (std::size_t i = 0; i < n * n * n; ++i)
+      staged[i] = cd(real[i * stride], 0.0);
+    m::fft_3d(staged, n, -1);
+    std::vector<cd> got;
+    m::fft_r2c_3d(real.data(), stride, n, got);
+    ASSERT_EQ(got.size(), n * n * n);
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_NEAR(std::abs(got[i] - staged[i]), 0.0, 1e-12) << "stride=" << stride;
+  }
+}
+
+TEST(FftR2c, DeltaFunctionSpectrumIsPlaneWave) {
+  // delta at x0 -> spectrum e^{-i 2 pi j.x0 / n}, |spectrum| = 1 everywhere.
+  const std::size_t n = 8;
+  const std::size_t x0 = 3, y0 = 1, z0 = 6;
+  std::vector<double> real(n * n * n, 0.0);
+  real[(x0 * n + y0) * n + z0] = 1.0;
+  std::vector<cd> spec;
+  m::fft_r2c_3d(real.data(), 1, n, spec);
+  for (std::size_t jx = 0; jx < n; ++jx)
+    for (std::size_t jy = 0; jy < n; ++jy)
+      for (std::size_t jz = 0; jz < n; ++jz) {
+        const double phase =
+            -2.0 * M_PI *
+            static_cast<double>(jx * x0 + jy * y0 + jz * z0) /
+            static_cast<double>(n);
+        const cd expect(std::cos(phase), std::sin(phase));
+        EXPECT_NEAR(std::abs(spec[(jx * n + jy) * n + jz] - expect), 0.0, 1e-12);
+      }
+}
+
+TEST(FftR2c, Parseval) {
+  const std::size_t n = 16;
+  m::Rng rng(59);
+  std::vector<double> real(n * n * n);
+  for (auto& v : real) v = rng.normal();
+  double space_e = 0;
+  for (double v : real) space_e += v * v;
+  std::vector<cd> spec;
+  m::fft_r2c_3d(real.data(), 1, n, spec);
+  double freq_e = 0;
+  for (const cd& v : spec) freq_e += std::norm(v);
+  const double ncube = static_cast<double>(n * n * n);
+  EXPECT_NEAR(freq_e, space_e * ncube, 1e-10 * space_e * ncube);
+}
+
+TEST(FftC2r, RoundTripToRealField) {
+  // r2c then in-place c2r recovers the field to 1e-12, through strides.
+  const std::size_t n = 8;
+  for (std::size_t stride : {std::size_t{1}, std::size_t{2}}) {
+    m::Rng rng(73 + stride);
+    std::vector<double> real(n * n * n * stride, 0.0);
+    for (std::size_t i = 0; i < n * n * n; ++i) real[i * stride] = rng.normal();
+    std::vector<cd> spec;
+    m::fft_r2c_3d(real.data(), stride, n, spec);
+    std::vector<double> back(n * n * n * stride, 0.0);
+    m::fft_c2r_3d(spec, n, back.data(), stride);
+    for (std::size_t i = 0; i < n * n * n; ++i)
+      EXPECT_NEAR(back[i * stride], real[i * stride], 1e-12)
+          << "stride=" << stride;
+  }
+}
+
+TEST(FftC2r, HermitianSingleModeGivesCosine) {
+  // spectrum with conjugate pair at +-j0 -> 2 cos(2 pi j0.x / n) field.
+  const std::size_t n = 8;
+  const std::size_t jx0 = 2, jy0 = 0, jz0 = 3;
+  std::vector<cd> spec(n * n * n, cd(0, 0));
+  const double ncube = static_cast<double>(n * n * n);
+  spec[(jx0 * n + jy0) * n + jz0] = ncube;
+  spec[(((n - jx0) % n) * n + ((n - jy0) % n)) * n + ((n - jz0) % n)] = ncube;
+  std::vector<double> field(n * n * n);
+  m::fft_c2r_3d(spec, n, field.data(), 1);
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz) {
+        const double expect =
+            2.0 * std::cos(2.0 * M_PI *
+                           static_cast<double>(jx0 * ix + jy0 * iy + jz0 * iz) /
+                           static_cast<double>(n));
+        EXPECT_NEAR(field[(ix * n + iy) * n + iz], expect, 1e-12);
+      }
+}
+
 TEST(Fft3d, LinearityUnderScaling) {
   const std::size_t n = 8;
   std::vector<cd> sig = random_signal(n * n * n, 31);

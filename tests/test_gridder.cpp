@@ -1,0 +1,156 @@
+// Gridding layer: stencil shapes, mass conservation, periodic wrap,
+// interpolation, and the mesh -> catalog inverse the FFT-vs-tree
+// equivalence tests rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gridder.hpp"
+#include "math/rng.hpp"
+#include "sim/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace c = galactos::core;
+namespace s = galactos::sim;
+
+namespace {
+
+constexpr c::MassAssignment kAll[] = {c::MassAssignment::kNgp,
+                                      c::MassAssignment::kCic,
+                                      c::MassAssignment::kTsc};
+
+double mesh_sum(const std::vector<double>& mesh) {
+  double s = 0;
+  for (double v : mesh) s += v;
+  return s;
+}
+
+}  // namespace
+
+TEST(Gridder, NamesRoundTrip) {
+  for (c::MassAssignment a : kAll)
+    EXPECT_EQ(c::assignment_from_name(c::assignment_name(a)), a);
+  EXPECT_THROW(c::assignment_from_name("nearest"), std::logic_error);
+  EXPECT_EQ(c::assignment_order(c::MassAssignment::kNgp), 1);
+  EXPECT_EQ(c::assignment_order(c::MassAssignment::kCic), 2);
+  EXPECT_EQ(c::assignment_order(c::MassAssignment::kTsc), 3);
+}
+
+TEST(Gridder, StencilWeightsSumToOne) {
+  galactos::math::Rng rng(3);
+  for (c::MassAssignment a : kAll)
+    for (int trial = 0; trial < 50; ++trial) {
+      const double x = rng.uniform(-30.0, 60.0);  // outside the box too
+      const c::AxisStencil s = c::axis_stencil(a, x, 1.75, 16, 0.0);
+      ASSERT_EQ(s.count, c::assignment_order(a));
+      double sum = 0;
+      for (int k = 0; k < s.count; ++k) {
+        sum += s.w[k];
+        EXPECT_GE(s.w[k], 0.0);
+        EXPECT_GE(s.cell[k], 0);
+        EXPECT_LT(s.cell[k], 16);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(Gridder, PointAtCellCenterHitsThatCell) {
+  const double h = 1.25;
+  const std::size_t n = 8;
+  const double x = (3 + 0.5) * h;  // center of cell 3
+  const c::AxisStencil ngp = c::axis_stencil(c::MassAssignment::kNgp, x, h, n, 0.0);
+  EXPECT_EQ(ngp.cell[0], 3);
+  const c::AxisStencil cic = c::axis_stencil(c::MassAssignment::kCic, x, h, n, 0.0);
+  EXPECT_EQ(cic.cell[0], 3);
+  EXPECT_NEAR(cic.w[0], 1.0, 1e-12);  // no spill at the exact center
+  const c::AxisStencil tsc = c::axis_stencil(c::MassAssignment::kTsc, x, h, n, 0.0);
+  EXPECT_EQ(tsc.cell[1], 3);
+  EXPECT_NEAR(tsc.w[0], 0.125, 1e-12);
+  EXPECT_NEAR(tsc.w[1], 0.75, 1e-12);
+  EXPECT_NEAR(tsc.w[2], 0.125, 1e-12);
+}
+
+TEST(Gridder, AssignmentConservesMass) {
+  const double box = 40.0;
+  const s::Catalog cat = galactos::testing::clumpy_catalog(500, box, 11);
+  for (c::MassAssignment a : kAll) {
+    std::vector<double> mesh;
+    c::assign_to_mesh(cat, a, 16, box, 0.0, mesh);
+    EXPECT_NEAR(mesh_sum(mesh), cat.total_weight(), 1e-10 * cat.total_weight())
+        << c::assignment_name(a);
+    // Interlaced (half-cell shifted) meshes conserve mass too.
+    c::assign_to_mesh(cat, a, 16, box, 0.5, mesh);
+    EXPECT_NEAR(mesh_sum(mesh), cat.total_weight(), 1e-10 * cat.total_weight());
+  }
+}
+
+TEST(Gridder, PeriodicWrapNearBoxFaces) {
+  // A point just inside the low face spreads CIC mass into the wrapped
+  // top cell; total stays 1.
+  const double box = 8.0;
+  const std::size_t n = 8;  // h = 1
+  s::Catalog cat;
+  cat.push_back(0.1, 4.5, 4.5, 1.0);  // x in cell 0, below its center
+  std::vector<double> mesh;
+  c::assign_to_mesh(cat, c::MassAssignment::kCic, n, box, 0.0, mesh);
+  EXPECT_NEAR(mesh_sum(mesh), 1.0, 1e-12);
+  double wrapped = 0;
+  for (std::size_t iy = 0; iy < n; ++iy)
+    for (std::size_t iz = 0; iz < n; ++iz)
+      wrapped += mesh[((n - 1) * n + iy) * n + iz];
+  EXPECT_NEAR(wrapped, 0.4, 1e-12);  // |0.1 - 0.5| / h of the mass wraps
+}
+
+TEST(Gridder, InterpolationOfConstantFieldIsExact) {
+  // Partition of unity: interpolating a constant mesh returns the constant
+  // everywhere, for every assignment order.
+  const double box = 12.0;
+  const std::size_t n = 8;
+  std::vector<double> mesh(n * n * n, 3.25);
+  galactos::math::Rng rng(17);
+  for (c::MassAssignment a : kAll)
+    for (int trial = 0; trial < 30; ++trial) {
+      const double v = c::interpolate(mesh, a, n, box, rng.uniform(0, box),
+                                      rng.uniform(0, box), rng.uniform(0, box));
+      EXPECT_NEAR(v, 3.25, 1e-12) << c::assignment_name(a);
+    }
+}
+
+TEST(Gridder, InterpolationRecoversLinearFieldWithCic) {
+  // CIC reproduces linear functions exactly away from the periodic seam.
+  const double box = 16.0;
+  const std::size_t n = 16;  // h = 1
+  std::vector<double> mesh(n * n * n);
+  for (std::size_t ix = 0; ix < n; ++ix)
+    for (std::size_t iy = 0; iy < n; ++iy)
+      for (std::size_t iz = 0; iz < n; ++iz)
+        mesh[(ix * n + iy) * n + iz] =
+            2.0 * (ix + 0.5) - 0.5 * (iy + 0.5) + 0.25 * (iz + 0.5);
+  galactos::math::Rng rng(29);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x = rng.uniform(2.0, 14.0), y = rng.uniform(2.0, 14.0),
+                 z = rng.uniform(2.0, 14.0);
+    const double expect = 2.0 * x - 0.5 * y + 0.25 * z;
+    EXPECT_NEAR(c::interpolate(mesh, c::MassAssignment::kCic, n, box, x, y, z),
+                expect, 1e-10);
+  }
+}
+
+TEST(Gridder, MeshToCatalogInvertsNgpAssignment) {
+  const double box = 20.0;
+  const std::size_t n = 8;
+  const s::Catalog cat = galactos::testing::clumpy_catalog(300, box, 23);
+  std::vector<double> mesh;
+  c::assign_to_mesh(cat, c::MassAssignment::kNgp, n, box, 0.0, mesh);
+  const s::Catalog cells = c::mesh_to_catalog(mesh, n, box);
+  EXPECT_NEAR(cells.total_weight(), cat.total_weight(),
+              1e-12 * cat.total_weight());
+  // Re-gridding the cell-center catalog reproduces the mesh exactly, for
+  // NGP and CIC alike (centers carry no fractional offset).
+  for (c::MassAssignment a : {c::MassAssignment::kNgp, c::MassAssignment::kCic}) {
+    std::vector<double> mesh2;
+    c::assign_to_mesh(cells, a, n, box, 0.0, mesh2);
+    for (std::size_t i = 0; i < mesh.size(); ++i)
+      EXPECT_NEAR(mesh2[i], mesh[i], 1e-12) << c::assignment_name(a);
+  }
+}

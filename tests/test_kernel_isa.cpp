@@ -235,7 +235,7 @@ TEST(KernelIsaEquivalence, EngineResultsIdenticalAcrossLevels) {
 
   for (c::TraversalMode traversal :
        {c::TraversalMode::kPerPrimary, c::TraversalMode::kLeafBlocked}) {
-    cfg.traversal = traversal;
+    cfg.tree.traversal = traversal;
     c::set_kernel_isa(c::KernelIsa::kScalar);
     const c::Engine engine(cfg);
     const c::ZetaResult ref_fused = engine.run(cat);

@@ -281,12 +281,12 @@ TEST_P(MortonEngineAblation, LayoutKnobsPreserveResults) {
   cfg.bins = c::RadialBins(2.0, 14.0, 4);
   cfg.lmax = 3;
   cfg.threads = 1;  // deterministic accumulation => bitwise comparison
-  cfg.index = index;
-  cfg.precision = precision;
-  cfg.traversal = traversal;
+  cfg.tree.index = index;
+  cfg.tree.precision = precision;
+  cfg.tree.traversal = traversal;
 
-  cfg.morton_order = true;
-  cfg.interaction_lists = true;
+  cfg.tree.morton_order = true;
+  cfg.tree.interaction_lists = true;
   c::EngineStats sref;
   const c::ZetaResult ref = c::Engine(cfg).run(cat, nullptr, &sref);
 
@@ -294,8 +294,8 @@ TEST_P(MortonEngineAblation, LayoutKnobsPreserveResults) {
        std::vector<std::pair<bool, bool>>{{false, true},
                                           {true, false},
                                           {false, false}}) {
-    cfg.morton_order = morton;
-    cfg.interaction_lists = lists;
+    cfg.tree.morton_order = morton;
+    cfg.tree.interaction_lists = lists;
     c::EngineStats st;
     const c::ZetaResult got = c::Engine(cfg).run(cat, nullptr, &st);
     EXPECT_EQ(ref.n_pairs, got.n_pairs)
@@ -336,8 +336,8 @@ TEST(Morton, MultithreadedLayoutAblationMatchesToReassociation) {
   cfg.lmax = 4;
   cfg.threads = 3;
   const c::ZetaResult ref = c::Engine(cfg).run(cat);
-  cfg.morton_order = false;
-  cfg.interaction_lists = false;
+  cfg.tree.morton_order = false;
+  cfg.tree.interaction_lists = false;
   const c::ZetaResult got = c::Engine(cfg).run(cat);
   EXPECT_EQ(ref.n_pairs, got.n_pairs);
   expect_results_match(ref, got, 1e-10, 1e-10);

@@ -121,7 +121,7 @@ TEST(PeriodicBox3pcf, MatchesInteriorPrimariesOnPeriodicData) {
   c::EngineConfig cfg;
   cfg.bins = c::RadialBins(10.0, 40.0, 3);
   cfg.lmax = 2;
-  cfg.precision = c::TreePrecision::kMixed;
+  cfg.tree.precision = c::TreePrecision::kMixed;
 
   const s::Aabb box = s::Aabb::cube(lp.box_side);
   const c::ZetaResult periodic =

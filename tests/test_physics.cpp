@@ -142,7 +142,7 @@ TEST(Physics, LognormalXiReflectsInputPower) {
   c::EngineConfig cfg;
   cfg.bins = c::RadialBins(10.0, 90.0, 4);
   cfg.lmax = 0;
-  cfg.precision = c::TreePrecision::kMixed;
+  cfg.tree.precision = c::TreePrecision::kMixed;
   const auto prim = interior_primaries(
       mock.galaxies, s::Aabb::cube(lp.box_side), cfg.bins.rmax());
   const c::ZetaResult res = c::Engine(cfg).run(mock.galaxies, &prim);
@@ -173,7 +173,7 @@ TEST(Physics, RsdInducesQuadrupole) {
   c::EngineConfig cfg;
   cfg.bins = c::RadialBins(15.0, 60.0, 3);
   cfg.lmax = 4;
-  cfg.precision = c::TreePrecision::kMixed;
+  cfg.tree.precision = c::TreePrecision::kMixed;
   const double nbar = static_cast<double>(mock.galaxies.size()) /
                       (lp.box_side * lp.box_side * lp.box_side);
   const s::Aabb box = s::Aabb::cube(lp.box_side);

@@ -43,9 +43,9 @@ c::EngineConfig make_config(const StagedCase& p) {
   cfg.bins = c::RadialBins(2.0, 16.0, 4);
   cfg.lmax = 4;
   cfg.threads = 1;
-  cfg.index = p.index;
-  cfg.precision = p.precision;
-  cfg.traversal = p.traversal;
+  cfg.tree.index = p.index;
+  cfg.tree.precision = p.precision;
+  cfg.tree.traversal = p.traversal;
   return cfg;
 }
 
@@ -345,7 +345,7 @@ TEST(StagedEngineApi, OwnedPassInvokesPollHook) {
   cfg.bins = c::RadialBins(1.0, 10.0, 3);
   cfg.lmax = 2;
   cfg.threads = 1;
-  cfg.leaf_size = 8;  // plenty of leaves so the stride fires repeatedly
+  cfg.tree.leaf_size = 8;  // plenty of leaves so the stride fires repeatedly
   const s::Catalog cat = s::uniform_box(3000, s::Aabb::cube(60), 74);
   const c::Engine engine(cfg);
 

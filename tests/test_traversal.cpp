@@ -33,10 +33,10 @@ c::EngineConfig traversal_config() {
 // reassociation-level agreement on every output coefficient.
 void expect_modes_agree(c::EngineConfig cfg, const s::Catalog& cat,
                         const std::vector<std::int64_t>* primaries) {
-  cfg.traversal = c::TraversalMode::kPerPrimary;
+  cfg.tree.traversal = c::TraversalMode::kPerPrimary;
   c::EngineStats spp;
   const c::ZetaResult pp = c::Engine(cfg).run(cat, primaries, &spp);
-  cfg.traversal = c::TraversalMode::kLeafBlocked;
+  cfg.tree.traversal = c::TraversalMode::kLeafBlocked;
   c::EngineStats slb;
   const c::ZetaResult lb = c::Engine(cfg).run(cat, primaries, &slb);
 
@@ -58,8 +58,8 @@ TEST_P(TraversalEquivalence, LeafBlockedMatchesPerPrimary) {
   const auto [index, precision, los, subset] = GetParam();
   const s::Catalog cat = galactos::testing::clumpy_catalog(900, 60.0, 21);
   c::EngineConfig cfg = traversal_config();
-  cfg.index = index;
-  cfg.precision = precision;
+  cfg.tree.index = index;
+  cfg.tree.precision = precision;
   cfg.los = los;
   // Observer outside the box so every radial LOS is well defined.
   cfg.observer = {-40.0, -40.0, -40.0};
@@ -87,7 +87,7 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Bool()));
 
 TEST(Traversal, LeafBlockedIsTheDefault) {
-  EXPECT_EQ(c::EngineConfig{}.traversal, c::TraversalMode::kLeafBlocked);
+  EXPECT_EQ(c::EngineConfig{}.tree.traversal, c::TraversalMode::kLeafBlocked);
 }
 
 TEST(Traversal, OddLeafSizesMatch) {
@@ -97,7 +97,7 @@ TEST(Traversal, OddLeafSizesMatch) {
   const s::Catalog cat = s::uniform_box(257, s::Aabb::cube(40), 22);
   for (int leaf_size : {1, 7, 33}) {
     c::EngineConfig cfg = traversal_config();
-    cfg.leaf_size = leaf_size;
+    cfg.tree.leaf_size = leaf_size;
     expect_modes_agree(cfg, cat, nullptr);
   }
 }
@@ -111,11 +111,11 @@ TEST(Traversal, CoincidentPointsMatch) {
   c::EngineConfig cfg;
   cfg.bins = c::RadialBins(1.0, 8.0, 2);
   cfg.lmax = 2;
-  cfg.leaf_size = 4;
+  cfg.tree.leaf_size = 4;
   cfg.threads = 1;  // so the few-leaf fallback keeps the blocked driver
   expect_modes_agree(cfg, cat, nullptr);
 
-  cfg.traversal = c::TraversalMode::kLeafBlocked;
+  cfg.tree.traversal = c::TraversalMode::kLeafBlocked;
   const c::ZetaResult res = c::Engine(cfg).run(cat);
   EXPECT_EQ(res.n_pairs, 40u);
 }
@@ -154,7 +154,7 @@ TEST(Traversal, SelfPairSubtractionAgrees) {
 TEST(Traversal, LeafBlockedStaticScheduleBitwiseReproducible) {
   const s::Catalog cat = s::uniform_box(800, s::Aabb::cube(60), 25);
   c::EngineConfig cfg = traversal_config();
-  cfg.schedule = c::OmpSchedule::kStatic;
+  cfg.tree.schedule = c::OmpSchedule::kStatic;
   c::Engine engine(cfg);
   const c::ZetaResult a = engine.run(cat);
   const c::ZetaResult b = engine.run(cat);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate a committed bench baseline against a freshly generated JSON.
 
-Two file kinds are understood, auto-detected from the "bench" tag:
+Three file kinds are understood, auto-detected from the "bench" tag:
 
 bench_dist_scaling (BENCH_dist.json) — FAILS (exit 1) when the
 distributed pipeline regressed, so the CI artifact trend is enforced
@@ -57,6 +57,28 @@ fig4_breakdown (BENCH_fig4.json) — the kernel-GFLOP/s floor:
     not seconds, so a uniformly slower/faster runner cannot trip it;
     only the traversal growing relative to the rest of the engine can.
 
+fft_estimator (BENCH_fft.json) — the mesh-estimator accuracy contract:
+
+  * committed accuracy (--fft-err-ceiling) — the committed grid config's
+    max gated relative error vs the tree backend must stay at or below
+    an ABSOLUTE ceiling. The mock catalog is seeded and the estimator is
+    deterministic up to FFT round-off, so the ceiling needs no baseline
+    slack; pick it with margin over the committed value (e.g. 5e-4 over
+    a measured 2.5e-4) so libm/compiler variation passes but an aliasing
+    or kernel-normalization regression (typically >= 2x) fails loudly.
+  * per-grid error drift (--fft-err-tol) — each baseline grid row's
+    interlaced error may grow by at most this fraction in the fresh
+    file. Catches a coarse-grid regression the committed (finest) gate
+    would miss. A baseline grid row missing from the fresh file is a
+    violation (the convergence sweep shrank).
+  * convergence monotonicity — the fresh interlaced errors must strictly
+    decrease as grid_n grows. A non-converging sweep means the estimator
+    stopped measuring the signal (e.g. the bin kernels froze at one
+    resolution), which per-grid drift tolerances cannot see.
+  * crossover — the fresh crossover_grid (coarsest grid meeting the
+    target error) must exist and must not exceed the baseline's:
+    needing a finer mesh for the same accuracy is a regression.
+
 The run configs must match between baseline and fresh file — comparing
 different workloads is meaningless — unless --allow-config-mismatch is
 given. Baseline runs missing from the fresh file fail too (shrinking
@@ -74,6 +96,8 @@ Usage:
       --fresh BENCH_dist.ci.json [--imbalance-tol 0.25] [--time-tol 0.25]
   tools/check_bench_regression.py --baseline bench/baselines/BENCH_fig4.ci.json \
       --fresh BENCH_fig4.json --kernel-gflops-floor 0.6
+  tools/check_bench_regression.py --baseline bench/baselines/BENCH_fft.ci.json \
+      --fresh BENCH_fft.json --fft-err-ceiling 5e-4
   tools/check_bench_regression.py --self-test
 """
 
@@ -95,6 +119,12 @@ CONFIG_KEYS = ("n", "rmax", "side", "lmax", "max_ranks", "catalog")
 # the baseline machine and the runner.
 FIG4_CONFIG_KEYS = ("n", "rmax", "lmax", "nbins", "threads", "precision",
                     "index")
+
+# "gate" is included: it sets which multipoles enter the gated-error max,
+# so errors measured at different gates are not comparable.
+FFT_CONFIG_KEYS = ("n_galaxies", "box_side", "rmin", "rmax", "nbins",
+                   "lmax", "assignment", "interlace", "compensate",
+                   "edge_antialias", "gate")
 
 
 def load(path):
@@ -313,17 +343,124 @@ def check_fig4(baseline, fresh, args):
           + ")")
 
 
+def check_fft(baseline, fresh, args):
+    """fft_estimator mode: the mesh-estimator accuracy contract."""
+    mismatched = [
+        k for k in FFT_CONFIG_KEYS
+        if baseline.get("config", {}).get(k) != fresh.get("config", {}).get(k)
+    ]
+    if mismatched and not args.allow_config_mismatch:
+        for k in mismatched:
+            print(f"config mismatch on '{k}': baseline="
+                  f"{baseline.get('config', {}).get(k)!r} fresh="
+                  f"{fresh.get('config', {}).get(k)!r}")
+        sys.exit("error: baseline and fresh configs differ — these runs are "
+                 "not comparable (--allow-config-mismatch to override)")
+
+    ceiling = args.fft_err_ceiling
+    if ceiling is None:
+        sys.exit("error: fft_estimator files need --fft-err-ceiling "
+                 "(absolute cap on the committed grid's max gated relative "
+                 "error vs the tree backend, e.g. 5e-4)")
+
+    violations = []
+
+    committed = fresh.get("committed", {})
+    fresh_err = committed.get("max_rel_err")
+    base_err = baseline.get("committed", {}).get("max_rel_err")
+    print(f"{'metric':<28} {'baseline':>10} {'fresh':>10} {'limit':>10}"
+          f"  verdict")
+    if fresh_err is None:
+        violations.append(
+            "fresh file carries no committed.max_rel_err "
+            "(the bench stopped reporting the gated metric)")
+        print(f"{'committed max_rel_err':<28} "
+              f"{base_err if base_err is not None else '—':>10} "
+              f"{'MISSING':>10}")
+    else:
+        bad = fresh_err > ceiling
+        if bad:
+            violations.append(
+                f"committed grid {committed.get('grid_n')}: max_rel_err "
+                f"{fresh_err:.3e} exceeds the ceiling {ceiling:g} "
+                f"(accuracy contract broken)")
+        base_s = f"{base_err:.3e}" if base_err is not None else "—"
+        print(f"{'committed max_rel_err':<28} {base_s:>10} "
+              f"{fresh_err:>10.3e} {ceiling:>10.0e}  "
+              f"{'REGRESSED' if bad else 'ok'}")
+
+    tol = args.fft_err_tol
+    base_grids = {g["grid_n"]: g for g in baseline.get("grids", [])}
+    fresh_grids = {g["grid_n"]: g for g in fresh.get("grids", [])}
+    for n in sorted(base_grids):
+        label = f"grid {n} interlaced err"
+        bg = base_grids[n].get("interlaced_err")
+        row = fresh_grids.get(n)
+        if row is None:
+            violations.append(
+                f"grid {n} missing from the fresh file "
+                f"(the convergence sweep shrank)")
+            print(f"{label:<28} {bg:>10.3e} {'MISSING':>10}")
+            continue
+        fg = row.get("interlaced_err")
+        lim = bg * (1 + tol)
+        bad = fg > lim
+        if bad:
+            violations.append(
+                f"grid {n}: interlaced err {bg:.3e} -> {fg:.3e} "
+                f"(+{100 * (fg / bg - 1):.1f}% > {100 * tol:.0f}%)")
+        print(f"{label:<28} {bg:>10.3e} {fg:>10.3e} {lim:>10.3e}  "
+              f"{'REGRESSED' if bad else 'ok'}")
+
+    seq = sorted(fresh_grids)
+    for lo, hi in zip(seq, seq[1:]):
+        e_lo = fresh_grids[lo].get("interlaced_err")
+        e_hi = fresh_grids[hi].get("interlaced_err")
+        if e_lo is not None and e_hi is not None and e_hi >= e_lo:
+            violations.append(
+                f"convergence broke: interlaced err did not decrease from "
+                f"grid {lo} ({e_lo:.3e}) to grid {hi} ({e_hi:.3e})")
+
+    base_x = baseline.get("crossover_grid")
+    fresh_x = fresh.get("crossover_grid")
+    if base_x is not None:
+        if fresh_x is None:
+            violations.append(
+                "fresh file has no crossover_grid — no swept grid met the "
+                "target error")
+            print(f"{'crossover grid':<28} {base_x:>10} {'MISSING':>10}")
+        else:
+            bad = fresh_x > base_x
+            if bad:
+                violations.append(
+                    f"crossover grid {base_x} -> {fresh_x}: a finer mesh is "
+                    f"now needed for the target error")
+            print(f"{'crossover grid':<28} {base_x:>10} {fresh_x:>10}"
+                  f" {base_x:>10}  {'REGRESSED' if bad else 'ok'}")
+
+    if violations:
+        print(f"\n{len(violations)} regression(s) vs {args.baseline}:")
+        for v in violations:
+            print(f"  - {v}")
+        sys.exit(1)
+    print(f"\nno regressions vs {args.baseline} "
+          f"(committed err <= {ceiling:g}, per-grid err tol "
+          f"{tol:.0%}, monotone convergence, crossover <= {base_x})")
+
+
 def compare(args):
     baseline = load(args.baseline)
     fresh = load(args.fresh)
 
-    if baseline.get("bench") == "fig4_breakdown" or \
-            fresh.get("bench") == "fig4_breakdown":
-        if baseline.get("bench") != fresh.get("bench"):
-            sys.exit(f"error: bench kind mismatch: baseline="
-                     f"{baseline.get('bench')!r} fresh={fresh.get('bench')!r}")
-        check_fig4(baseline, fresh, args)
-        return
+    for kind, checker in (("fig4_breakdown", check_fig4),
+                          ("fft_estimator", check_fft)):
+        if baseline.get("bench") == kind or fresh.get("bench") == kind:
+            if baseline.get("bench") != fresh.get("bench"):
+                sys.exit(f"error: bench kind mismatch: baseline="
+                         f"{baseline.get('bench')!r} "
+                         f"fresh={fresh.get('bench')!r}")
+            checker(baseline, fresh, args)
+            return
 
     mismatched = [
         k for k in CONFIG_KEYS
@@ -436,6 +573,28 @@ def self_test():
         for key in ("candidate_ratio", "neighbor query", "total_seconds"):
             del fig4_prepr[drv][key]
 
+    fft = {
+        "bench": "fft_estimator",
+        "config": {k: 1 for k in FFT_CONFIG_KEYS},
+        "grids": [
+            {"grid_n": 32, "interlaced_err": 3e-3},
+            {"grid_n": 64, "interlaced_err": 7e-4},
+            {"grid_n": 128, "interlaced_err": 2.5e-4},
+        ],
+        "committed": {"grid_n": 128, "max_rel_err": 2.5e-4},
+        "crossover_grid": 64,
+    }
+    fft_inaccurate = json.loads(json.dumps(fft))
+    fft_inaccurate["committed"]["max_rel_err"] = 8e-4
+    fft_nonmono = json.loads(json.dumps(fft))
+    fft_nonmono["grids"][2]["interlaced_err"] = 9e-4
+    fft_nonmono["committed"]["max_rel_err"] = 4.9e-4  # under the ceiling
+    fft_latecross = json.loads(json.dumps(fft))
+    fft_latecross["crossover_grid"] = 128
+    fft_shrunk = json.loads(json.dumps(fft))
+    del fft_shrunk["grids"][1]
+    fft_shrunk["crossover_grid"] = 32  # keep only the sweep-shrink failure
+
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
         def fixture(name, content):
@@ -493,6 +652,30 @@ def self_test():
               os.path.join(tmp, "fig4_prepr.json"),
               "--kernel-gflops-floor", "0.6",
               "--candidate-ratio-ceiling", "1.8"]),
+            ("fft needs an explicit ceiling", None, "--fft-err-ceiling",
+             ["--baseline", fixture("fft.json", fft), "--fresh",
+              os.path.join(tmp, "fft.json")]),
+            ("fft identical files pass", 0, "no regressions",
+             ["--baseline", os.path.join(tmp, "fft.json"), "--fresh",
+              os.path.join(tmp, "fft.json"),
+              "--fft-err-ceiling", "5e-4"]),
+            ("fft committed ceiling violation fails", 1,
+             "accuracy contract broken",
+             ["--baseline", os.path.join(tmp, "fft.json"), "--fresh",
+              fixture("fft_inaccurate.json", fft_inaccurate),
+              "--fft-err-ceiling", "5e-4"]),
+            ("fft broken convergence fails", 1, "convergence broke",
+             ["--baseline", os.path.join(tmp, "fft.json"), "--fresh",
+              fixture("fft_nonmono.json", fft_nonmono),
+              "--fft-err-ceiling", "5e-4"]),
+            ("fft later crossover fails", 1, "finer mesh is now needed",
+             ["--baseline", os.path.join(tmp, "fft.json"), "--fresh",
+              fixture("fft_latecross.json", fft_latecross),
+              "--fft-err-ceiling", "5e-4"]),
+            ("fft shrunken sweep fails", 1, "convergence sweep shrank",
+             ["--baseline", os.path.join(tmp, "fft.json"), "--fresh",
+              fixture("fft_shrunk.json", fft_shrunk),
+              "--fft-err-ceiling", "5e-4"]),
         ]
         for name, want_rc, needle, argv in cases:
             p = subprocess.run([sys.executable, me] + argv,
@@ -544,6 +727,17 @@ def main():
                     help="fig4 files: per-driver neighbor-query share of "
                          "total_seconds may exceed the baseline share by at "
                          "most this much, absolute (omitted = check off)")
+    ap.add_argument("--fft-err-ceiling", type=float, default=None,
+                    help="fft_estimator files: the committed grid's "
+                         "max_rel_err vs the tree backend must stay at or "
+                         "below this ABSOLUTE ceiling (the mock is seeded, "
+                         "so no baseline slack is needed; required for "
+                         "fft_estimator baselines, e.g. 5e-4)")
+    ap.add_argument("--fft-err-tol", type=float, default=0.25,
+                    help="fft_estimator files: max fractional growth of "
+                         "each swept grid's interlaced error over the "
+                         "baseline row (default .25 — absorbs libm/"
+                         "compiler round-off, fails a real accuracy loss)")
     ap.add_argument("--allow-config-mismatch", action="store_true",
                     help="compare even when run configs differ")
     ap.add_argument("--self-test", action="store_true",

@@ -71,6 +71,10 @@ int run(int argc, char** argv) {
   const bool dbl = args.flag("double-precision");
   const bool self = args.flag("subtract-self");
   const bool binary = args.flag("binary");
+  const std::string backend = args.get_str("backend", "tree");
+  const int grid_n = args.get<int>("grid-n", 128);
+  const std::string assignment = args.get_str("assignment", "tsc");
+  const int interlace = args.get<int>("interlace", 1);
   args.finish();
 
   if (input.empty()) {
@@ -80,6 +84,8 @@ int run(int argc, char** argv) {
                  "  [--log-bins] [--periodic-box <side>] [--radial-los]\n"
                  "  [--observer-{x,y,z} 0] [--ranks 1] [--threads 0]\n"
                  "  [--double-precision] [--subtract-self]\n"
+                 "  [--backend tree|fft] [--grid-n 128]\n"
+                 "  [--assignment ngp|cic|tsc] [--interlace 0|1]\n"
                  "  [--output zeta] [--binary]\n");
     return 2;
   }
@@ -93,7 +99,7 @@ int run(int argc, char** argv) {
       log_bins ? core::BinSpacing::kLog : core::BinSpacing::kLinear);
   cfg.lmax = lmax;
   cfg.threads = threads;
-  cfg.precision =
+  cfg.tree.precision =
       dbl ? core::TreePrecision::kDouble : core::TreePrecision::kMixed;
   cfg.subtract_self_pairs = self;
   if (radial) {
@@ -101,9 +107,39 @@ int run(int argc, char** argv) {
     cfg.observer = {ox, oy, oz};
   }
 
+  cfg.backend = core::backend_from_name(backend);
+  if (cfg.backend == core::EstimatorBackend::kFFT) {
+    GLX_CHECK_MSG(randoms_path.empty(),
+                  "--backend fft does not support survey mode (--randoms); "
+                  "the mesh estimator needs a periodic box");
+    GLX_CHECK_MSG(periodic > 0.0,
+                  "--backend fft requires --periodic-box <side>");
+    cfg.fft.box_side = periodic;
+    cfg.fft.grid_n = static_cast<std::size_t>(grid_n);
+    cfg.fft.assignment = core::assignment_from_name(assignment);
+    cfg.fft.interlace = interlace != 0;
+  }
+
   core::EngineStats stats;
   core::ZetaResult result;
-  if (!randoms_path.empty()) {
+  if (cfg.backend == core::EstimatorBackend::kFFT) {
+    std::printf("fft backend: grid %d^3, %s%s\n", grid_n, assignment.c_str(),
+                interlace ? ", interlaced" : "");
+    if (ranks > 1) {
+      std::printf("distributed mode: %d ranks (slab decomposition)\n", ranks);
+      dist::DistRunConfig dcfg;
+      dcfg.engine = cfg;
+      dcfg.ranks = ranks;
+      std::vector<dist::RankReport> reports;
+      result = dist::run_distributed(data, dcfg, &reports);
+      for (const auto& r : reports)
+        std::printf("  rank %d: primaries %llu (%.2fs)\n", r.rank,
+                    static_cast<unsigned long long>(r.owned),
+                    r.total_seconds);
+    } else {
+      result = core::Engine(cfg).run(data, nullptr, &stats);
+    }
+  } else if (!randoms_path.empty()) {
     const sim::Catalog randoms = load(randoms_path);
     std::printf("survey mode: %zu randoms (%s)\n", randoms.size(),
                 randoms_path.c_str());

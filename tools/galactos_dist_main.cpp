@@ -69,6 +69,14 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
                                                       : "two-pass");
   const std::string output = args.get_str("output", "");
   const std::string json_path = args.get_str("json", "");
+  // Estimator backend: tree (k-d partition + halo pipeline, the default)
+  // or fft (slab-decomposed mesh estimator; periodic box required — --box
+  // for file input, the synthetic box side is known).
+  const std::string backend = args.get_str("backend", "tree");
+  const int grid_n = args.get<int>("grid-n", 128);
+  const std::string assignment = args.get_str("assignment", "tsc");
+  const int interlace = args.get<int>("interlace", 1);
+  const double box = args.get<double>("box", 0.0);
   args.finish();
 
   const bool root = session.is_root();
@@ -94,7 +102,7 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
       core::RadialBins(rmin >= 0 ? rmin : rmax / nbins, rmax, nbins);
   cfg.engine.lmax = lmax;
   cfg.engine.threads = threads;
-  cfg.engine.precision = core::TreePrecision::kMixed;
+  cfg.engine.tree.precision = core::TreePrecision::kMixed;
   cfg.ranks = ranks_arg;
   cfg.timeout_s = timeout_s;
   cfg.partition = policy == "primary"
@@ -109,6 +117,22 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
   } else {
     throw std::runtime_error("--overlap must be sequential | index | "
                              "two-pass (got '" + overlap_arg + "')");
+  }
+  cfg.engine.backend = core::backend_from_name(backend);
+  if (cfg.engine.backend == core::EstimatorBackend::kFFT) {
+    double side = box;
+    if (side <= 0.0 && input.empty()) side = sim::outer_rim_box_side(n);
+    if (side <= 0.0)
+      throw std::runtime_error(
+          "--backend fft with --input needs --box <side> (periodic box)");
+    cfg.engine.fft.box_side = side;
+    cfg.engine.fft.grid_n = static_cast<std::size_t>(grid_n);
+    cfg.engine.fft.assignment = core::assignment_from_name(assignment);
+    cfg.engine.fft.interlace = interlace != 0;
+    if (root)
+      std::printf("fft backend: grid %d^3, %s%s, box %.1f\n", grid_n,
+                  assignment.c_str(), interlace ? ", interlaced" : "",
+                  side);
   }
 
   std::vector<dist::RankReport> reports;
@@ -146,6 +170,8 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
     if (!json_path.empty()) {
       JsonObject o;
       o.add("backend", std::string(dist::backend_name(session.backend())))
+          .add("estimator_backend",
+               std::string(core::backend_name(cfg.engine.backend)))
           .add("world_size", session.size())
           .add("ranks", static_cast<std::uint64_t>(reports.size()))
           .add("galaxies", static_cast<std::uint64_t>(cat.size()))
@@ -156,8 +182,15 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
           .add("overlap_mode",
                std::string(dist::overlap_mode_name(cfg.overlap)))
           .add("n_pairs", result.n_pairs)
+          .add("n_primaries", result.n_primaries)
           .add("pair_imbalance", imbalance)
           .add("wall_seconds", elapsed);
+      if (cfg.engine.backend == core::EstimatorBackend::kFFT)
+        o.add("grid_n", static_cast<std::uint64_t>(cfg.engine.fft.grid_n))
+            .add("assignment",
+                 std::string(
+                     core::assignment_name(cfg.engine.fft.assignment)))
+            .add("interlace", cfg.engine.fft.interlace ? 1 : 0);
       double halo_blocked_max = 0, halo_hidden_max = 0;
       for (const auto& r : reports) {
         halo_blocked_max = std::max(halo_blocked_max, r.halo_seconds);
