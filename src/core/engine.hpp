@@ -49,6 +49,10 @@
 #include "sim/catalog.hpp"
 #include "util/timer.hpp"
 
+namespace galactos::tree {
+struct LetMessage;  // tree/let.hpp — pruned-LET halo payload
+}  // namespace galactos::tree
+
 namespace galactos::core {
 
 namespace detail {
@@ -189,6 +193,15 @@ class Engine {
     // primaries and primary indices never refer to them). Call at most
     // once; an empty halo is a no-op.
     void extend_with_secondaries(const sim::Catalog& halo);
+
+    // LET variant (dist HaloMode::kLet): unpacks received per-peer LET
+    // messages straight into the secondary index, skipping whole cells
+    // whose AABB lies beyond R_max of `bound` (this rank's domain) — the
+    // receiver-side pruning tier. Same at-most-once contract as
+    // extend_with_secondaries; messages with no in-reach cells are a
+    // no-op.
+    void extend_with_let(const std::vector<tree::LetMessage>& msgs,
+                         const SecondaryBound& bound);
 
     // Runs the traversal over the prebuilt indexes. `primaries` indexes
     // into the owned catalog passed to build_index (same contract as

@@ -235,6 +235,8 @@ struct CommControl {
   double timeout_s = 0.0;  // <= 0: deadlines off
   Phase phase = Phase::kNone;
   int my_world = -1;
+  // Per-phase wire-byte tally (comm.hpp: Comm::byte_counters).
+  CommByteCounters bytes;
 
   // Silent receives armed on the reserved abort channel, one per peer that
   // has ever been in a timed group. Neither backend holds resources for an
@@ -316,7 +318,11 @@ class FramedRecvState final : public detail::RequestState {
   }
 
   std::vector<unsigned char> take() override {
-    return detail::deframe(inner_->take(), ch_);
+    std::vector<unsigned char> raw = inner_->take();
+    // Wire bytes land in the phase current at DRAIN time (the two-pass
+    // runner claims halo payloads from kHaloComplete, not kHaloPost).
+    ctrl_->bytes.recv[static_cast<int>(ctrl_->phase)] += raw.size();
+    return detail::deframe(std::move(raw), ch_);
   }
 
  private:
@@ -372,10 +378,13 @@ void Comm::send_bytes(int dest, int tag, const void* data,
   GLX_CHECK_MSG(dest >= 0 && dest < size() && dest != rank_,
                 "send: bad destination rank " << dest);
   const std::vector<unsigned char> framed = detail::frame(data, nbytes);
+  ctrl_->bytes.sent[static_cast<int>(ctrl_->phase)] += framed.size();
   transport_->send_bytes(world_rank(),
                          group_[static_cast<std::size_t>(dest)], tag,
                          framed.data(), framed.size());
 }
+
+const CommByteCounters& Comm::byte_counters() const { return ctrl_->bytes; }
 
 std::vector<unsigned char> Comm::recv_bytes(int src, int tag) {
   // One path for blocking and posted receives: the framed wrapper supplies

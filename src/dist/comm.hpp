@@ -53,6 +53,31 @@ namespace detail {
 struct CommControl;
 }  // namespace detail
 
+// Per-phase wire-byte counters for one rank, indexed by int(Phase) —
+// framed bytes as handed to / taken from the transport, identical
+// accounting on both backends because every message (point-to-point and
+// collective alike) crosses Comm::send_bytes and the framed receive path.
+// Shared across sub_range copies like the rest of the control state, so
+// the partitioner's halved-communicator traffic lands in the same tally.
+// Received bytes are attributed to the phase current when the payload is
+// DRAINED (not when it was posted) — halo bytes a two-pass run claims
+// late therefore land in kHaloComplete.
+struct CommByteCounters {
+  std::uint64_t sent[kPhaseCount] = {};
+  std::uint64_t recv[kPhaseCount] = {};
+
+  std::uint64_t total_sent() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : sent) t += v;
+    return t;
+  }
+  std::uint64_t total_recv() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : recv) t += v;
+    return t;
+  }
+};
+
 // Handle for a posted non-blocking operation (MPI_Request analog).
 //
 // * test() — non-blocking completion probe; sticky once true. For a posted
@@ -326,6 +351,11 @@ class Comm {
   // and gives an active FaultPlan its stall/crash hook point.
   void set_phase(Phase p);
   Phase phase() const;
+
+  // This rank's cumulative wire-byte tally (see CommByteCounters). Counts
+  // start at communicator construction — the Session hands every run a
+  // fresh world Comm, so a run's report reflects only its own traffic.
+  const CommByteCounters& byte_counters() const;
 
   // Best-effort peer-failure broadcast: one message per peer on the
   // reserved abort channel, never throws. run_rank calls this on the way

@@ -35,6 +35,10 @@ enum class Phase {
   kTeardown,       // after the result, during unwind/barriers
 };
 
+// Number of Phase values — sizes the per-phase byte counters in
+// Comm::byte_counters() and RankReport.
+constexpr int kPhaseCount = 9;
+
 inline const char* phase_name(Phase p) {
   switch (p) {
     case Phase::kNone: return "none";

@@ -46,6 +46,7 @@
 #include "dist/comm.hpp"
 #include "sim/box.hpp"
 #include "sim/catalog.hpp"
+#include "tree/let.hpp"
 
 namespace galactos::dist {
 
@@ -55,12 +56,59 @@ enum class PartitionPolicy {
   kPairWeighted,     // estimated pair counts (local density weighting)
 };
 
+// How halo completeness is achieved after the cuts.
+enum class HaloMode {
+  // Flat point shower: every owned galaxy within R_max of a peer's domain
+  // is shipped as a raw (x, y, z, w) double quadruple — the paper's §3.3
+  // exchange, bitwise-stable reference path.
+  kFullShell,
+  // Pruned locally-essential tree (Warren–Salmon LET): walk the owned
+  // KdTree against each peer's domain box and ship only surviving leaf
+  // cells (AABB + packed points), delta-encoded; comm volume scales with
+  // the domain *boundary* instead of the halo shell's raw point count.
+  // The shipped point set is identical to kFullShell (same reach
+  // criterion, double coordinates), so results match to round-off of the
+  // receiver's secondary build; lossless (f64) unless `let_f32` is set.
+  kLet,
+};
+
+inline const char* halo_mode_name(HaloMode m) {
+  return m == HaloMode::kLet ? "let" : "full-shell";
+}
+
+struct HaloOptions {
+  HaloMode mode = HaloMode::kFullShell;
+  // kLet only: quantize coordinates + AABBs to float32 on the wire (3x
+  // smaller payloads). OFF by default so the default exchange is bitwise
+  // lossless; safe whenever the engine's tree precision is kMixed (the
+  // stored planes are float anyway, so the float-valued coordinates
+  // survive the cast exactly).
+  bool let_f32 = false;
+};
+
+// Comm-volume counters for one rank's halo exchange (RankReport / bench).
+// Bytes are payload bytes as handed to / taken from the comm layer
+// (pre-framing), so full-shell and LET are directly comparable.
+struct HaloTraffic {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t points_shipped = 0;  // points this rank sent, all peers
+  std::uint64_t cells_sent = 0;      // kLet: LET cells shipped
+  std::uint64_t cells_pruned = 0;    // kLet: leaves kept off the wire
+};
+
 struct PartitionResult {
-  // Owned galaxies first, then halo copies.
+  // Owned galaxies first, then halo copies (HaloMode::kFullShell only —
+  // under kLet `local` stays owned-only and the halo arrives in `let`).
   sim::Catalog local;
   std::vector<std::uint8_t> owned;  // parallel to `local`
   sim::Aabb domain;                 // this rank's leaf domain
   int levels = 0;                   // k-d recursion depth experienced
+  // HaloMode::kLet: one decoded LET per peer, ascending peer rank. The
+  // runner hands these to Engine::Staged::extend_with_let, which unpacks
+  // only the cells within R_max of this rank's domain.
+  std::vector<tree::LetMessage> let;
+  HaloTraffic traffic;
 
   std::size_t owned_count() const {
     std::size_t n = 0;
@@ -84,8 +132,11 @@ struct PartitionResult {
 // complete_halo_exchange() appends the halo copies.
 struct PendingPartition {
   PartitionResult result;
+  HaloMode mode = HaloMode::kFullShell;
   std::vector<int> peers;                        // comm ranks, ascending
-  std::vector<RecvRequest<double>> halo_recvs;   // parallel to `peers`
+  std::vector<RecvRequest<double>> halo_recvs;   // kFullShell, || to peers
+  std::vector<RecvRequest<std::uint8_t>> let_recvs;  // kLet, || to peers
+  HaloTraffic traffic;
 
   // Non-blocking progress on the outstanding halo receives: test()s every
   // posted request and returns true once all have claimed their message.
@@ -102,7 +153,8 @@ struct PendingPartition {
 // waited on. `rmax` must be identical on all ranks, as must `policy`.
 PendingPartition post_halo_exchange(
     Comm& comm, const sim::Catalog& mine, double rmax,
-    PartitionPolicy policy = PartitionPolicy::kPrimaryBalanced);
+    PartitionPolicy policy = PartitionPolicy::kPrimaryBalanced,
+    const HaloOptions& halo = {});
 
 // Drains the posted halo receives in peer-rank order (deterministic halo
 // layout) and returns the completed partition. Call exactly once.
@@ -111,7 +163,8 @@ PartitionResult complete_halo_exchange(PendingPartition& pending);
 // Fused post + complete, for callers with nothing to overlap.
 PartitionResult kd_partition(
     Comm& comm, const sim::Catalog& mine, double rmax,
-    PartitionPolicy policy = PartitionPolicy::kPrimaryBalanced);
+    PartitionPolicy policy = PartitionPolicy::kPrimaryBalanced,
+    const HaloOptions& halo = {});
 
 // Collective: bisects [lo, hi] for a cut with exactly `target` of the
 // ranks' combined `values` strictly below it (achievable when values are

@@ -126,7 +126,7 @@ core::ZetaResult run_rank_pipeline(Comm& comm, const sim::Catalog& mine,
 
   Timer tpart;
   PendingPartition pending = post_halo_exchange(
-      comm, mine, engine_cfg.bins.rmax(), cfg.partition);
+      comm, mine, engine_cfg.bins.rmax(), cfg.partition, cfg.halo);
   const double partition_seconds = tpart.seconds();
   rep.partition_seconds = partition_seconds;
 
@@ -202,9 +202,28 @@ core::ZetaResult run_rank_pipeline(Comm& comm, const sim::Catalog& mine,
   rep.held = part.local.size();
   rep.index_build_seconds = index_seconds;
   rep.halo_hidden_seconds = halo_hidden_seconds;
+  rep.halo_bytes_sent = part.traffic.bytes_sent;
+  rep.halo_bytes_recv = part.traffic.bytes_recv;
+  rep.halo_points_shipped = part.traffic.points_shipped;
+  rep.let_cells_sent = part.traffic.cells_sent;
+  rep.let_cells_pruned = part.traffic.cells_pruned;
 
-  // Halo copies (appended after the owned block) act as secondaries only.
-  if (staged.valid() && part.local.size() > n_owned) {
+  // Halo copies act as secondaries only. Under kLet they arrive as pruned
+  // LET cells and the engine unpacks them directly (dropping cells beyond
+  // R_max of this rank's domain); under kFullShell they were appended to
+  // `local` after the owned block.
+  if (cfg.halo.mode == HaloMode::kLet) {
+    std::size_t let_points = 0;
+    for (const tree::LetMessage& m : part.let) let_points += m.point_count();
+    rep.held = n_owned + let_points;
+    if (staged.valid() && let_points > 0) {
+      const core::Engine::SecondaryBound bound{part.domain.lo,
+                                               part.domain.hi};
+      Timer ti;
+      staged.extend_with_let(part.let, bound);
+      index_seconds += ti.seconds();
+    }
+  } else if (staged.valid() && part.local.size() > n_owned) {
     sim::Catalog halo;
     halo.reserve(part.local.size() - n_owned);
     for (std::size_t i = n_owned; i < part.local.size(); ++i)
@@ -239,6 +258,16 @@ core::ZetaResult run_rank_pipeline(Comm& comm, const sim::Catalog& mine,
   return reduce_across_ranks(comm, engine_cfg, local, stats.pairs, rep);
 }
 
+// Snapshot the comm's per-phase wire-byte tally into the report (success
+// and failure paths alike — a failed rank's partial traffic still counts).
+void fill_phase_bytes(const Comm& comm, RankReport& rep) {
+  const CommByteCounters& cb = comm.byte_counters();
+  for (int i = 0; i < kPhaseCount; ++i) {
+    rep.phase_bytes_sent[i] = cb.sent[i];
+    rep.phase_bytes_recv[i] = cb.recv[i];
+  }
+}
+
 }  // namespace
 
 core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
@@ -253,6 +282,7 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
     comm.set_phase(Phase::kTeardown);
     rep.total_seconds = total.seconds();
     rep.failure_phase = static_cast<int>(Phase::kNone);
+    fill_phase_bytes(comm, rep);
     if (report) *report = rep;
     return out;
   } catch (const std::exception& e) {
@@ -262,6 +292,7 @@ core::ZetaResult run_rank(Comm& comm, const sim::Catalog& mine,
     // this reason), then rethrow for the backend's abort path.
     rep.total_seconds = total.seconds();
     rep.failure_phase = static_cast<int>(comm.phase());
+    fill_phase_bytes(comm, rep);
     std::fprintf(
         stderr,
         "{\"galactos_rank_failure\":{\"rank\":%d,\"phase\":\"%s\","

@@ -50,6 +50,10 @@ struct DistRunConfig {
   PartitionPolicy partition = PartitionPolicy::kPrimaryBalanced;
   // What hides the halo exchange (A/B/C measurement axis).
   OverlapMode overlap = OverlapMode::kTwoPass;
+  // How the halo crosses the wire: flat point shower (kFullShell, the
+  // reference) or pruned LET cells (kLet — comm volume scales with the
+  // domain boundary; see dist/partition.hpp HaloMode).
+  HaloOptions halo;
   // Comm-wide receive deadline in seconds; <= 0 (the default) keeps the
   // pre-deadline behavior (waits block forever). GALACTOS_DIST_TIMEOUT_S
   // overrides this at run_rank entry (dist::timeout_from_env). On expiry
@@ -87,6 +91,23 @@ struct RankReport {
   // max/mean kernel pairs across ranks — identical on every rank, so the
   // Fig. 7 imbalance story is readable from any single report.
   double pair_imbalance = 0.0;
+  // --- comm volume ---------------------------------------------------------
+  // Halo-exchange payload bytes (pre-framing, both wire formats) and the
+  // points this rank shipped to all peers; the LET counters are zero under
+  // kFullShell. let_cells_pruned counts owned-tree leaves the admissibility
+  // walk (or the per-point refinement) kept off the wire, summed over
+  // peers.
+  std::uint64_t halo_bytes_sent = 0;
+  std::uint64_t halo_bytes_recv = 0;
+  std::uint64_t halo_points_shipped = 0;
+  std::uint64_t let_cells_sent = 0;
+  std::uint64_t let_cells_pruned = 0;
+  // Total framed wire bytes this rank moved, by pipeline phase (indexed by
+  // int(dist::Phase)) — every message, collectives included, on both
+  // backends (Comm::byte_counters). Receive bytes land in the phase at
+  // drain time, so two-pass halo payloads count under kHaloComplete.
+  std::uint64_t phase_bytes_sent[kPhaseCount] = {};
+  std::uint64_t phase_bytes_recv[kPhaseCount] = {};
   // Pipeline phase the rank failed in, as int(dist::Phase) so the struct
   // stays trivially copyable for allgather. 0 (Phase::kNone) = the run
   // succeeded; see dist/error.hpp phase_name() for the names.

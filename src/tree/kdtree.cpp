@@ -337,6 +337,39 @@ bool KdTree<Real>::box_beyond_reach(const Real lo[3], const Real hi[3],
   return box_box_dist2<Real>(lo, hi, root.lo, root.hi) > r2max;
 }
 
+template <typename Real>
+std::vector<std::size_t> KdTree<Real>::leaves_in_reach(const Real lo[3],
+                                                       const Real hi[3],
+                                                       double rmax) const {
+  std::vector<std::size_t> out;
+  if (root_ < 0) return out;
+  const Real r2max = static_cast<Real>(rmax) * static_cast<Real>(rmax);
+  // One pruned walk collects the surviving leaf *node ids*; the traversal
+  // visits leaves in canonical (tree) order, which after the Morton
+  // relabeling is not storage order, so map ids back to ordinals via the
+  // shared ascending-begin property of `leaves_` (leaf ranges partition
+  // [0, n) in storage order, so begins are unique and increasing).
+  std::vector<std::int32_t> hit;
+  traverse(
+      [&](const Node& nd) {
+        return box_box_dist2<Real>(lo, hi, nd.lo, nd.hi) > r2max;
+      },
+      [&](std::int32_t id, const Node&) { hit.push_back(id); });
+  std::sort(hit.begin(), hit.end(), [&](std::int32_t a, std::int32_t b) {
+    return nodes_[static_cast<std::size_t>(a)].begin <
+           nodes_[static_cast<std::size_t>(b)].begin;
+  });
+  out.reserve(hit.size());
+  std::size_t j = 0;
+  for (std::size_t l = 0; l < leaves_.size() && j < hit.size(); ++l)
+    if (leaves_[l] == hit[j]) {
+      out.push_back(l);
+      ++j;
+    }
+  GLX_DCHECK(j == hit.size());
+  return out;
+}
+
 template class KdTree<float>;
 template class KdTree<double>;
 

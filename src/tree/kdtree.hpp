@@ -104,6 +104,18 @@ class KdTree {
       fn(l, leaf_begin(l), leaf_end(l));
   }
 
+  // LET admissibility walk (tree/let.hpp, dist halo compression): one
+  // pruned traversal collecting every leaf whose bounding box lies within
+  // `rmax` of [lo, hi] — exactly the leaves a query from inside the box
+  // could touch, with whole subtrees skipped at the coarsest inadmissible
+  // level. Returns ascending leaf ordinals (addressable via leaf_begin /
+  // leaf_end / leaf_box); leaf_count() - result.size() leaves were pruned.
+  // Conservative in the same Real box-box arithmetic as the traversal
+  // pruning, so the surviving set is a superset of any per-point gather
+  // from inside the box.
+  std::vector<std::size_t> leaves_in_reach(const Real lo[3], const Real hi[3],
+                                           double rmax) const;
+
   // Storage-order access (for iteration over all points).
   Real x(std::size_t i) const { return xs_[i]; }
   Real y(std::size_t i) const { return ys_[i]; }

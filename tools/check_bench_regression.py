@@ -112,6 +112,13 @@ import tempfile
 # exceed any relative tolerance without meaning anything.
 IMBALANCE_ABS_FLOOR = 0.02
 
+# The distributed correctness contract: kLet results must match kFullShell
+# to this tolerance. The bench records zeta_max_rel_diff as the worst
+# payload deviation normalized by the payload's max magnitude —
+# summation-reorder round-off lands at ~1e-15, a single flipped pair at
+# ~1e-7, so this gate separates the regimes by three decades either way.
+HALO_ZETA_REL_GATE = 1e-10
+
 CONFIG_KEYS = ("n", "rmax", "side", "lmax", "max_ranks", "catalog")
 
 # kernel_isa is deliberately absent: it records the level auto-detect
@@ -197,6 +204,44 @@ def check_hidden(baseline, fresh, tol, floor, violations):
                 f"{base_frac:.3f} -> {fresh_frac:.3f} "
                 f"(drop > {tol:.2f})")
         print(f"{name:<12} {base_frac:>12.3f} {fresh_frac:>13.3f}  {verdict}")
+
+
+def check_halo_compression(fresh, ceiling, violations):
+    """LET halo bytes must stay at or below CEILING x the full-shell bytes
+    for every policy in the fresh file's halo_compression section, and the
+    paired runs must agree on zeta to the distributed 1e-10 gate. Both are
+    absolute contracts (the catalog is seeded and the partition
+    deterministic), so no baseline section is needed."""
+    hc = fresh.get("halo_compression")
+    if hc is None:
+        violations.append(
+            "fresh file carries no halo_compression section "
+            "(the bench stopped reporting the gated metric)")
+        print("\nhalo-compression gate: section MISSING from the fresh file")
+        return
+    print(f"\n{'policy':<17} {'full-shell B':>12} {'LET B':>12} {'ratio':>7}"
+          f" {'ceiling':>8} {'zeta diff':>10}  verdict")
+    for row in hc.get("policies", []):
+        policy = row["policy"]
+        full = row["full_shell_bytes"]
+        let = row["let_bytes"]
+        ratio = let / full if full else 0.0
+        zdiff = row.get("zeta_max_rel_diff", 0.0)
+        verdicts = []
+        if full and let > ceiling * full:
+            verdicts.append(
+                f"halo_compression ({policy}): LET bytes {let} exceed "
+                f"{ceiling:g} x full-shell {full} (ratio {ratio:.3f} — the "
+                f"pruned exchange stopped compressing)")
+        if zdiff > HALO_ZETA_REL_GATE:
+            verdicts.append(
+                f"halo_compression ({policy}): zeta_max_rel_diff {zdiff:.3e} "
+                f"exceeds the {HALO_ZETA_REL_GATE:g} distributed gate "
+                f"(kLet no longer matches kFullShell)")
+        print(f"{policy:<17} {full:>12} {let:>12} {ratio:>7.3f}"
+              f" {ceiling:>8.3f} {zdiff:>10.2e}  "
+              f"{'REGRESSED' if verdicts else 'ok'}")
+        violations.extend(verdicts)
 
 
 def query_share(driver_row):
@@ -518,6 +563,10 @@ def compare(args):
         check_hidden(baseline, fresh, args.hidden_tol, args.hidden_floor,
                      violations)
 
+    if args.halo_bytes_ratio_ceiling is not None:
+        check_halo_compression(fresh, args.halo_bytes_ratio_ceiling,
+                               violations)
+
     if violations:
         print(f"\n{len(violations)} regression(s) vs {args.baseline}:")
         for v in violations:
@@ -529,6 +578,9 @@ def compare(args):
              else ", time check off")
           + (f", hidden tol {args.hidden_tol:.2f}"
              if args.hidden_tol is not None else ", hidden check off")
+          + (f", halo bytes ratio <= {args.halo_bytes_ratio_ceiling:g}"
+             if args.halo_bytes_ratio_ceiling is not None
+             else ", halo check off")
           + ")")
 
 
@@ -547,10 +599,26 @@ def self_test():
              "elapsed_seconds": 0.6},
         ],
     }
+    dist_doc["halo_compression"] = {
+        "ranks": 4, "let_f32": True,
+        "policies": [
+            {"policy": "pair_weighted", "full_shell_bytes": 100000,
+             "let_bytes": 42000, "ratio": 0.42,
+             "zeta_max_rel_diff": 3e-13},
+        ],
+    }
     regressed = json.loads(json.dumps(dist_doc))
     regressed["runs"][1]["pair_imbalance"] = 2.0
     malformed = json.loads(json.dumps(dist_doc))
     del malformed["runs"][1]["ranks"]
+    halo_fat = json.loads(json.dumps(dist_doc))
+    halo_fat["halo_compression"]["policies"][0]["let_bytes"] = 80000
+    halo_drift = json.loads(json.dumps(dist_doc))
+    halo_drift["halo_compression"]["policies"][0]["zeta_max_rel_diff"] = 1e-6
+    halo_gone = json.loads(json.dumps(dist_doc))
+    del halo_gone["halo_compression"]
+    halo_broken = json.loads(json.dumps(dist_doc))
+    del halo_broken["halo_compression"]["policies"][0]["let_bytes"]
     fig4 = {
         "bench": "fig4_breakdown",
         "config": {k: 1 for k in FIG4_CONFIG_KEYS},
@@ -623,6 +691,27 @@ def self_test():
             ("missing field is one line", None, "malformed bench JSON",
              ["--baseline", good, "--fresh",
               fixture("malformed.json", malformed)]),
+            ("halo ratio within ceiling passes", 0, "no regressions",
+             ["--baseline", good, "--fresh", good,
+              "--halo-bytes-ratio-ceiling", "0.5"]),
+            ("halo ratio violation fails", 1, "stopped compressing",
+             ["--baseline", good, "--fresh",
+              fixture("halo_fat.json", halo_fat),
+              "--halo-bytes-ratio-ceiling", "0.5"]),
+            ("halo zeta drift fails", 1, "no longer matches",
+             ["--baseline", good, "--fresh",
+              fixture("halo_drift.json", halo_drift),
+              "--halo-bytes-ratio-ceiling", "0.5"]),
+            ("fresh dropping halo_compression fails", 1,
+             "stopped reporting the gated metric",
+             ["--baseline", good, "--fresh",
+              fixture("halo_gone.json", halo_gone),
+              "--halo-bytes-ratio-ceiling", "0.5"]),
+            ("malformed halo_compression is one line", None,
+             "malformed bench JSON",
+             ["--baseline", good, "--fresh",
+              fixture("halo_broken.json", halo_broken),
+              "--halo-bytes-ratio-ceiling", "0.5"]),
             ("fig4 needs an explicit floor", None, "--kernel-gflops-floor",
              ["--baseline", fixture("fig4.json", fig4), "--fresh",
               fixture("fig4b.json", fig4)]),
@@ -714,6 +803,13 @@ def main():
                     help="skip the hidden check when the halo window "
                          "(hidden+blocked) is below this many seconds in "
                          "either file (default 1e-3)")
+    ap.add_argument("--halo-bytes-ratio-ceiling", type=float, default=None,
+                    help="dist files: per policy in the fresh file's "
+                         "halo_compression section, LET halo bytes must stay "
+                         "at or below this fraction of the full-shell bytes, "
+                         "and zeta_max_rel_diff must stay within the 1e-10 "
+                         "distributed gate (absolute contracts — no baseline "
+                         "slack; omitted = halo check off)")
     ap.add_argument("--kernel-gflops-floor", type=float, default=None,
                     help="fig4 files: fresh kernel_gflops must stay at or "
                          "above baseline x FLOOR (a fraction, e.g. 0.6; "

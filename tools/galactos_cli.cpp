@@ -67,6 +67,9 @@ int run(int argc, char** argv) {
   const double oy = args.get<double>("observer-y", 0.0);
   const double oz = args.get<double>("observer-z", 0.0);
   const int ranks = args.get<int>("ranks", 1);
+  // Distributed halo wire format: full (flat point shower) | let (pruned
+  // locally-essential tree). Tree backend with --ranks > 1 only.
+  const std::string halo_arg = args.get_str("halo-mode", "full");
   const int threads = args.get<int>("threads", 0);
   const bool dbl = args.flag("double-precision");
   const bool self = args.flag("subtract-self");
@@ -82,7 +85,8 @@ int run(int argc, char** argv) {
                  "usage: galactos --input <catalog> [--randoms <catalog>]\n"
                  "  [--rmin 1] --rmax <R> [--nbins 10] [--lmax 10]\n"
                  "  [--log-bins] [--periodic-box <side>] [--radial-los]\n"
-                 "  [--observer-{x,y,z} 0] [--ranks 1] [--threads 0]\n"
+                 "  [--observer-{x,y,z} 0] [--ranks 1] [--halo-mode full|let]\n"
+                 "  [--threads 0]\n"
                  "  [--double-precision] [--subtract-self]\n"
                  "  [--backend tree|fft] [--grid-n 128]\n"
                  "  [--assignment ngp|cic|tsc] [--interlace 0|1]\n"
@@ -105,6 +109,15 @@ int run(int argc, char** argv) {
   if (radial) {
     cfg.los = core::LineOfSight::kRadial;
     cfg.observer = {ox, oy, oz};
+  }
+
+  dist::HaloOptions halo;
+  if (halo_arg == "let") {
+    halo.mode = dist::HaloMode::kLet;
+  } else {
+    GLX_CHECK_MSG(halo_arg == "full" || halo_arg == "full-shell",
+                  "--halo-mode must be full | let (got '" << halo_arg
+                                                          << "')");
   }
 
   cfg.backend = core::backend_from_name(backend);
@@ -149,10 +162,12 @@ int run(int argc, char** argv) {
     result = core::periodic_box_3pcf(data, sim::Aabb::cube(periodic), cfg,
                                      &stats);
   } else if (ranks > 1) {
-    std::printf("distributed mode: %d ranks\n", ranks);
+    std::printf("distributed mode: %d ranks, halo %s\n", ranks,
+                dist::halo_mode_name(halo.mode));
     dist::DistRunConfig dcfg;
     dcfg.engine = cfg;
     dcfg.ranks = ranks;
+    dcfg.halo = halo;
     std::vector<dist::RankReport> reports;
     result = dist::run_distributed(data, dcfg, &reports);
     for (const auto& r : reports)

@@ -67,6 +67,13 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
   const std::string overlap_arg =
       args.get_str("overlap", args.flag("sequential") ? "sequential"
                                                       : "two-pass");
+  // Halo wire format: full (flat point shower, the reference) | let
+  // (pruned locally-essential tree — comm volume scales with the domain
+  // boundary). --let-f32 additionally quantizes LET coordinates to float32
+  // on the wire (safe at the default kMixed tree precision, where the
+  // stored planes are float anyway).
+  const std::string halo_arg = args.get_str("halo-mode", "full");
+  const bool let_f32 = args.flag("let-f32");
   const std::string output = args.get_str("output", "");
   const std::string json_path = args.get_str("json", "");
   // Estimator backend: tree (k-d partition + halo pipeline, the default)
@@ -118,6 +125,13 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
     throw std::runtime_error("--overlap must be sequential | index | "
                              "two-pass (got '" + overlap_arg + "')");
   }
+  if (halo_arg == "let") {
+    cfg.halo.mode = dist::HaloMode::kLet;
+  } else if (halo_arg != "full" && halo_arg != "full-shell") {
+    throw std::runtime_error("--halo-mode must be full | let (got '" +
+                             halo_arg + "')");
+  }
+  cfg.halo.let_f32 = let_f32;
   cfg.engine.backend = core::backend_from_name(backend);
   if (cfg.engine.backend == core::EstimatorBackend::kFFT) {
     double side = box;
@@ -161,10 +175,27 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
     std::printf("\n");
     const double imbalance =
         reports.empty() ? 1.0 : reports.front().pair_imbalance;
+    std::uint64_t halo_sent = 0, halo_pts = 0, cells_pruned = 0;
+    std::uint64_t comm_sent = 0;
+    for (const auto& r : reports) {
+      halo_sent += r.halo_bytes_sent;
+      halo_pts += r.halo_points_shipped;
+      cells_pruned += r.let_cells_pruned;
+      for (int p = 0; p < dist::kPhaseCount; ++p)
+        comm_sent += r.phase_bytes_sent[p];
+    }
     std::printf("ranks %zu  pairs %llu  pair-imbalance %.3f  wall %.3f s\n",
                 reports.size(),
                 static_cast<unsigned long long>(result.n_pairs), imbalance,
                 elapsed);
+    std::printf(
+        "halo mode %s  halo bytes %llu  points shipped %llu  "
+        "let cells pruned %llu  total comm bytes %llu\n",
+        dist::halo_mode_name(cfg.halo.mode),
+        static_cast<unsigned long long>(halo_sent),
+        static_cast<unsigned long long>(halo_pts),
+        static_cast<unsigned long long>(cells_pruned),
+        static_cast<unsigned long long>(comm_sent));
 
     if (!output.empty()) io::write_zeta_csv(result, output + "_zeta.csv");
     if (!json_path.empty()) {
@@ -181,6 +212,12 @@ int run_with_session(dist::Session& session, int argc, char** argv) {
                                              : "pair_weighted")
           .add("overlap_mode",
                std::string(dist::overlap_mode_name(cfg.overlap)))
+          .add("halo_mode", std::string(dist::halo_mode_name(cfg.halo.mode)))
+          .add("let_f32", cfg.halo.let_f32 ? 1 : 0)
+          .add("halo_bytes_sent", halo_sent)
+          .add("halo_points_shipped", halo_pts)
+          .add("let_cells_pruned", cells_pruned)
+          .add("comm_bytes_sent", comm_sent)
           .add("n_pairs", result.n_pairs)
           .add("n_primaries", result.n_primaries)
           .add("pair_imbalance", imbalance)
